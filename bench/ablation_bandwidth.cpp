@@ -1,0 +1,46 @@
+// Ablation: effective link bandwidth. The paper argues B-SUB's dozens-of-
+// bytes control messages make it suitable for constrained radios; this
+// sweep starves the per-contact byte budget and watches PUSH collapse while
+// B-SUB and PULL degrade gracefully.
+#include "experiment_common.h"
+
+int main() {
+  using namespace bsub::bench;
+  using namespace bsub;
+  print_header("Ablation — effective bandwidth (section VII-A radio model)");
+
+  const Scenario scenario = haggle_scenario();
+  const util::Time ttl = 10 * util::kHour;
+  const workload::Workload w = scenario.make_workload(ttl);
+  const core::BsubConfig cfg = bsub_config_for(scenario, ttl);
+
+  std::printf("trace: %s, TTL = 10 h (paper's effective rate: 31250 B/s)\n\n",
+              scenario.trace.name().c_str());
+  std::printf("%10s | %25s | %23s\n", "", "delivery ratio",
+              "control bytes (MB)");
+  std::printf("%10s | %7s %8s %7s | %7s %8s %6s\n", "B/s", "PUSH", "B-SUB",
+              "PULL", "PUSH", "B-SUB", "PULL");
+  for (double bps : {50.0, 200.0, 1000.0, 31250.0}) {
+    sim::SimulatorConfig scfg;
+    scfg.bandwidth_bytes_per_second = bps;
+    sim::Simulator sim(scfg);
+
+    routing::PushProtocol push;
+    const auto rp = sim.run(scenario.trace, w, push);
+    core::BsubProtocol bsub(cfg);
+    const auto rb = sim.run(scenario.trace, w, bsub);
+    routing::PullProtocol pull;
+    const auto rl = sim.run(scenario.trace, w, pull);
+
+    auto mb = [](std::uint64_t b) { return static_cast<double>(b) / 1e6; };
+    std::printf("%10.0f | %7.3f %8.3f %7.3f | %7.2f %8.2f %6.2f\n", bps,
+                rp.delivery_ratio, rb.delivery_ratio, rl.delivery_ratio,
+                mb(rp.control_bytes), mb(rb.control_bytes),
+                mb(rl.control_bytes));
+  }
+  std::printf(
+      "\nExpected: at Bluetooth-scale budgets everyone is unconstrained; as "
+      "the\nbudget starves, flooding (PUSH) loses the most delivery while "
+      "B-SUB's tiny\nfilter exchanges keep working.\n");
+  return 0;
+}

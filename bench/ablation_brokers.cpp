@@ -1,0 +1,41 @@
+// Ablation: broker-election thresholds (paper section V-B). Sweeps the
+// (B_l, B_u) pair and reports the emergent broker fraction plus the
+// delivery/overhead consequences; the paper's 3/5 setting maintains about
+// 30% brokers.
+#include "experiment_common.h"
+
+int main() {
+  using namespace bsub::bench;
+  using namespace bsub;
+  print_header("Ablation — broker-election thresholds (section V-B)");
+
+  const Scenario scenario = haggle_scenario();
+  const util::Time ttl = 10 * util::kHour;
+  const workload::Workload w = scenario.make_workload(ttl);
+
+  struct Setting {
+    std::uint32_t lower, upper;
+  };
+  const Setting settings[] = {{1, 2}, {2, 3}, {3, 5}, {5, 8}, {8, 12}};
+
+  std::printf("trace: %s, TTL = 10 h, window W = 5 h\n\n",
+              scenario.trace.name().c_str());
+  std::printf("%9s | %8s | %8s | %10s | %9s\n", "(Bl, Bu)", "brokers",
+              "delivery", "delay(min)", "fwd/deliv");
+  for (const Setting& s : settings) {
+    core::BsubConfig cfg = bsub_config_for(scenario, ttl);
+    cfg.broker_lower = s.lower;
+    cfg.broker_upper = s.upper;
+    core::BsubProtocol proto(cfg);
+    const auto r = sim::Simulator().run(scenario.trace, w, proto);
+    std::printf("%4u, %-4u | %7.1f%% | %8.3f | %10.1f | %9.2f\n", s.lower,
+                s.upper, 100.0 * proto.election().broker_fraction(),
+                r.delivery_ratio, r.mean_delay_minutes,
+                r.forwardings_per_delivery);
+  }
+  std::printf(
+      "\nExpected: higher thresholds sustain more brokers — better delivery "
+      "at more\noverhead; the paper's (3,5) keeps roughly a third of the "
+      "nodes as brokers.\n");
+  return 0;
+}

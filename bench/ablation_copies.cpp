@@ -1,0 +1,44 @@
+// Ablation: the copy limit C (paper section V-D fixes it at 3). Sweeps the
+// number of broker replicas a producer may spawn per message and reports
+// the delivery/overhead trade-off, plus the SPRAY baseline at the same
+// budget (interest-oblivious placement) to isolate what TCBF-guided pickup
+// buys.
+#include "experiment_common.h"
+
+#include "routing/spray.h"
+
+int main() {
+  using namespace bsub::bench;
+  using namespace bsub;
+  print_header("Ablation — copy limit C (section V-D)");
+
+  const Scenario scenario = haggle_scenario();
+  const util::Time ttl = 10 * util::kHour;
+  const workload::Workload w = scenario.make_workload(ttl);
+
+  std::printf("trace: %s, TTL = 10 h\n\n", scenario.trace.name().c_str());
+  std::printf("%6s | %17s | %21s | %19s\n", "", "delivery ratio",
+              "mean delay (minutes)", "fwd/delivery");
+  std::printf("%6s | %8s %8s | %10s %10s | %9s %9s\n", "copies", "B-SUB",
+              "SPRAY", "B-SUB", "SPRAY", "B-SUB", "SPRAY");
+  for (std::uint32_t copies : {1u, 2u, 3u, 5u, 8u}) {
+    core::BsubConfig cfg = bsub_config_for(scenario, ttl);
+    cfg.copy_limit = copies;
+    const ProtocolRun bsub = run_bsub(scenario, w, cfg);
+
+    routing::SprayProtocol spray(copies);
+    const metrics::RunResults sr =
+        sim::Simulator().run(scenario.trace, w, spray);
+
+    std::printf("%6u | %8.3f %8.3f | %10.1f %10.1f | %9.2f %9.2f\n", copies,
+                bsub.results.delivery_ratio, sr.delivery_ratio,
+                bsub.results.mean_delay_minutes, sr.mean_delay_minutes,
+                bsub.results.forwardings_per_delivery,
+                sr.forwardings_per_delivery);
+  }
+  std::printf(
+      "\nExpected: delivery grows with the copy budget for both, with "
+      "diminishing\nreturns; B-SUB's interest-guided placement beats blind "
+      "spraying per copy.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Micro-benchmarks of the TCBF primitives (google-benchmark): the paper's
+// efficiency argument rests on these being trivial (hashing + table
+// lookups), so they are pinned here.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/fpr.h"
+#include "bloom/tcbf.h"
+#include "bloom/tcbf_codec.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bsub;
+
+std::vector<std::string> make_keys(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back("key" + std::to_string(i));
+  return keys;
+}
+
+void BM_BloomInsert(benchmark::State& state) {
+  const auto keys = make_keys(64);
+  bloom::BloomFilter bf({256, 4});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    bf.insert(keys[i++ % keys.size()]);
+    benchmark::DoNotOptimize(bf);
+  }
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomQuery(benchmark::State& state) {
+  const auto keys = make_keys(64);
+  bloom::BloomFilter bf({256, 4});
+  for (std::size_t i = 0; i < 38; ++i) bf.insert(keys[i]);
+  std::size_t i = 0;
+  bool hit = false;
+  for (auto _ : state) {
+    hit ^= bf.contains(keys[i++ % keys.size()]);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_BloomQuery);
+
+void BM_TcbfInsert(benchmark::State& state) {
+  const auto keys = make_keys(64);
+  bloom::Tcbf t({256, 4}, 50.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    t.insert(keys[i++ % keys.size()]);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_TcbfInsert);
+
+void BM_TcbfExistentialQuery(benchmark::State& state) {
+  const auto keys = make_keys(64);
+  bloom::Tcbf t({256, 4}, 50.0);
+  for (std::size_t i = 0; i < 38; ++i) t.insert(keys[i]);
+  std::size_t i = 0;
+  bool hit = false;
+  for (auto _ : state) {
+    hit ^= t.contains(keys[i++ % keys.size()]);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_TcbfExistentialQuery);
+
+void BM_TcbfPreferentialQuery(benchmark::State& state) {
+  const auto keys = make_keys(64);
+  bloom::Tcbf a({256, 4}, 50.0), b({256, 4}, 50.0);
+  for (std::size_t i = 0; i < 20; ++i) a.insert(keys[i]);
+  for (std::size_t i = 10; i < 30; ++i) b.insert(keys[i]);
+  std::size_t i = 0;
+  double p = 0.0;
+  for (auto _ : state) {
+    p += bloom::preference(a, b, keys[i++ % keys.size()]);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_TcbfPreferentialQuery);
+
+void BM_TcbfDecay(benchmark::State& state) {
+  const auto keys = make_keys(38);
+  bloom::Tcbf t({256, 4}, 1e12);  // effectively never drains mid-benchmark
+  for (const auto& k : keys) t.insert(k);
+  for (auto _ : state) {
+    t.decay(0.138);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_TcbfDecay);
+
+void BM_TcbfAMerge(benchmark::State& state) {
+  const auto keys = make_keys(38);
+  bloom::Tcbf src({256, 4}, 50.0);
+  for (const auto& k : keys) src.insert(k);
+  bloom::Tcbf dst({256, 4}, 50.0);
+  for (auto _ : state) {
+    dst.a_merge(src);
+    benchmark::DoNotOptimize(dst);
+  }
+}
+BENCHMARK(BM_TcbfAMerge);
+
+void BM_TcbfMMerge(benchmark::State& state) {
+  const auto keys = make_keys(38);
+  bloom::Tcbf src({256, 4}, 50.0);
+  for (const auto& k : keys) src.insert(k);
+  bloom::Tcbf dst({256, 4}, 50.0);
+  for (auto _ : state) {
+    dst.m_merge(src);
+    benchmark::DoNotOptimize(dst);
+  }
+}
+BENCHMARK(BM_TcbfMMerge);
+
+void BM_TcbfEncodeFull(benchmark::State& state) {
+  bloom::Tcbf t({256, 4}, 50.0);
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)));
+  for (const auto& k : keys) t.insert(k);
+  for (auto _ : state) {
+    auto enc = bloom::encode_tcbf(t, bloom::CounterEncoding::kFull);
+    benchmark::DoNotOptimize(enc);
+  }
+}
+BENCHMARK(BM_TcbfEncodeFull)->Arg(1)->Arg(10)->Arg(38);
+
+void BM_TcbfDecode(benchmark::State& state) {
+  bloom::Tcbf t({256, 4}, 50.0);
+  const auto keys = make_keys(38);
+  for (const auto& k : keys) t.insert(k);
+  const auto enc = bloom::encode_tcbf(t, bloom::CounterEncoding::kFull);
+  for (auto _ : state) {
+    auto dec = bloom::decode_tcbf(enc);
+    benchmark::DoNotOptimize(dec);
+  }
+}
+BENCHMARK(BM_TcbfDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Shared plumbing for the experiment binaries: scenario construction,
+// protocol runners, and fixed-width table printing. Each binary regenerates
+// one table or figure of the paper (see DESIGN.md's experiment index).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bsub_protocol.h"
+#include "core/df_tuning.h"
+#include "metrics/collector.h"
+#include "routing/pull.h"
+#include "routing/push.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+#include "workload/workload.h"
+
+namespace bsub::bench {
+
+/// Seed shared by all experiment binaries so figures are cross-consistent.
+inline constexpr std::uint64_t kExperimentSeed = 2010;  // ICDCS 2010
+
+struct Scenario {
+  trace::ContactTrace trace;
+  workload::KeySet keys;
+
+  explicit Scenario(const trace::SyntheticTraceConfig& cfg)
+      : trace(trace::generate_trace(cfg)),
+        keys(workload::twitter_trend_keys()) {}
+
+  workload::Workload make_workload(util::Time ttl) const {
+    workload::WorkloadConfig wcfg;
+    wcfg.ttl = ttl;
+    wcfg.seed = kExperimentSeed + 1;
+    return workload::Workload(trace, keys, wcfg);
+  }
+};
+
+inline Scenario haggle_scenario() {
+  return Scenario(trace::haggle_infocom06_config(kExperimentSeed));
+}
+
+inline Scenario reality_scenario() {
+  return Scenario(trace::mit_reality_config(kExperimentSeed));
+}
+
+/// B-SUB with the paper's parameters and the DF derived from Eq. 5 for the
+/// given delay bound (W = TTL, as section VII-B prescribes).
+inline core::BsubConfig bsub_config_for(const Scenario& s, util::Time ttl) {
+  core::BsubConfig cfg;
+  cfg.df_per_minute =
+      core::compute_df(s.trace, ttl, cfg.filter_params, cfg.initial_counter)
+          .df_per_minute;
+  return cfg;
+}
+
+struct ProtocolRun {
+  metrics::RunResults results;
+  core::BsubProtocol::TrafficBreakdown traffic;  // zero for PUSH/PULL
+  double relay_fpr = 0.0;                        // B-SUB only
+};
+
+inline ProtocolRun run_push(const Scenario& s, const workload::Workload& w) {
+  routing::PushProtocol proto;
+  return {sim::Simulator().run(s.trace, w, proto), {}, 0.0};
+}
+
+inline ProtocolRun run_pull(const Scenario& s, const workload::Workload& w) {
+  routing::PullProtocol proto;
+  return {sim::Simulator().run(s.trace, w, proto), {}, 0.0};
+}
+
+inline ProtocolRun run_bsub(const Scenario& s, const workload::Workload& w,
+                            const core::BsubConfig& cfg) {
+  core::BsubProtocol proto(cfg);
+  ProtocolRun out;
+  out.results = sim::Simulator().run(s.trace, w, proto);
+  out.traffic = proto.traffic();
+  out.relay_fpr = proto.measured_relay_fpr();
+  return out;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s\n", std::string(title.size(), '-').c_str());
+}
+
+}  // namespace bsub::bench

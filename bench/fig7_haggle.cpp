@@ -1,0 +1,10 @@
+// Reproduces paper Fig. 7(a-c): PUSH / B-SUB / PULL on the Haggle
+// (Infocom'06)-calibrated trace across TTL values.
+#include "fig_ttl_sweep.h"
+
+int main() {
+  using namespace bsub::bench;
+  print_header("Figure 7 — Haggle (Infocom'06) trace");
+  run_ttl_sweep("Fig. 7", haggle_scenario());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces paper Fig. 9(a-d): delivery ratio, delay, forwardings per
+// delivered message, and false-positive rate of B-SUB as the decaying
+// factor sweeps over [0, 2] per minute, TTL fixed at 20 hours, on both
+// traces.
+//
+// FPR note: with a strict section V-D implementation, the *delivered-
+// message* FPR is structurally ~0 (the final match is against a single-key
+// consumer BF). The operative FPR the DF controls is the relay filters';
+// we report both — the relay-filter FPR (probed with absent keys, shown
+// against the 0.04 theoretical worst case) reproduces Fig. 9(d)'s shape.
+#include "experiment_common.h"
+
+#include "bloom/fpr.h"
+
+namespace bsub::bench {
+namespace {
+
+void sweep(const Scenario& scenario) {
+  const util::Time ttl = 20 * util::kHour;
+  const double dfs[] = {0.0, 0.05, 0.138, 0.25, 0.5, 1.0, 1.5, 2.0};
+  const workload::Workload w = scenario.make_workload(ttl);
+
+  std::printf("\ntrace: %s (TTL = 20 h)\n", scenario.trace.name().c_str());
+  std::printf("%9s | %8s | %10s | %9s | %10s | %10s\n", "DF(/min)",
+              "delivery", "delay(min)", "fwd/deliv", "relay FPR",
+              "deliv FPR");
+  for (double df : dfs) {
+    core::BsubConfig cfg;
+    cfg.df_per_minute = df;
+    const ProtocolRun run = run_bsub(scenario, w, cfg);
+    std::printf("%9.3f | %8.3f | %10.1f | %9.2f | %10.4f | %10.4f\n", df,
+                run.results.delivery_ratio, run.results.mean_delay_minutes,
+                run.results.forwardings_per_delivery, run.relay_fpr,
+                run.results.false_positive_rate);
+  }
+}
+
+}  // namespace
+}  // namespace bsub::bench
+
+int main() {
+  using namespace bsub::bench;
+  print_header("Figure 9 — metrics vs decaying factor (both traces)");
+  const double theory = bsub::bloom::false_positive_rate(38, {256, 4});
+  std::printf("theoretical worst-case FPR (38 keys, m=256, k=4): %.4f\n",
+              theory);
+  sweep(haggle_scenario());
+  sweep(reality_scenario());
+  std::printf(
+      "\nExpected shape (paper Fig. 9): delivery ratio, delay, and "
+      "forwardings all\ndecrease as the DF grows (B-SUB degenerates toward "
+      "PULL); the relay FPR is\nmaximal at DF = 0 and falls with DF, "
+      "around/below the 0.04 theory bound.\n");
+  return 0;
+}

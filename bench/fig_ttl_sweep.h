@@ -1,0 +1,44 @@
+// Shared driver for Fig. 7 (Haggle) and Fig. 8 (MIT Reality): delivery
+// ratio, delay, and forwardings-per-delivered-message of PUSH / B-SUB /
+// PULL across a log-scaled TTL axis.
+#pragma once
+
+#include "experiment_common.h"
+
+namespace bsub::bench {
+
+inline void run_ttl_sweep(const char* figure, const Scenario& scenario) {
+  // The paper sweeps TTL on a log axis from ~10 to ~1200 minutes.
+  const double ttl_minutes[] = {10, 30, 60, 120, 300, 600, 1200};
+
+  std::printf("%s: PUSH vs B-SUB vs PULL over TTL (trace: %s)\n", figure,
+              scenario.trace.name().c_str());
+  std::printf("%8s | %25s | %29s | %26s\n", "", "delivery ratio",
+              "mean delay (minutes)", "forwardings/delivery");
+  std::printf("%8s | %7s %8s %7s | %9s %9s %9s | %8s %8s %7s\n",
+              "TTL(min)", "PUSH", "B-SUB", "PULL", "PUSH", "B-SUB", "PULL",
+              "PUSH", "B-SUB", "PULL");
+
+  for (double ttl_min : ttl_minutes) {
+    const util::Time ttl = util::from_minutes(ttl_min);
+    const workload::Workload w = scenario.make_workload(ttl);
+    const ProtocolRun push = run_push(scenario, w);
+    const ProtocolRun bsub = run_bsub(scenario, w, bsub_config_for(scenario, ttl));
+    const ProtocolRun pull = run_pull(scenario, w);
+    std::printf(
+        "%8.0f | %7.3f %8.3f %7.3f | %9.1f %9.1f %9.1f | %8.2f %8.2f %7.2f\n",
+        ttl_min, push.results.delivery_ratio, bsub.results.delivery_ratio,
+        pull.results.delivery_ratio, push.results.mean_delay_minutes,
+        bsub.results.mean_delay_minutes, pull.results.mean_delay_minutes,
+        push.results.forwardings_per_delivery,
+        bsub.results.forwardings_per_delivery,
+        pull.results.forwardings_per_delivery);
+  }
+  std::printf(
+      "\nExpected shape (paper %s): delivery PUSH >= B-SUB > PULL with B-SUB"
+      " close to PUSH;\ndelay PUSH <= B-SUB << PULL; forwardings PUSH >> "
+      "B-SUB > PULL (~1).\n",
+      figure);
+}
+
+}  // namespace bsub::bench

@@ -1,0 +1,37 @@
+// Reproduces paper Table II: the top-4 Twitter-trend keys and their
+// selection probabilities, plus the full-distribution facts the paper
+// states in prose (38 keys, average length ~11.5 bytes, <= 5 bytes per
+// encoded key at m=256/k=4).
+#include "experiment_common.h"
+
+#include "bloom/tcbf_codec.h"
+#include "util/byte_io.h"
+
+int main() {
+  using namespace bsub::bench;
+  using namespace bsub;
+  print_header("Table II — Twitter-trend key distribution");
+
+  const workload::KeySet keys = workload::twitter_trend_keys();
+  std::printf("top 4 keys (published in the paper, spaces removed):\n");
+  std::printf("%-18s | %s\n", "key", "weight");
+  for (workload::KeyId k = 0; k < 4; ++k) {
+    std::printf("%-18s | %.4f\n", keys.name(k).c_str(), keys.weight(k));
+  }
+
+  double tail = 0.0;
+  for (workload::KeyId k = 4; k < keys.size(); ++k) tail += keys.weight(k);
+  std::printf("\nremaining %zu keys (Zipf-tail substitution): total weight "
+              "%.4f\n", keys.size() - 4, tail);
+  std::printf("total keys: %zu (paper: 38)\n", keys.size());
+  std::printf("average key length: %.2f bytes (paper: 11.5)\n",
+              keys.average_key_length());
+
+  // "At most 5 bytes are used to encode a single key": k=4 locations of
+  // ceil(log2 256) = 8 bits each, plus the optional shared counter byte.
+  const double per_key =
+      bloom::model_wire_size_bytes(4, 256, bloom::CounterEncoding::kUniform);
+  std::printf("encoded size of a single key (4 locations + counter): %.0f "
+              "bytes (paper: <= 5)\n", per_key);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Broker-election walkthrough (paper section V-B): replays a trace through
+// the decentralized election and shows how the broker set evolves — the
+// fraction over time, promotion/demotion counts, and the degree advantage
+// of the final broker set over normal users.
+#include <cstdio>
+#include <vector>
+
+#include "core/broker_allocation.h"
+#include "trace/synthetic.h"
+
+int main() {
+  using namespace bsub;
+
+  const trace::ContactTrace t =
+      trace::generate_trace(trace::haggle_infocom06_config(2010));
+  core::BrokerElection election(
+      t.node_count(),
+      {/*lower=*/3, /*upper=*/5, /*window=*/5 * util::kHour});
+
+  std::printf("election on %s: thresholds (3, 5), window 5 h\n\n",
+              t.name().c_str());
+  std::printf("%10s | %8s | %10s | %10s\n", "hour", "brokers", "promotions",
+              "demotions");
+
+  util::Time next_report = 0;
+  for (const trace::Contact& c : t.contacts()) {
+    election.on_contact(c.a, c.b, c.start);
+    if (c.start >= next_report) {
+      std::printf("%10.0f | %7.1f%% | %10llu | %10llu\n",
+                  util::to_hours(c.start), 100 * election.broker_fraction(),
+                  static_cast<unsigned long long>(election.promotions()),
+                  static_cast<unsigned long long>(election.demotions()));
+      next_report = c.start + 6 * util::kHour;
+    }
+  }
+
+  // Are the elected brokers actually the social hubs?
+  const auto deg = t.degrees();
+  double broker_deg = 0, user_deg = 0;
+  std::size_t brokers = 0, users = 0;
+  for (trace::NodeId n = 0; n < t.node_count(); ++n) {
+    if (election.is_broker(n)) {
+      broker_deg += static_cast<double>(deg[n]);
+      ++brokers;
+    } else {
+      user_deg += static_cast<double>(deg[n]);
+      ++users;
+    }
+  }
+  std::printf("\nfinal: %zu brokers (%.0f%%), %zu users\n", brokers,
+              100 * election.broker_fraction(), users);
+  if (brokers > 0 && users > 0) {
+    std::printf("mean trace degree: brokers %.1f vs users %.1f\n",
+                broker_deg / static_cast<double>(brokers),
+                user_deg / static_cast<double>(users));
+  }
+  std::printf("\nthe paper's (3, 5) thresholds keep roughly 30%% of nodes "
+              "as brokers,\nbiased toward socially active (high-degree) "
+              "nodes.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Trace explorer: generate (or load) a human-contact trace, print its
+// Table-I-style statistics, the hour-of-day activity profile, the degree
+// distribution, and the Eq. 5 decay-factor the trace implies for a range of
+// delay bounds.
+//
+// Usage:
+//   trace_explorer                  # built-in Haggle-like preset
+//   trace_explorer <trace-file>     # CRAWDAD-style text trace
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/df_tuning.h"
+#include "trace/analysis.h"
+#include "trace/centrality.h"
+#include "trace/synthetic.h"
+#include "trace/trace_io.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace bsub;
+
+  trace::ContactTrace t;
+  if (argc > 1) {
+    try {
+      t = trace::load_trace(argv[1]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    t = trace::generate_trace(trace::haggle_infocom06_config(2010));
+  }
+
+  const trace::TraceStats s = t.stats();
+  std::printf("trace: %s\n", t.name().c_str());
+  std::printf("  nodes:                 %zu\n", s.node_count);
+  std::printf("  contacts:              %zu\n", s.contact_count);
+  std::printf("  duration:              %.1f h\n", util::to_hours(s.duration));
+  std::printf("  mean contact duration: %.0f s\n", s.mean_contact_duration_s);
+  std::printf("  mean contacts/node:    %.0f\n", s.mean_contacts_per_node);
+  std::printf("  mean degree:           %.1f distinct peers\n\n",
+              s.mean_degree);
+
+  // Hour-of-day activity histogram (ASCII sparkline).
+  std::vector<std::size_t> by_hour(24, 0);
+  for (const trace::Contact& c : t.contacts()) {
+    ++by_hour[static_cast<std::size_t>((c.start / util::kHour) % 24)];
+  }
+  const std::size_t peak = *std::max_element(by_hour.begin(), by_hour.end());
+  std::printf("activity by hour of day:\n");
+  for (int h = 0; h < 24; ++h) {
+    int bars = peak == 0 ? 0 : static_cast<int>(40.0 * by_hour[h] / peak);
+    std::printf("  %02d:00 %6zu %s\n", h, by_hour[h],
+                std::string(static_cast<std::size_t>(bars), '#').c_str());
+  }
+
+  // Degree centrality extremes — who would make a good broker?
+  const auto centrality = trace::degree_centrality(t);
+  auto [lo, hi] = trace::centrality_range(centrality);
+  std::printf("\ndegree centrality: min %.2f, max %.2f\n", lo, hi);
+
+  // Pair structure and inter-contact gaps (what interest decay fights).
+  const trace::PairStats ps = trace::pair_stats(t);
+  std::printf("\npair structure:\n");
+  std::printf("  pairs that ever meet:   %zu (%.0f%% of all pairs)\n",
+              ps.pairs_meeting, 100 * ps.pair_coverage);
+  std::printf("  contacts per pair:      mean %.1f, max %zu\n",
+              ps.mean_contacts_per_pair, ps.max_contacts_per_pair);
+  auto gaps = trace::pair_inter_contact_times_s(t);
+  if (!gaps.empty()) {
+    util::PercentileTracker pct;
+    for (double g : gaps) pct.add(g);
+    std::printf("  pair inter-contact gap: p50 %.0f s, p90 %.0f s, "
+                ">1 h share %.0f%%\n",
+                pct.percentile(50), pct.percentile(90),
+                100 * trace::fraction_above(gaps, 3600.0));
+  }
+
+  // The DF that Eq. 5 implies for a range of delay bounds.
+  std::printf("\nEq. 5 decay factors (C = 50):\n");
+  std::printf("  %10s | %14s | %8s | %10s\n", "W (hours)", "keys/window",
+              "E[min]", "DF (/min)");
+  for (double hours : {2.0, 5.0, 10.0, 20.0}) {
+    const core::DfEstimate est = core::compute_df(
+        t, util::from_hours(hours), bloom::BloomParams{256, 4}, 50.0);
+    std::printf("  %10.0f | %14.1f | %8.3f | %10.3f\n", hours,
+                est.keys_per_window, est.expected_min_increment,
+                est.df_per_minute);
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "bloom/allocation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "bloom/fpr.h"
+#include "bloom/tcbf_codec.h"
+
+namespace bsub::bloom {
+
+AllocationPlan optimize_allocation(double n_total, double storage_bound_bytes,
+                                   BloomParams params,
+                                   std::uint32_t max_filters) {
+  assert(n_total > 0.0 && storage_bound_bytes > 0.0);
+  AllocationPlan plan;
+
+  // More filters than keys stops helping — each filter would hold < 1 key.
+  std::uint32_t hi = std::min<std::uint32_t>(
+      max_filters, std::max<std::uint32_t>(
+                       1, static_cast<std::uint32_t>(n_total)));
+
+  if (multi_filter_memory_bytes(n_total, 1, params) >= storage_bound_bytes) {
+    // Even a single filter busts the bound; report the infeasible best.
+    plan.filter_count = 1;
+    plan.keys_per_filter = n_total;
+    plan.fill_threshold = expected_fill_ratio(n_total, params);
+    plan.joint_fpr = joint_false_positive_rate_uniform(n_total, 1, params);
+    plan.memory_bytes = multi_filter_memory_bytes(n_total, 1, params);
+    plan.feasible = false;
+    return plan;
+  }
+
+  // Memory (Eq. 8) is monotone increasing in h, so binary-search the largest
+  // feasible h (the paper's prescription after Eq. 10).
+  std::uint32_t lo = 1;
+  while (lo < hi) {
+    std::uint32_t mid = lo + (hi - lo + 1) / 2;
+    if (multi_filter_memory_bytes(n_total, mid, params) < storage_bound_bytes) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+
+  plan.filter_count = lo;
+  plan.keys_per_filter = n_total / lo;
+  plan.fill_threshold = expected_fill_ratio(plan.keys_per_filter, params);
+  plan.joint_fpr = joint_false_positive_rate_uniform(n_total, lo, params);
+  plan.memory_bytes = multi_filter_memory_bytes(n_total, lo, params);
+  plan.feasible = true;
+  return plan;
+}
+
+TcbfPool::TcbfPool(BloomParams params, double initial_counter,
+                   double fill_threshold)
+    : params_(params), initial_counter_(initial_counter),
+      fill_threshold_(fill_threshold) {
+  assert(fill_threshold > 0.0 && fill_threshold <= 1.0);
+  filters_.emplace_back(params_, initial_counter_);
+}
+
+void TcbfPool::insert(std::string_view key) {
+  if (filters_.back().fill_ratio() > fill_threshold_) {
+    filters_.emplace_back(params_, initial_counter_);
+  }
+  filters_.back().insert(key);
+}
+
+bool TcbfPool::contains(std::string_view key) const {
+  return std::any_of(filters_.begin(), filters_.end(),
+                     [&](const Tcbf& f) { return f.contains(key); });
+}
+
+std::optional<double> TcbfPool::min_counter(std::string_view key) const {
+  std::optional<double> best;
+  for (const Tcbf& f : filters_) {
+    if (auto c = f.min_counter(key); c.has_value()) {
+      best = best.has_value() ? std::max(*best, *c) : *c;
+    }
+  }
+  return best;
+}
+
+void TcbfPool::decay(double amount) {
+  for (Tcbf& f : filters_) f.decay(amount);
+  // Drop drained filters; keep at least one so insert() always has a target.
+  std::erase_if(filters_, [this](const Tcbf& f) {
+    return f.empty() && filters_.size() > 1;
+  });
+  if (filters_.empty()) filters_.emplace_back(params_, initial_counter_);
+}
+
+std::size_t TcbfPool::encoded_size_bytes() const {
+  std::size_t total = 0;
+  for (const Tcbf& f : filters_) {
+    total += encode_tcbf(f, CounterEncoding::kFull).size();
+  }
+  return total;
+}
+
+}  // namespace bsub::bloom

@@ -1,0 +1,83 @@
+// TCBF allocation for optimal FPR (paper section VI-D).
+//
+// Two pieces:
+//
+//  1. `optimize_allocation` solves the paper's Eq. 9/10: given a storage
+//     bound S_max and a total key population n, find the number of filters h
+//     that minimizes the joint FPR subject to the memory bound. Splitting
+//     keys evenly over more filters lowers each filter's load faster than
+//     the union of h queries raises the joint FPR, so the joint FPR is
+//     decreasing in h while the Eq. 8 memory is increasing in h; the optimum
+//     is the largest feasible h, found by binary search. From the optimal h
+//     the per-filter key budget and the fill-ratio threshold theta (via
+//     Eq. 3) follow.
+//
+//  2. `TcbfPool` implements the dynamic strategy: keys are inserted into the
+//     newest filter until its fill ratio exceeds theta, at which point a new
+//     TCBF is allocated. Queries and decay fan out across the pool.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_params.h"
+#include "bloom/tcbf.h"
+
+namespace bsub::bloom {
+
+/// Result of the Eq. 9/10 optimization.
+struct AllocationPlan {
+  std::uint32_t filter_count = 1;    ///< optimal h
+  double keys_per_filter = 0.0;      ///< n_total / h
+  double fill_threshold = 1.0;       ///< theta = expected FR at that load
+  double joint_fpr = 1.0;            ///< Eq. 7 at the optimum
+  double memory_bytes = 0.0;         ///< Eq. 8 at the optimum
+  bool feasible = false;             ///< false if even h = 1 violates S_max
+};
+
+/// Binary-searches the largest h whose Eq. 8 memory stays under
+/// `storage_bound_bytes`, for `n_total` keys split evenly; fills in the
+/// fill-ratio threshold theta used by the dynamic strategy.
+///
+/// `max_filters` bounds the search (h beyond n_total stops helping: a filter
+/// would hold less than one key).
+AllocationPlan optimize_allocation(double n_total, double storage_bound_bytes,
+                                   BloomParams params,
+                                   std::uint32_t max_filters = 1u << 20);
+
+/// A growable collection of TCBFs acting as one logical filter.
+class TcbfPool {
+ public:
+  TcbfPool(BloomParams params, double initial_counter, double fill_threshold);
+
+  /// Inserts into the most recent filter, allocating a new one first if its
+  /// fill ratio exceeds the threshold. (Pool filters are insert-only; merges
+  /// go through `a_merge`/`m_merge` on the whole pool.)
+  void insert(std::string_view key);
+
+  /// Existential query across all filters (joint semantics, Eq. 7).
+  bool contains(std::string_view key) const;
+
+  /// Maximum min-counter over the filters that contain the key, or nullopt.
+  std::optional<double> min_counter(std::string_view key) const;
+
+  /// Decays every filter; filters that become empty are released (keeping at
+  /// least one).
+  void decay(double amount);
+
+  std::size_t filter_count() const { return filters_.size(); }
+  const std::vector<Tcbf>& filters() const { return filters_; }
+  double fill_threshold() const { return fill_threshold_; }
+
+  /// Total wire size in bytes under the section VI-C full encoding.
+  std::size_t encoded_size_bytes() const;
+
+ private:
+  BloomParams params_;
+  double initial_counter_;
+  double fill_threshold_;
+  std::vector<Tcbf> filters_;
+};
+
+}  // namespace bsub::bloom

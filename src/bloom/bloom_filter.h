@@ -1,0 +1,57 @@
+// Classic Bloom filter (paper section III).
+//
+// An m-bit vector with k hash functions. Supports insertion, probabilistic
+// membership queries (no false negatives, tunable false positives), and
+// OR-merging of filters with identical parameters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_params.h"
+
+namespace bsub::bloom {
+
+class BloomFilter {
+ public:
+  explicit BloomFilter(BloomParams params = {});
+
+  const BloomParams& params() const { return params_; }
+  std::size_t bit_count() const { return params_.m; }
+
+  /// Inserts a key by setting its k hashed bits.
+  void insert(std::string_view key);
+
+  /// True if all of the key's hashed bits are set. False positives possible;
+  /// false negatives are not.
+  bool contains(std::string_view key) const;
+
+  /// Bitwise-OR merge. Requires identical parameters.
+  void merge(const BloomFilter& other);
+
+  /// Direct bit access (used by the TCBF and the codec).
+  bool test_bit(std::size_t i) const;
+  void set_bit(std::size_t i);
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+
+  /// Fill ratio: set bits / m (Eq. 3 measures its expectation).
+  double fill_ratio() const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::size_t> set_bits() const;
+
+  void clear();
+  bool empty() const { return popcount() == 0; }
+
+  friend bool operator==(const BloomFilter&, const BloomFilter&) = default;
+
+ private:
+  BloomParams params_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bsub::bloom

@@ -1,0 +1,20 @@
+// Shared sizing parameters for the Bloom-filter family.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bsub::bloom {
+
+/// Bit-vector length and hash-function count for a filter.
+///
+/// Paper defaults (section VII-A): a 256-bit vector with 4 hash functions,
+/// which yields a worst-case theoretical FPR of ~0.04 at 38 stored keys.
+struct BloomParams {
+  std::size_t m = 256;   ///< bits in the vector
+  std::uint32_t k = 4;   ///< hash functions per key
+
+  friend bool operator==(const BloomParams&, const BloomParams&) = default;
+};
+
+}  // namespace bsub::bloom

@@ -1,0 +1,85 @@
+#include "bloom/counting_bloom_filter.h"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace bsub::bloom {
+
+CountingBloomFilter::CountingBloomFilter(BloomParams params)
+    : params_(params), counters_(params.m, 0) {
+  assert(params.m > 0 && params.k > 0);
+}
+
+void CountingBloomFilter::insert(std::string_view key) {
+  util::HashPair hp = util::hash_pair(key);
+  for (std::uint32_t i = 0; i < params_.k; ++i) {
+    auto& c = counters_[util::km_index(hp, i, params_.m)];
+    if (c < std::numeric_limits<std::uint32_t>::max()) ++c;
+  }
+}
+
+bool CountingBloomFilter::remove(std::string_view key) {
+  if (!contains(key)) return false;
+  util::HashPair hp = util::hash_pair(key);
+  for (std::uint32_t i = 0; i < params_.k; ++i) {
+    auto& c = counters_[util::km_index(hp, i, params_.m)];
+    // With double hashing two probes of the same key can collide on one
+    // slot; contains() only guarantees positivity, so guard each decrement.
+    if (c > 0) --c;
+  }
+  return true;
+}
+
+bool CountingBloomFilter::contains(std::string_view key) const {
+  util::HashPair hp = util::hash_pair(key);
+  for (std::uint32_t i = 0; i < params_.k; ++i) {
+    if (counters_[util::km_index(hp, i, params_.m)] == 0) return false;
+  }
+  return true;
+}
+
+std::uint32_t CountingBloomFilter::counter(std::size_t i) const {
+  assert(i < params_.m);
+  return counters_[i];
+}
+
+std::size_t CountingBloomFilter::popcount() const {
+  std::size_t n = 0;
+  for (auto c : counters_) n += (c > 0);
+  return n;
+}
+
+double CountingBloomFilter::fill_ratio() const {
+  return static_cast<double>(popcount()) / static_cast<double>(params_.m);
+}
+
+void CountingBloomFilter::merge(const CountingBloomFilter& other) {
+  if (params_ != other.params_) {
+    throw std::invalid_argument(
+        "CountingBloomFilter::merge: parameter mismatch");
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    std::uint64_t sum = static_cast<std::uint64_t>(counters_[i]) +
+                        other.counters_[i];
+    counters_[i] = sum > std::numeric_limits<std::uint32_t>::max()
+                       ? std::numeric_limits<std::uint32_t>::max()
+                       : static_cast<std::uint32_t>(sum);
+  }
+}
+
+BloomFilter CountingBloomFilter::to_bloom_filter() const {
+  BloomFilter bf(params_);
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] > 0) bf.set_bit(i);
+  }
+  return bf;
+}
+
+void CountingBloomFilter::clear() {
+  for (auto& c : counters_) c = 0;
+}
+
+}  // namespace bsub::bloom

@@ -1,0 +1,50 @@
+// Counting Bloom filter (paper section III; Fan et al., "Summary Cache").
+//
+// Associates a counter with each bit so that keys can be deleted: insertion
+// increments the key's hashed counters, deletion decrements them, and a bit
+// reads as set while its counter is positive.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/bloom_params.h"
+
+namespace bsub::bloom {
+
+class CountingBloomFilter {
+ public:
+  explicit CountingBloomFilter(BloomParams params = {});
+
+  const BloomParams& params() const { return params_; }
+
+  /// Increments the key's hashed counters (saturating at the counter max).
+  void insert(std::string_view key);
+
+  /// Decrements the key's hashed counters, clearing bits that reach zero.
+  /// Returns false (and changes nothing) if the key is not present.
+  bool remove(std::string_view key);
+
+  /// True if all of the key's hashed counters are positive.
+  bool contains(std::string_view key) const;
+
+  std::uint32_t counter(std::size_t i) const;
+  std::size_t popcount() const;
+  double fill_ratio() const;
+
+  /// Counter-wise sum merge. Requires identical parameters.
+  void merge(const CountingBloomFilter& other);
+
+  /// Projects to a plain Bloom filter (bit set iff counter > 0).
+  BloomFilter to_bloom_filter() const;
+
+  void clear();
+
+ private:
+  BloomParams params_;
+  std::vector<std::uint32_t> counters_;
+};
+
+}  // namespace bsub::bloom

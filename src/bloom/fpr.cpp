@@ -1,0 +1,95 @@
+#include "bloom/fpr.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/byte_io.h"
+
+namespace bsub::bloom {
+
+double false_positive_rate_exact(std::uint64_t n, BloomParams params) {
+  double m = static_cast<double>(params.m);
+  double k = static_cast<double>(params.k);
+  double p_bit_set =
+      1.0 - std::pow(1.0 - 1.0 / m, k * static_cast<double>(n));
+  return std::pow(p_bit_set, k);
+}
+
+double false_positive_rate(std::uint64_t n, BloomParams params) {
+  double m = static_cast<double>(params.m);
+  double k = static_cast<double>(params.k);
+  double p_bit_set = 1.0 - std::exp(-k * static_cast<double>(n) / m);
+  return std::pow(p_bit_set, k);
+}
+
+double expected_set_bits(double n, BloomParams params) {
+  double m = static_cast<double>(params.m);
+  double k = static_cast<double>(params.k);
+  return m * (1.0 - std::exp(-k * n / m));
+}
+
+double expected_fill_ratio(double n, BloomParams params) {
+  double m = static_cast<double>(params.m);
+  double k = static_cast<double>(params.k);
+  return 1.0 - std::exp(-k * n / m);
+}
+
+double keys_from_fill_ratio(double fill_ratio, BloomParams params) {
+  assert(fill_ratio >= 0.0);
+  if (fill_ratio >= 1.0) return std::numeric_limits<double>::infinity();
+  double m = static_cast<double>(params.m);
+  double k = static_cast<double>(params.k);
+  return -m * std::log1p(-fill_ratio) / k;
+}
+
+double expected_unique_keys(double drawn, double universe) {
+  assert(universe > 0.0 && drawn >= 0.0);
+  return universe * (1.0 - std::pow(1.0 - 1.0 / universe, drawn));
+}
+
+double joint_false_positive_rate(
+    std::span<const std::uint64_t> keys_per_filter, BloomParams params) {
+  double all_correct = 1.0;
+  for (std::uint64_t n : keys_per_filter) {
+    all_correct *= 1.0 - false_positive_rate(n, params);
+  }
+  return 1.0 - all_correct;
+}
+
+double joint_false_positive_rate_uniform(double n_total, std::uint32_t h,
+                                         BloomParams params) {
+  assert(h >= 1);
+  double m = static_cast<double>(params.m);
+  double k = static_cast<double>(params.k);
+  double per_filter =
+      std::pow(1.0 - std::exp(-k * (n_total / h) / m),
+               k);
+  return 1.0 - std::pow(1.0 - per_filter, static_cast<double>(h));
+}
+
+double multi_filter_memory_bits(double n_total, std::uint32_t h,
+                                BloomParams params) {
+  assert(h >= 1);
+  double set_bits_per_filter = expected_set_bits(n_total / h, params);
+  double bits_per_set_bit =
+      8.0 + static_cast<double>(util::bits_for(params.m));
+  return static_cast<double>(h) * set_bits_per_filter * bits_per_set_bit;
+}
+
+double multi_filter_memory_bytes(double n_total, std::uint32_t h,
+                                 BloomParams params) {
+  return std::ceil(multi_filter_memory_bits(n_total, h, params) / 8.0);
+}
+
+double completely_wasted_ratio(double fpr) {
+  assert(fpr >= 0.0 && fpr <= 1.0);
+  return fpr * fpr;
+}
+
+double partially_useful_ratio(double fpr) {
+  assert(fpr >= 0.0 && fpr <= 1.0);
+  return fpr * (1.0 - fpr);
+}
+
+}  // namespace bsub::bloom

@@ -1,0 +1,69 @@
+// False-positive-rate and fill-ratio theory (paper sections III and VI).
+//
+// Implements Eq. 1-3 (single filter), Eq. 6 (unique keys collected by a
+// broker), Eq. 7 (joint FPR of a collection of filters representing one
+// set), and Eq. 8 (total memory of h TCBFs under the section VI-C wire
+// encoding).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bloom/bloom_params.h"
+
+namespace bsub::bloom {
+
+/// Eq. 1, exact form: (1 - (1 - 1/m)^{kn})^k.
+double false_positive_rate_exact(std::uint64_t n, BloomParams params);
+
+/// Eq. 1, approximation: (1 - e^{-kn/m})^k.
+double false_positive_rate(std::uint64_t n, BloomParams params);
+
+/// Eq. 2: expected number of set bits after inserting n keys,
+/// m(1 - e^{-kn/m}).
+double expected_set_bits(double n, BloomParams params);
+
+/// Eq. 3: expected fill ratio, 1 - e^{-kn/m}.
+double expected_fill_ratio(double n, BloomParams params);
+
+/// Inverse of Eq. 3: estimated key count from an observed fill ratio,
+/// n = -m ln(1 - fr) / k. Requires fr in [0, 1); fr >= 1 returns +inf.
+double keys_from_fill_ratio(double fill_ratio, BloomParams params);
+
+/// Eq. 6 (reconstructed): expected number of *unique* keys among N draws
+/// from a universe of K equally likely keys: K (1 - (1 - 1/K)^N).
+/// The published equation is typographically corrupted; this is the standard
+/// occupancy form consistent with the surrounding text ("some interests may
+/// be duplicated").
+double expected_unique_keys(double drawn, double universe);
+
+/// Eq. 7: joint FPR of h filters holding n_i keys each, all answering a
+/// membership query for the same set: 1 - prod_i (1 - FPR(n_i)).
+double joint_false_positive_rate(std::span<const std::uint64_t> keys_per_filter,
+                                 BloomParams params);
+
+/// Eq. 7 with the keys split evenly (n_i = n_total/h), the optimum shape the
+/// paper derives before Eq. 10.
+double joint_false_positive_rate_uniform(double n_total, std::uint32_t h,
+                                         BloomParams params);
+
+/// Eq. 8: expected total wire size, in BITS, of h TCBFs evenly holding
+/// n_total keys, under the section VI-C encoding: each set bit costs
+/// ceil(log2 m) bits for its location plus an 8-bit counter.
+double multi_filter_memory_bits(double n_total, std::uint32_t h,
+                                BloomParams params);
+
+/// Eq. 8 in bytes (ceil).
+double multi_filter_memory_bytes(double n_total, std::uint32_t h,
+                                 BloomParams params);
+
+/// Section VI-B waste accounting: a message nobody subscribed to is falsely
+/// injected with probability ~FPR and then falsely delivered with
+/// probability ~FPR again, so the completely-wasted share is FPR^2 ...
+double completely_wasted_ratio(double fpr);
+
+/// ... while FPR * (1 - FPR) of false injections still reach genuinely
+/// interested users and are "not considered completely wasted".
+double partially_useful_ratio(double fpr);
+
+}  // namespace bsub::bloom

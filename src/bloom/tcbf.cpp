@@ -1,0 +1,135 @@
+#include "bloom/tcbf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace bsub::bloom {
+
+Tcbf::Tcbf(BloomParams params, double initial_counter)
+    : params_(params), initial_counter_(initial_counter),
+      counters_(params.m, 0.0) {
+  assert(params.m > 0 && params.k > 0);
+  assert(initial_counter > 0.0);
+}
+
+void Tcbf::insert(std::string_view key) {
+  if (merged_) {
+    throw std::logic_error(
+        "Tcbf::insert: cannot insert into a merged filter; insert into a "
+        "fresh TCBF and merge it in");
+  }
+  util::HashPair hp = util::hash_pair(key);
+  for (std::uint32_t i = 0; i < params_.k; ++i) {
+    double& c = counters_[util::km_index(hp, i, params_.m)];
+    if (c == 0.0) c = initial_counter_;
+  }
+}
+
+void Tcbf::a_merge(const Tcbf& other) {
+  if (params_ != other.params_) {
+    throw std::invalid_argument("Tcbf::a_merge: parameter mismatch");
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] = std::min(counters_[i] + other.counters_[i],
+                            kCounterSaturation);
+  }
+  merged_ = true;
+}
+
+void Tcbf::m_merge(const Tcbf& other) {
+  if (params_ != other.params_) {
+    throw std::invalid_argument("Tcbf::m_merge: parameter mismatch");
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] = std::max(counters_[i], other.counters_[i]);
+  }
+  merged_ = true;
+}
+
+void Tcbf::decay(double amount) {
+  assert(amount >= 0.0);
+  if (amount == 0.0) return;
+  for (double& c : counters_) {
+    if (c > 0.0) c = std::max(0.0, c - amount);
+  }
+}
+
+bool Tcbf::contains(std::string_view key) const {
+  util::HashPair hp = util::hash_pair(key);
+  for (std::uint32_t i = 0; i < params_.k; ++i) {
+    if (counters_[util::km_index(hp, i, params_.m)] <= 0.0) return false;
+  }
+  return true;
+}
+
+std::optional<double> Tcbf::min_counter(std::string_view key) const {
+  util::HashPair hp = util::hash_pair(key);
+  double min_c = 0.0;
+  bool first = true;
+  for (std::uint32_t i = 0; i < params_.k; ++i) {
+    double c = counters_[util::km_index(hp, i, params_.m)];
+    if (c <= 0.0) return std::nullopt;
+    min_c = first ? c : std::min(min_c, c);
+    first = false;
+  }
+  return min_c;
+}
+
+double Tcbf::counter(std::size_t i) const {
+  assert(i < params_.m);
+  return counters_[i];
+}
+
+std::size_t Tcbf::popcount() const {
+  std::size_t n = 0;
+  for (double c : counters_) n += (c > 0.0);
+  return n;
+}
+
+double Tcbf::fill_ratio() const {
+  return static_cast<double>(popcount()) / static_cast<double>(params_.m);
+}
+
+std::vector<std::size_t> Tcbf::set_bits() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] > 0.0) out.push_back(i);
+  }
+  return out;
+}
+
+BloomFilter Tcbf::to_bloom_filter() const {
+  BloomFilter bf(params_);
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] > 0.0) bf.set_bit(i);
+  }
+  return bf;
+}
+
+void Tcbf::clear() {
+  std::fill(counters_.begin(), counters_.end(), 0.0);
+  merged_ = false;
+}
+
+Tcbf Tcbf::from_counters(BloomParams params, double initial_counter,
+                         std::vector<double> counters) {
+  if (counters.size() != params.m) {
+    throw std::invalid_argument("Tcbf::from_counters: size mismatch");
+  }
+  Tcbf t(params, initial_counter);
+  t.counters_ = std::move(counters);
+  t.merged_ = true;
+  return t;
+}
+
+double preference(const Tcbf& b, const Tcbf& f, std::string_view key) {
+  double cb = b.min_counter(key).value_or(0.0);
+  std::optional<double> cf = f.min_counter(key);
+  if (!cf.has_value()) return cb;  // key absent from f: preference is c_b
+  return cb - *cf;
+}
+
+}  // namespace bsub::bloom

@@ -1,0 +1,126 @@
+// Temporal Counting Bloom Filter (paper section IV) — the core data
+// structure of B-SUB.
+//
+// Like a CBF, a TCBF pairs each set bit with a counter, but the counters do
+// not track key multiplicity; they encode *recency*:
+//
+//   - insert(key): the key's hashed counters are set to the initial value C.
+//     Counters that are already set keep their value, so the result of any
+//     sequence of insertions is a filter whose counters all equal C. A key
+//     may only be inserted into a filter that has never been merged.
+//   - A-merge (additive): bit-vectors OR'd, counters summed. Used when a
+//     consumer's genuine filter reinforces a broker's relay filter: repeated
+//     meetings pile value onto the consumer's interest bits.
+//   - M-merge (maximum): bit-vectors OR'd, counters take the max. Used
+//     between brokers to avoid "bogus counters" (paper Fig. 6): two brokers
+//     that meet often must not amplify each other's relayed interests in a
+//     feedback loop.
+//   - decay(amount): every positive counter is decremented by `amount`; a
+//     bit clears when its counter reaches zero. This is the only form of
+//     deletion (temporal deletion); the decrement rate per unit time is the
+//     decaying factor (DF).
+//   - existential query: same semantics and FPR as the classic BF.
+//   - preferential query: compares the minimum counter of a key's bits in
+//     two filters to rank forwarding candidates (see `preference`).
+//
+// Counters are doubles so that fractional decay rates (e.g. 0.138/min) work
+// exactly as the paper's experiments require; the wire codec quantizes them
+// to one byte (section VI-C).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/bloom_params.h"
+
+namespace bsub::bloom {
+
+/// Default initial counter value C (paper section VII-A uses C = 50).
+inline constexpr double kDefaultInitialCounter = 50.0;
+
+/// Saturation ceiling for counters. Real deployments store counters in one
+/// byte (section VI-C), so values are inherently bounded; the in-memory
+/// ceiling is far above any genuine reinforcement level but stops the
+/// A-merge feedback loop (paper Fig. 6) from overflowing doubles.
+inline constexpr double kCounterSaturation = 1e12;
+
+class Tcbf {
+ public:
+  explicit Tcbf(BloomParams params = {},
+                double initial_counter = kDefaultInitialCounter);
+
+  const BloomParams& params() const { return params_; }
+  double initial_counter() const { return initial_counter_; }
+
+  /// Inserts a key: counters of its hashed bits are set to the initial
+  /// value; already-set counters are left unchanged.
+  ///
+  /// Precondition (paper section IV-A): the filter has never been merged.
+  /// Throws std::logic_error otherwise — to add keys to a merged filter,
+  /// insert them into a fresh TCBF and A/M-merge it in.
+  void insert(std::string_view key);
+
+  /// Additive merge: OR bit-vectors, sum counters.
+  void a_merge(const Tcbf& other);
+
+  /// Maximum merge: OR bit-vectors, max counters.
+  void m_merge(const Tcbf& other);
+
+  /// Applies `amount` of decay: all positive counters are decremented by it
+  /// and clamped at zero. `amount` = DF x elapsed-time in the caller's units.
+  void decay(double amount);
+
+  /// Existential query: true iff all of the key's hashed bits are set.
+  bool contains(std::string_view key) const;
+
+  /// Minimum counter value over the key's hashed bits, or nullopt when the
+  /// key is absent (some bit unset). This is the "c" of the preferential
+  /// query and also what drives temporal deletion: the key lives until its
+  /// minimum counter drains.
+  std::optional<double> min_counter(std::string_view key) const;
+
+  double counter(std::size_t i) const;
+  bool test_bit(std::size_t i) const { return counter(i) > 0.0; }
+
+  std::size_t popcount() const;
+  double fill_ratio() const;
+  std::vector<std::size_t> set_bits() const;
+  bool empty() const { return popcount() == 0; }
+
+  /// True once the filter has participated in any merge (insert disabled).
+  bool merged() const { return merged_; }
+
+  /// Rips the counters off, leaving the plain Bloom filter used in
+  /// bandwidth-saving interest reports (paper section V-D).
+  BloomFilter to_bloom_filter() const;
+
+  void clear();
+
+  /// Raw counter array, for the codec and tests.
+  const std::vector<double>& counters() const { return counters_; }
+
+  /// Rebuilds a TCBF from decoded state. Marks the filter as merged.
+  static Tcbf from_counters(BloomParams params, double initial_counter,
+                            std::vector<double> counters);
+
+ private:
+  BloomParams params_;
+  double initial_counter_;
+  bool merged_ = false;
+  std::vector<double> counters_;
+};
+
+/// Preferential query (paper section IV-A): the preference of filter `b`
+/// for `key` against filter `f`:
+///
+///   pref = c_b - c_f   if the key exists in f (c_f != 0)
+///        = c_b         if the key is absent from f
+///
+/// where c_x is the minimum counter of the key's bits in x, taken as 0 when
+/// the key is absent from x. A broker forwards the messages with the largest
+/// positive preference first.
+double preference(const Tcbf& b, const Tcbf& f, std::string_view key);
+
+}  // namespace bsub::bloom

@@ -1,0 +1,223 @@
+#include "bloom/tcbf_codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/byte_io.h"
+
+namespace bsub::bloom {
+
+// --- helpers ---------------------------------------------------------------
+
+namespace {
+
+// Layout discriminator for the bit-position block.
+enum class BitLayout : std::uint8_t { kLocations = 0, kBitmap = 1 };
+
+// Decode-side sanity caps: reject geometry claims no real deployment uses
+// before allocating for them (wire bytes are attacker-controlled).
+constexpr std::size_t kMaxDecodedBits = std::size_t{1} << 26;  // 8 MiB
+constexpr std::uint32_t kMaxDecodedHashes = 64;
+
+constexpr std::uint8_t kMagicTcbf = 0xB5;
+constexpr std::uint8_t kMagicBloom = 0xBF;
+
+BitLayout choose_layout(std::size_t set_bits, std::size_t m) {
+  // Location list costs s*ceil(log2 m) bits; bitmap costs m bits.
+  std::size_t loc_bits = set_bits * util::bits_for(m);
+  return loc_bits < m ? BitLayout::kLocations : BitLayout::kBitmap;
+}
+
+void write_positions(util::ByteWriter& w, const std::vector<std::size_t>& bits,
+                     std::size_t m, BitLayout layout) {
+  if (layout == BitLayout::kLocations) {
+    unsigned width = util::bits_for(m);
+    for (std::size_t b : bits) w.put_bits(b, width);
+    w.flush_bits();
+  } else {
+    std::vector<std::uint8_t> bitmap((m + 7) / 8, 0);
+    for (std::size_t b : bits) bitmap[b / 8] |= std::uint8_t(1u << (b % 8));
+    w.put_bytes(bitmap);
+  }
+}
+
+std::vector<std::size_t> read_positions(util::ByteReader& r, std::size_t m,
+                                        std::size_t count, BitLayout layout) {
+  std::vector<std::size_t> bits;
+  bits.reserve(count);
+  if (layout == BitLayout::kLocations) {
+    unsigned width = util::bits_for(m);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::size_t b = static_cast<std::size_t>(r.get_bits(width));
+      if (b >= m) throw util::DecodeError("bit position out of range");
+      bits.push_back(b);
+    }
+    r.align_bits();
+  } else {
+    std::vector<std::uint8_t> bitmap((m + 7) / 8);
+    for (auto& byte : bitmap) byte = r.get_u8();
+    for (std::size_t b = 0; b < m; ++b) {
+      if ((bitmap[b / 8] >> (b % 8)) & 1u) bits.push_back(b);
+    }
+    if (bits.size() != count) {
+      throw util::DecodeError("bitmap popcount mismatch");
+    }
+  }
+  return bits;
+}
+
+std::uint8_t quantize(double counter, double scale) {
+  // Counters are positive by construction; never quantize a live counter to
+  // zero or the key would vanish in transit.
+  double q = std::round(counter / scale);
+  return static_cast<std::uint8_t>(std::clamp(q, 1.0, 255.0));
+}
+
+}  // namespace
+
+// --- TCBF ------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_tcbf(const Tcbf& filter,
+                                      CounterEncoding encoding) {
+  const auto bits = filter.set_bits();
+  const std::size_t m = filter.params().m;
+  const BitLayout layout = choose_layout(bits.size(), m);
+
+  util::ByteWriter w;
+  w.put_u8(kMagicTcbf);
+  w.put_u8(static_cast<std::uint8_t>(encoding));
+  w.put_u8(static_cast<std::uint8_t>(layout));
+  w.put_varint(m);
+  w.put_varint(filter.params().k);
+  w.put_double(filter.initial_counter());
+  w.put_varint(bits.size());
+
+  double max_counter = 0.0;
+  for (std::size_t b : bits) max_counter = std::max(max_counter, filter.counter(b));
+  double scale = max_counter > 0.0 ? max_counter / 255.0 : 1.0;
+
+  switch (encoding) {
+    case CounterEncoding::kFull:
+      w.put_double(scale);
+      write_positions(w, bits, m, layout);
+      for (std::size_t b : bits) w.put_u8(quantize(filter.counter(b), scale));
+      break;
+    case CounterEncoding::kUniform: {
+      w.put_double(scale);
+      write_positions(w, bits, m, layout);
+      // One shared counter: the maximum (a fresh insert-only filter has all
+      // counters equal, so this is lossless in the intended use).
+      w.put_u8(bits.empty() ? 0 : quantize(max_counter, scale));
+      break;
+    }
+    case CounterEncoding::kCounterLess:
+      write_positions(w, bits, m, layout);
+      break;
+  }
+  return w.bytes();
+}
+
+Tcbf decode_tcbf(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  if (r.get_u8() != kMagicTcbf) throw util::DecodeError("bad TCBF magic");
+  auto encoding = static_cast<CounterEncoding>(r.get_u8());
+  auto layout = static_cast<BitLayout>(r.get_u8());
+  BloomParams params;
+  params.m = static_cast<std::size_t>(r.get_varint());
+  params.k = static_cast<std::uint32_t>(r.get_varint());
+  if (params.m == 0 || params.m > kMaxDecodedBits || params.k == 0 ||
+      params.k > kMaxDecodedHashes) {
+    throw util::DecodeError("bad TCBF parameters");
+  }
+  double initial_counter = r.get_double();
+  if (!(initial_counter > 0.0)) {
+    throw util::DecodeError("bad TCBF initial counter");
+  }
+  std::size_t count = static_cast<std::size_t>(r.get_varint());
+  if (count > params.m) throw util::DecodeError("too many set bits");
+
+  std::vector<double> counters(params.m, 0.0);
+  switch (encoding) {
+    case CounterEncoding::kFull: {
+      double scale = r.get_double();
+      auto bits = read_positions(r, params.m, count, layout);
+      for (std::size_t b : bits) {
+        counters[b] = static_cast<double>(r.get_u8()) * scale;
+      }
+      break;
+    }
+    case CounterEncoding::kUniform: {
+      double scale = r.get_double();
+      auto bits = read_positions(r, params.m, count, layout);
+      double value = static_cast<double>(r.get_u8()) * scale;
+      for (std::size_t b : bits) counters[b] = value;
+      break;
+    }
+    case CounterEncoding::kCounterLess: {
+      auto bits = read_positions(r, params.m, count, layout);
+      for (std::size_t b : bits) counters[b] = initial_counter;
+      break;
+    }
+    default:
+      throw util::DecodeError("bad TCBF counter encoding");
+  }
+  return Tcbf::from_counters(params, initial_counter, std::move(counters));
+}
+
+// --- BF --------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_bloom(const BloomFilter& filter) {
+  const auto bits = filter.set_bits();
+  const std::size_t m = filter.params().m;
+  const BitLayout layout = choose_layout(bits.size(), m);
+
+  util::ByteWriter w;
+  w.put_u8(kMagicBloom);
+  w.put_u8(static_cast<std::uint8_t>(layout));
+  w.put_varint(m);
+  w.put_varint(filter.params().k);
+  w.put_varint(bits.size());
+  write_positions(w, bits, m, layout);
+  return w.bytes();
+}
+
+BloomFilter decode_bloom(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  if (r.get_u8() != kMagicBloom) throw util::DecodeError("bad BF magic");
+  auto layout = static_cast<BitLayout>(r.get_u8());
+  BloomParams params;
+  params.m = static_cast<std::size_t>(r.get_varint());
+  params.k = static_cast<std::uint32_t>(r.get_varint());
+  if (params.m == 0 || params.m > kMaxDecodedBits || params.k == 0 ||
+      params.k > kMaxDecodedHashes) {
+    throw util::DecodeError("bad BF parameters");
+  }
+  std::size_t count = static_cast<std::size_t>(r.get_varint());
+  if (count > params.m) throw util::DecodeError("too many set bits");
+  BloomFilter bf(params);
+  for (std::size_t b : read_positions(r, params.m, count, layout)) {
+    bf.set_bit(b);
+  }
+  return bf;
+}
+
+// --- analytical sizes -------------------------------------------------------
+
+double model_wire_size_bytes(std::size_t set_bits, std::size_t m,
+                             CounterEncoding encoding) {
+  double s = static_cast<double>(set_bits);
+  double loc_bytes =
+      std::min(s * static_cast<double>(util::bits_for(m)) / 8.0,
+               static_cast<double>(m) / 8.0);
+  switch (encoding) {
+    case CounterEncoding::kFull:
+      return loc_bytes + s;  // one counter byte per set bit
+    case CounterEncoding::kUniform:
+      return loc_bytes + 1.0;
+    case CounterEncoding::kCounterLess:
+      return loc_bytes;
+  }
+  return loc_bytes;
+}
+
+}  // namespace bsub::bloom

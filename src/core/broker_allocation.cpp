@@ -1,0 +1,115 @@
+#include "core/broker_allocation.h"
+
+#include <cassert>
+
+namespace bsub::core {
+
+BrokerElection::BrokerElection(std::size_t node_count, Config config)
+    : config_(config), broker_(node_count, false), state_(node_count) {
+  assert(config.window > 0);
+  assert(config.lower <= config.upper);
+}
+
+void BrokerElection::set_broker(trace::NodeId node, bool broker) {
+  broker_[node] = broker;
+}
+
+void BrokerElection::prune(NodeState& s, util::Time now) {
+  const util::Time cutoff = now - config_.window;
+  while (!s.meetings.empty() && s.meetings.front().time < cutoff) {
+    const Meeting& m = s.meetings.front();
+    auto pit = s.peer_counts.find(m.peer);
+    if (pit != s.peer_counts.end() && --pit->second == 0) {
+      s.peer_counts.erase(pit);
+    }
+    if (m.peer_was_broker) {
+      auto bit = s.broker_counts.find(m.peer);
+      if (bit != s.broker_counts.end() && --bit->second == 0) {
+        s.broker_counts.erase(bit);
+      }
+      s.broker_degree_sum -= static_cast<double>(m.peer_degree);
+      --s.broker_degree_n;
+    }
+    s.meetings.pop_front();
+  }
+}
+
+void BrokerElection::record(trace::NodeId self, trace::NodeId peer,
+                            util::Time now) {
+  NodeState& s = state_[self];
+  prune(s, now);
+  Meeting m;
+  m.time = now;
+  m.peer = peer;
+  m.peer_was_broker = broker_[peer];
+  // The peer's degree is what the peer would report in the handshake:
+  // its own distinct-peer count over its (already-updated) window.
+  m.peer_degree = state_[peer].peer_counts.size();
+  s.meetings.push_back(m);
+  ++s.peer_counts[peer];
+  if (m.peer_was_broker) {
+    ++s.broker_counts[peer];
+    s.broker_degree_sum += static_cast<double>(m.peer_degree);
+    ++s.broker_degree_n;
+  }
+}
+
+void BrokerElection::elect(trace::NodeId self, trace::NodeId peer,
+                           util::Time now) {
+  if (broker_[self]) return;  // brokers do not run the election rules
+  NodeState& s = state_[self];
+  prune(s, now);
+  const std::size_t brokers_seen = s.broker_counts.size();
+  if (brokers_seen < config_.lower && !broker_[peer]) {
+    broker_[peer] = true;
+    ++promotions_;
+  } else if (brokers_seen > config_.upper && broker_[peer]) {
+    // Demote only below-average brokers, so popular nodes keep the role.
+    if (s.broker_degree_n > 0) {
+      const double avg =
+          s.broker_degree_sum / static_cast<double>(s.broker_degree_n);
+      const double peer_degree =
+          static_cast<double>(state_[peer].peer_counts.size());
+      if (peer_degree < avg) {
+        broker_[peer] = false;
+        ++demotions_;
+      }
+    }
+  }
+}
+
+void BrokerElection::on_contact(trace::NodeId a, trace::NodeId b,
+                                util::Time now) {
+  assert(a != b);
+  // Record both sides first (roles as of contact start), then run the rules.
+  record(a, b, now);
+  record(b, a, now);
+  elect(a, b, now);
+  elect(b, a, now);
+}
+
+std::size_t BrokerElection::broker_count() const {
+  std::size_t n = 0;
+  for (bool b : broker_) n += b;
+  return n;
+}
+
+double BrokerElection::broker_fraction() const {
+  return broker_.empty() ? 0.0
+                         : static_cast<double>(broker_count()) /
+                               static_cast<double>(broker_.size());
+}
+
+std::size_t BrokerElection::degree(trace::NodeId node, util::Time now) {
+  NodeState& s = state_[node];
+  prune(s, now);
+  return s.peer_counts.size();
+}
+
+std::size_t BrokerElection::brokers_met(trace::NodeId node, util::Time now) {
+  NodeState& s = state_[node];
+  prune(s, now);
+  return s.broker_counts.size();
+}
+
+}  // namespace bsub::core

@@ -1,0 +1,87 @@
+// Decentralized broker election (paper section V-B).
+//
+// Every non-broker node tracks, over a sliding time window W:
+//   - the distinct peers it met (its "degree"),
+//   - the distinct brokers it met,
+//   - the degrees of the brokers it met (to estimate the broker average).
+//
+// On each contact, a non-broker node applies the election rules to its peer:
+//   - if it met fewer than B_l brokers in W and the peer is a normal node,
+//     it designates the peer a broker;
+//   - if it met more than B_u brokers in W and the peer is a broker whose
+//     degree is below the average broker degree it has observed, it demotes
+//     the peer to a normal node (less "popular" nodes lose brokership, so
+//     socially-active nodes end up doing the forwarding).
+// Brokers themselves never run the rules.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/contact.h"
+#include "util/time.h"
+
+namespace bsub::core {
+
+class BrokerElection {
+ public:
+  struct Config {
+    std::uint32_t lower = 3;                     ///< B_l
+    std::uint32_t upper = 5;                     ///< B_u
+    util::Time window = 5 * util::kHour;         ///< W
+  };
+
+  BrokerElection(std::size_t node_count, Config config);
+
+  bool is_broker(trace::NodeId node) const { return broker_[node]; }
+  void set_broker(trace::NodeId node, bool broker);
+
+  /// Records the meeting in both nodes' windows and applies the election
+  /// rules (non-broker sides only). Role flips take effect immediately.
+  void on_contact(trace::NodeId a, trace::NodeId b, util::Time now);
+
+  std::size_t broker_count() const;
+  double broker_fraction() const;
+
+  /// Distinct peers `node` met within the window ending at `now`.
+  std::size_t degree(trace::NodeId node, util::Time now);
+
+  /// Distinct brokers `node` met within the window ending at `now`.
+  std::size_t brokers_met(trace::NodeId node, util::Time now);
+
+  /// Lifetime counters, for observability and tests.
+  std::uint64_t promotions() const { return promotions_; }
+  std::uint64_t demotions() const { return demotions_; }
+
+ private:
+  struct Meeting {
+    util::Time time;
+    trace::NodeId peer;
+    bool peer_was_broker;
+    std::size_t peer_degree;  ///< peer's degree at meeting time
+  };
+
+  struct NodeState {
+    std::deque<Meeting> meetings;
+    // Window-distinct counting: peer -> number of meetings still in window.
+    std::unordered_map<trace::NodeId, std::uint32_t> peer_counts;
+    std::unordered_map<trace::NodeId, std::uint32_t> broker_counts;
+    // Sum/count of broker degrees observed in window (average estimate).
+    double broker_degree_sum = 0.0;
+    std::uint64_t broker_degree_n = 0;
+  };
+
+  void prune(NodeState& s, util::Time now);
+  void record(trace::NodeId self, trace::NodeId peer, util::Time now);
+  void elect(trace::NodeId self, trace::NodeId peer, util::Time now);
+
+  Config config_;
+  std::vector<bool> broker_;
+  std::vector<NodeState> state_;
+  std::uint64_t promotions_ = 0;
+  std::uint64_t demotions_ = 0;
+};
+
+}  // namespace bsub::core

@@ -1,0 +1,312 @@
+#include "core/bsub_protocol.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bloom/tcbf_codec.h"
+#include "core/df_tuning.h"
+#include "util/binomial.h"
+
+namespace bsub::core {
+
+BsubProtocol::BsubProtocol(BsubConfig config) : config_(config) {}
+
+BsubProtocol::~BsubProtocol() = default;
+
+const std::string& BsubProtocol::key_name(workload::KeyId key) const {
+  return workload_->keys().name(key);
+}
+
+double BsubProtocol::measured_relay_fpr() const {
+  return fpr_probes_ == 0 ? 0.0
+                          : static_cast<double>(fpr_hits_) /
+                                static_cast<double>(fpr_probes_);
+}
+
+void BsubProtocol::on_start(const trace::ContactTrace& trace,
+                            const workload::Workload& workload,
+                            metrics::Collector& collector) {
+  trace_ = &trace;
+  workload_ = &workload;
+  collector_ = &collector;
+  election_ = std::make_unique<BrokerElection>(
+      trace.node_count(),
+      BrokerElection::Config{config_.broker_lower, config_.broker_upper,
+                             config_.election_window});
+  interests_ = std::make_unique<InterestManager>(
+      trace.node_count(), config_.filter_params, config_.initial_counter,
+      config_.df_per_minute);
+  produced_.assign(trace.node_count(), {});
+  carried_.assign(trace.node_count(), {});
+  falsely_injected_.assign(trace.node_count(), {});
+  carried_ever_.assign(trace.node_count(), {});
+  false_injections_ = 0;
+  traffic_ = {};
+  fpr_probes_ = 0;
+  fpr_hits_ = 0;
+}
+
+void BsubProtocol::on_message_created(const workload::Message& msg,
+                                      util::Time /*now*/) {
+  produced_[msg.producer].emplace(msg.id,
+                                  OwnedMessage{msg, config_.copy_limit});
+}
+
+void BsubProtocol::purge(trace::NodeId node, util::Time now) {
+  std::erase_if(produced_[node], [now](const auto& kv) {
+    return kv.second.msg.expired_at(now);
+  });
+  carried_[node].purge_expired(now);
+  std::erase_if(falsely_injected_[node], [&](workload::MessageId id) {
+    return !carried_[node].contains(id);
+  });
+}
+
+void BsubProtocol::handle_role_changes(trace::NodeId node, bool /*was*/,
+                                       util::Time /*now*/) {
+  // Role flips keep the relay filter: the election churns (nodes hover
+  // around the thresholds), and decay already retires stale relay state —
+  // clearing on every flip would destroy live routes for nothing. A
+  // re-promoted broker simply resumes from its decayed filter.
+  (void)node;
+}
+
+void BsubProtocol::maybe_update_adaptive_df(trace::NodeId node,
+                                            util::Time now) {
+  if (!config_.adaptive_df || !election_->is_broker(node)) return;
+  // The broker re-derives Eq. 5 from the distinct nodes it met in its own
+  // window — the online estimation the paper sketches in section VII-B.
+  const std::size_t degree = election_->degree(node, now);
+  auto it = emin_cache_.find(degree);
+  if (it == emin_cache_.end()) {
+    const double p = static_cast<double>(config_.filter_params.k) /
+                     static_cast<double>(config_.filter_params.m);
+    it = emin_cache_
+             .emplace(degree, util::expected_min_binomial(
+                                  degree, p, config_.filter_params.k))
+             .first;
+  }
+  const double df = config_.initial_counter * (1.0 + it->second) /
+                        util::to_minutes(config_.df_window) +
+                    0.01;
+  interests_->set_node_df(node, df);
+}
+
+void BsubProtocol::on_contact(trace::NodeId a, trace::NodeId b, util::Time now,
+                              util::Time /*duration*/, sim::Link& link) {
+  purge(a, now);
+  purge(b, now);
+
+  const bool a_was = election_->is_broker(a);
+  const bool b_was = election_->is_broker(b);
+  election_->on_contact(a, b, now);
+  handle_role_changes(a, a_was, now);
+  handle_role_changes(b, b_was, now);
+  maybe_update_adaptive_df(a, now);
+  maybe_update_adaptive_df(b, now);
+
+  const bool a_broker = election_->is_broker(a);
+  const bool b_broker = election_->is_broker(b);
+
+  if (a_broker && b_broker) broker_exchange(a, b, now, link);
+
+  direct_delivery(a, b, now, link);
+  direct_delivery(b, a, now, link);
+
+  // Pickups run against the relay state as it stood when the nodes met;
+  // absorbing this contact's own interest report happens afterwards.
+  // (Otherwise every pickup would see the partner's interest freshly
+  // re-inserted at full strength and the decaying factor would never bite.)
+  if (b_broker) broker_pickup(a, b, now, link);
+  if (a_broker) broker_pickup(b, a, now, link);
+
+  if (b_broker) propagate_interest(a, b, now, link);
+  if (a_broker) propagate_interest(b, a, now, link);
+}
+
+void BsubProtocol::broker_exchange(trace::NodeId a, trace::NodeId b,
+                                   util::Time now, sim::Link& link) {
+  // Decay both relay filters up to the contact, then exchange them. The
+  // forwarding decisions use the pre-merge snapshots (section V-D).
+  const bloom::Tcbf snap_a = interests_->relay(a, now);
+  const bloom::Tcbf snap_b = interests_->relay(b, now);
+  const auto shadow_a = interests_->shadow_snapshot(a);
+  const auto shadow_b = interests_->shadow_snapshot(b);
+
+  const auto enc_a = bloom::encode_tcbf(snap_a, bloom::CounterEncoding::kFull);
+  const auto enc_b = bloom::encode_tcbf(snap_b, bloom::CounterEncoding::kFull);
+  if (!link.try_send(enc_a.size() + enc_b.size())) return;
+  collector_->record_control_bytes(enc_a.size() + enc_b.size());
+
+  forward_between_brokers(a, b, snap_a, snap_b, now, link);
+  forward_between_brokers(b, a, snap_b, snap_a, now, link);
+
+  interests_->merge_relay_from(a, snap_b, shadow_b, config_.broker_merge, now);
+  interests_->merge_relay_from(b, snap_a, shadow_a, config_.broker_merge, now);
+}
+
+void BsubProtocol::forward_between_brokers(trace::NodeId from,
+                                           trace::NodeId to,
+                                           const bloom::Tcbf& filter_from,
+                                           const bloom::Tcbf& filter_to,
+                                           util::Time now, sim::Link& link) {
+  // Rank carried messages by the peer's preference over ours; only positive
+  // preferences move (the peer is a strictly better custodian).
+  struct Candidate {
+    double pref;
+    workload::MessageId id;
+  };
+  std::vector<Candidate> ranked;
+  for (const auto& [id, msg] : carried_[from]) {
+    if (msg.producer == to) continue;
+    if (carried_[to].contains(id) || carried_ever_[to].contains(id)) continue;
+    const double pref =
+        bloom::preference(filter_to, filter_from, key_name(msg.key));
+    if (pref > 0.0) ranked.push_back({pref, id});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Candidate& x,
+                                             const Candidate& y) {
+    return std::tie(y.pref, x.id) < std::tie(x.pref, y.id);  // pref desc
+  });
+
+  for (const Candidate& c : ranked) {
+    const workload::Message msg = *carried_[from].find(c.id);
+    if (!link.try_send(msg.size_bytes)) break;
+    collector_->record_forwarding(msg);
+    ++traffic_.broker_transfers;
+    carried_[to].add(msg);
+    carried_ever_[to].insert(c.id);
+    if (falsely_injected_[from].contains(c.id)) {
+      falsely_injected_[to].insert(c.id);
+    }
+    // Single custody between brokers: the sender drops its copy.
+    carried_[from].remove(c.id);
+    falsely_injected_[from].erase(c.id);
+  }
+}
+
+void BsubProtocol::direct_delivery(trace::NodeId from, trace::NodeId to,
+                                   util::Time now, sim::Link& link) {
+  // The consumer side reports a counter-less BF of its interests.
+  const bloom::BloomFilter report =
+      interests_->make_report(interest_names(to));
+  const auto enc = bloom::encode_bloom(report);
+  if (!link.try_send(enc.size())) return;
+  collector_->record_control_bytes(enc.size());
+
+  // Returns false when the link budget is exhausted; sets `accepted` when
+  // the consumer's true interest matches (it keeps the message and acks).
+  auto try_deliver = [&](const workload::Message& msg, bool falsely_injected,
+                         bool& accepted) -> bool {
+    accepted = false;
+    if (msg.producer == to) return true;
+    if (!report.contains(key_name(msg.key))) return true;
+    if (collector_->delivered(msg.id, to)) return true;
+    if (!link.try_send(msg.size_bytes)) return false;
+    collector_->record_forwarding(msg);
+    ++traffic_.deliveries;
+    accepted = workload_->is_interested(to, msg.key);
+    collector_->record_delivery(msg, to, now, accepted, falsely_injected);
+    return true;
+  };
+
+  bool accepted = false;
+  for (const auto& [id, owned] : produced_[from]) {
+    if (!try_deliver(owned.msg, false, accepted)) return;
+  }
+  // Carried copies stay in custody after a delivery so one replica can
+  // serve several subscribers of the same key; the per-broker carried_ever_
+  // memory already bounds how far a copy can wander between brokers.
+  // Reverse-path gating: a broker offers a copy only while its relay filter
+  // still routes the key (section V-C's delivery tree). Demoted ex-brokers
+  // have no relay authority anymore; they serve their leftover copies
+  // ungated until TTL (they cannot acquire new ones).
+  const bloom::Tcbf* relay = nullptr;
+  if (config_.relay_gated_delivery && !carried_[from].empty() &&
+      election_->is_broker(from)) {
+    relay = &interests_->relay(from, now);
+  }
+  for (const auto& [id, msg] : carried_[from]) {
+    if (relay != nullptr && !relay->contains(key_name(msg.key))) continue;
+    if (!try_deliver(msg, falsely_injected_[from].contains(id), accepted)) {
+      return;
+    }
+  }
+}
+
+std::vector<std::string_view> BsubProtocol::interest_names(
+    trace::NodeId node) const {
+  std::vector<std::string_view> names;
+  for (workload::KeyId k : workload_->interests_of(node)) {
+    names.push_back(key_name(k));
+  }
+  return names;
+}
+
+void BsubProtocol::propagate_interest(trace::NodeId consumer,
+                                      trace::NodeId broker, util::Time now,
+                                      sim::Link& link) {
+  const std::vector<std::string_view> keys = interest_names(consumer);
+  const bloom::Tcbf genuine = interests_->make_genuine(keys);
+  // Fresh genuine filters have identical counters: uniform encoding.
+  const auto enc = bloom::encode_tcbf(genuine,
+                                      bloom::CounterEncoding::kUniform);
+  if (!link.try_send(enc.size())) return;
+  collector_->record_control_bytes(enc.size());
+  interests_->absorb_genuine(broker, genuine, keys, now);
+}
+
+void BsubProtocol::broker_pickup(trace::NodeId producer, trace::NodeId broker,
+                                 util::Time now, sim::Link& link) {
+  // The broker ships its relay filter counter-less (section VI-C: "when a
+  // broker requests messages from a source, it does not need to report the
+  // counters").
+  bloom::Tcbf& relay = interests_->relay(broker, now);
+  const bloom::BloomFilter relay_bf = relay.to_bloom_filter();
+  const auto enc = bloom::encode_bloom(relay_bf);
+  if (!link.try_send(enc.size())) return;
+  collector_->record_control_bytes(enc.size());
+
+  // Instrumentation: probe the relay with keys guaranteed absent (outside
+  // the workload universe) to sample the operative relay FPR over time.
+  // Probe strings rotate so the estimate averages over the key space
+  // instead of pinning 8 fixed bit patterns.
+  char probe[24];
+  for (int i = 0; i < 8; ++i) {
+    std::snprintf(probe, sizeof(probe), "\x01probe:%llu",
+                  static_cast<unsigned long long>(fpr_probes_));
+    ++fpr_probes_;
+    fpr_hits_ += relay_bf.contains(probe);
+  }
+
+  for (auto it = produced_[producer].begin();
+       it != produced_[producer].end();) {
+    OwnedMessage& owned = it->second;
+    const workload::Message& msg = owned.msg;
+    const std::string& key = key_name(msg.key);
+    if (owned.copies_left == 0 || carried_[broker].contains(msg.id) ||
+        carried_ever_[broker].contains(msg.id) || !relay_bf.contains(key)) {
+      ++it;
+      continue;
+    }
+    if (!link.try_send(msg.size_bytes)) break;
+    collector_->record_forwarding(msg);
+    ++traffic_.pickups;
+    carried_[broker].add(msg);
+    carried_ever_[broker].insert(msg.id);
+    // Ground truth: a pickup whose key the relay never genuinely absorbed is
+    // a false injection (Bloom false positive of the relay filter).
+    if (!interests_->genuinely_contains(broker, key, now)) {
+      falsely_injected_[broker].insert(msg.id);
+      ++false_injections_;
+    }
+    if (--owned.copies_left == 0) {
+      // Copy budget exhausted: the producer forgets the message (V-D).
+      it = produced_[producer].erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace bsub::core

@@ -1,0 +1,129 @@
+// B-SUB: the complete publish-subscribe protocol (paper section V).
+//
+// Per contact between nodes x and y, in order:
+//   1. TTL housekeeping on both buffers.
+//   2. Broker election bookkeeping and rules (section V-B).
+//   3. If both are brokers: exchange relay filters, make preferential-query
+//      forwarding decisions on the pre-merge filters, then M-merge
+//      (section V-C/V-D; A-merge available as the bogus-counter ablation).
+//   4. Direct delivery both ways: each side reports a counter-less BF of its
+//      interests; the other side hands over matching buffered messages
+//      (producer-to-consumer and broker-to-consumer unified; section V-D).
+//   5. Interest propagation: each side facing a broker sends its genuine
+//      filter, A-merged into the broker's relay filter (section V-C).
+//   6. Broker pickup: a broker sends its counter-less relay BF to the other
+//      side, which replicates matching messages it produced, bounded by the
+//      copy limit C (section V-D).
+// Every transmission is gated by the contact's byte budget.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/broker_allocation.h"
+#include "core/config.h"
+#include "core/interest_manager.h"
+#include "sim/message_store.h"
+#include "sim/protocol.h"
+
+namespace bsub::core {
+
+class BsubProtocol final : public sim::Protocol {
+ public:
+  explicit BsubProtocol(BsubConfig config = {});
+  ~BsubProtocol() override;
+
+  void on_start(const trace::ContactTrace& trace,
+                const workload::Workload& workload,
+                metrics::Collector& collector) override;
+  void on_message_created(const workload::Message& msg,
+                          util::Time now) override;
+  void on_contact(trace::NodeId a, trace::NodeId b, util::Time now,
+                  util::Time duration, sim::Link& link) override;
+  const char* name() const override { return "B-SUB"; }
+
+  const BsubConfig& config() const { return config_; }
+
+  /// Observability for tests and experiments (valid after on_start).
+  const BrokerElection& election() const { return *election_; }
+  const InterestManager& interests() const { return *interests_; }
+
+  /// Mutable access for deployments that preset roles (and for tests that
+  /// pin the election state). Valid after on_start.
+  BrokerElection& election_mutable() { return *election_; }
+  InterestManager& interests_mutable() { return *interests_; }
+
+  /// Lifetime count of relay-filter false-positive pickups (ground truth).
+  std::uint64_t false_injections() const { return false_injections_; }
+
+  /// Breakdown of message-body transmissions by protocol step.
+  struct TrafficBreakdown {
+    std::uint64_t pickups = 0;           ///< producer -> broker replicas
+    std::uint64_t broker_transfers = 0;  ///< broker -> broker custody moves
+    std::uint64_t deliveries = 0;        ///< transfers to a consumer
+  };
+  const TrafficBreakdown& traffic() const { return traffic_; }
+
+  /// Time-averaged false-positive rate of the brokers' relay filters,
+  /// measured by probing each relay with known-absent keys at every pickup
+  /// opportunity (instrumentation; costs no protocol bytes). This is the
+  /// operative FPR the paper's Fig. 9(d) tracks: it rises with relay load
+  /// and falls as the DF drains interests.
+  double measured_relay_fpr() const;
+
+ private:
+  struct OwnedMessage {
+    workload::Message msg;
+    std::uint32_t copies_left;
+  };
+
+  const std::string& key_name(workload::KeyId key) const;
+  std::vector<std::string_view> interest_names(trace::NodeId node) const;
+
+  void purge(trace::NodeId node, util::Time now);
+  void handle_role_changes(trace::NodeId node, bool was_broker,
+                           util::Time now);
+  void broker_exchange(trace::NodeId a, trace::NodeId b, util::Time now,
+                       sim::Link& link);
+  void forward_between_brokers(trace::NodeId from, trace::NodeId to,
+                               const bloom::Tcbf& filter_from,
+                               const bloom::Tcbf& filter_to, util::Time now,
+                               sim::Link& link);
+  void direct_delivery(trace::NodeId from, trace::NodeId to, util::Time now,
+                       sim::Link& link);
+  void propagate_interest(trace::NodeId consumer, trace::NodeId broker,
+                          util::Time now, sim::Link& link);
+  void broker_pickup(trace::NodeId producer, trace::NodeId broker,
+                     util::Time now, sim::Link& link);
+  void maybe_update_adaptive_df(trace::NodeId node, util::Time now);
+
+  BsubConfig config_;
+  const trace::ContactTrace* trace_ = nullptr;
+  const workload::Workload* workload_ = nullptr;
+  metrics::Collector* collector_ = nullptr;
+  std::unique_ptr<BrokerElection> election_;
+  std::unique_ptr<InterestManager> interests_;
+
+  /// Messages each node produced, with remaining broker-copy budget.
+  std::vector<std::map<workload::MessageId, OwnedMessage>> produced_;
+  /// Messages each broker carries for others.
+  std::vector<sim::MessageStore> carried_;
+  /// Copies whose pickup was a relay false positive (per holder).
+  std::vector<std::unordered_set<workload::MessageId>> falsely_injected_;
+  /// Loop prevention: ids a broker has ever held — it refuses them again,
+  /// so a copy's broker-to-broker walk visits each broker at most once.
+  std::vector<std::unordered_set<workload::MessageId>> carried_ever_;
+
+  /// Cache for the adaptive-DF Eq. 4 evaluations, keyed by degree.
+  std::unordered_map<std::size_t, double> emin_cache_;
+  std::uint64_t false_injections_ = 0;
+  TrafficBreakdown traffic_;
+  std::uint64_t fpr_probes_ = 0;
+  std::uint64_t fpr_hits_ = 0;
+};
+
+}  // namespace bsub::core

@@ -1,0 +1,65 @@
+#include "core/df_tuning.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/binomial.h"
+
+namespace bsub::core {
+
+double estimate_keys_per_window(const trace::ContactTrace& trace,
+                                util::Time window) {
+  assert(window > 0);
+  if (trace.empty() || trace.node_count() == 0) return 0.0;
+  const util::Time start = trace.start_time();
+  const util::Time end = trace.end_time();
+
+  double total = 0.0;
+  std::size_t samples = 0;
+  for (util::Time w = start; w < end; w += window) {
+    auto deg = trace.degrees_in_window(w, w + window);
+    for (std::size_t d : deg) total += static_cast<double>(d);
+    samples += deg.size();
+  }
+  return samples == 0 ? 0.0 : total / static_cast<double>(samples);
+}
+
+DfEstimate compute_df_from_keys(double keys_per_window, util::Time window,
+                                bloom::BloomParams params,
+                                double initial_counter,
+                                double delta_per_minute) {
+  assert(window > 0 && initial_counter > 0.0);
+  DfEstimate est;
+  est.keys_per_window = keys_per_window;
+  const double p =
+      static_cast<double>(params.k) / static_cast<double>(params.m);
+  est.expected_min_increment = util::expected_min_binomial(
+      static_cast<std::uint64_t>(std::llround(std::max(0.0, keys_per_window))),
+      p, params.k);
+  const double window_minutes = util::to_minutes(window);
+  est.df_per_minute =
+      initial_counter * (1.0 + est.expected_min_increment) / window_minutes +
+      delta_per_minute;
+  return est;
+}
+
+DfEstimate compute_df(const trace::ContactTrace& trace, util::Time window,
+                      bloom::BloomParams params, double initial_counter,
+                      double delta_per_minute) {
+  return compute_df_from_keys(estimate_keys_per_window(trace, window), window,
+                              params, initial_counter, delta_per_minute);
+}
+
+double OnlineDfController::observe(double measured_fpr) {
+  // A higher DF removes interests sooner, lowering the filter load and the
+  // FPR; so raise DF when the FPR is high, lower it when there is headroom.
+  if (measured_fpr > target_fpr_) {
+    df_ *= factor_;
+  } else if (measured_fpr < target_fpr_ * 0.5) {
+    df_ /= factor_;
+  }
+  return df_;
+}
+
+}  // namespace bsub::core

@@ -1,0 +1,124 @@
+#include "core/interest_manager.h"
+
+#include <cassert>
+
+namespace bsub::core {
+
+InterestManager::InterestManager(std::size_t node_count,
+                                 bloom::BloomParams params,
+                                 double initial_counter, double df_per_minute)
+    : params_(params), initial_counter_(initial_counter),
+      df_per_minute_(df_per_minute) {
+  assert(df_per_minute >= 0.0);
+  relays_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    relays_.push_back(
+        RelayState{bloom::Tcbf(params, initial_counter), {}, 0, -1.0});
+  }
+}
+
+bloom::Tcbf& InterestManager::relay(trace::NodeId node, util::Time now) {
+  RelayState& s = relays_[node];
+  if (now > s.last_decay) {
+    const double df = s.df_override >= 0.0 ? s.df_override : df_per_minute_;
+    if (df > 0.0) {
+      const double amount = df * util::to_minutes(now - s.last_decay);
+      s.filter.decay(amount);
+      for (auto it = s.shadow.begin(); it != s.shadow.end();) {
+        it->second -= amount;
+        it = it->second <= 0.0 ? s.shadow.erase(it) : std::next(it);
+      }
+    }
+    s.last_decay = now;
+  }
+  return s.filter;
+}
+
+bloom::Tcbf InterestManager::make_genuine(std::string_view key) const {
+  bloom::Tcbf g(params_, initial_counter_);
+  g.insert(key);
+  return g;
+}
+
+bloom::Tcbf InterestManager::make_genuine(
+    std::span<const std::string_view> keys) const {
+  bloom::Tcbf g(params_, initial_counter_);
+  for (std::string_view key : keys) g.insert(key);
+  return g;
+}
+
+bloom::BloomFilter InterestManager::make_report(std::string_view key) const {
+  bloom::BloomFilter bf(params_);
+  bf.insert(key);
+  return bf;
+}
+
+bloom::BloomFilter InterestManager::make_report(
+    std::span<const std::string_view> keys) const {
+  bloom::BloomFilter bf(params_);
+  for (std::string_view key : keys) bf.insert(key);
+  return bf;
+}
+
+void InterestManager::absorb_genuine(trace::NodeId broker,
+                                     const bloom::Tcbf& genuine,
+                                     std::string_view key, util::Time now) {
+  relay(broker, now).a_merge(genuine);
+  // A-merge adds the genuine counters (all = C) onto the key's bits; the
+  // key's minimum counter therefore grows by exactly C.
+  relays_[broker].shadow[std::string(key)] += genuine.initial_counter();
+}
+
+void InterestManager::absorb_genuine(trace::NodeId broker,
+                                     const bloom::Tcbf& genuine,
+                                     std::span<const std::string_view> keys,
+                                     util::Time now) {
+  relay(broker, now).a_merge(genuine);
+  for (std::string_view key : keys) {
+    relays_[broker].shadow[std::string(key)] += genuine.initial_counter();
+  }
+}
+
+void InterestManager::merge_relay_from(trace::NodeId dst,
+                                       const bloom::Tcbf& src_filter,
+                                       const ShadowMap& src_shadow,
+                                       BrokerMergeMode mode, util::Time now) {
+  bloom::Tcbf& filter = relay(dst, now);
+  ShadowMap& shadow = relays_[dst].shadow;
+  if (mode == BrokerMergeMode::kMMerge) {
+    filter.m_merge(src_filter);
+    for (const auto& [key, value] : src_shadow) {
+      auto [it, inserted] = shadow.emplace(key, value);
+      if (!inserted) it->second = std::max(it->second, value);
+    }
+  } else {
+    filter.a_merge(src_filter);
+    for (const auto& [key, value] : src_shadow) shadow[key] += value;
+  }
+}
+
+bool InterestManager::genuinely_contains(trace::NodeId node,
+                                         std::string_view key,
+                                         util::Time now) {
+  relay(node, now);  // bring the shadow up to date
+  auto it = relays_[node].shadow.find(std::string(key));
+  return it != relays_[node].shadow.end() && it->second > 0.0;
+}
+
+void InterestManager::clear_relay(trace::NodeId node, util::Time now) {
+  RelayState& s = relays_[node];
+  s.filter.clear();
+  s.shadow.clear();
+  s.last_decay = now;
+}
+
+void InterestManager::set_node_df(trace::NodeId node, double df_per_minute) {
+  relays_[node].df_override = df_per_minute;
+}
+
+double InterestManager::node_df(trace::NodeId node) const {
+  const RelayState& s = relays_[node];
+  return s.df_override >= 0.0 ? s.df_override : df_per_minute_;
+}
+
+}  // namespace bsub::core

@@ -1,0 +1,110 @@
+// Relay- and genuine-filter management (paper section V-C).
+//
+// A consumer's interests live in a *genuine filter* (a fresh TCBF whose
+// counters all equal the initial value C — built on demand when reporting).
+// A broker accumulates other users' interests in its *relay filter*, which
+// decays continuously at the DF; decay is applied lazily (per-filter
+// timestamps) so idle nodes cost nothing.
+// Ground truth: alongside every relay filter the manager keeps a *shadow
+// set* — the keys the filter genuinely absorbed, with counters mirroring the
+// TCBF's decay/merge arithmetic. The shadow is measurement instrumentation
+// only (it costs no protocol bytes): comparing a TCBF hit against the shadow
+// identifies relay-filter false positives, which feed the paper's
+// false-delivery metric (Fig. 9(d)).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/tcbf.h"
+#include "core/config.h"
+#include "trace/contact.h"
+#include "util/time.h"
+
+namespace bsub::core {
+
+class InterestManager {
+ public:
+  /// Ground-truth key -> remaining counter value.
+  using ShadowMap = std::unordered_map<std::string, double>;
+  InterestManager(std::size_t node_count, bloom::BloomParams params,
+                  double initial_counter, double df_per_minute);
+
+  /// The node's relay filter, decayed up to `now`. The per-node DF override
+  /// (if set) takes precedence over the global DF.
+  bloom::Tcbf& relay(trace::NodeId node, util::Time now);
+
+  /// Read-only peek without advancing the decay clock (for inspection).
+  const bloom::Tcbf& relay_snapshot(trace::NodeId node) const {
+    return relays_[node].filter;
+  }
+
+  /// Builds the genuine filter for a single interest key.
+  bloom::Tcbf make_genuine(std::string_view key) const;
+
+  /// Builds the genuine filter for a set of interest keys (section V-A's
+  /// multi-key extension).
+  bloom::Tcbf make_genuine(std::span<const std::string_view> keys) const;
+
+  /// Builds the counter-less interest report (a plain BF) for a key.
+  bloom::BloomFilter make_report(std::string_view key) const;
+
+  /// Counter-less report for a set of keys.
+  bloom::BloomFilter make_report(std::span<const std::string_view> keys) const;
+
+  /// A-merges a consumer's genuine filter into a broker's relay filter
+  /// (reinforcement happens through repeated meetings). `key` is the
+  /// interest the genuine filter represents, recorded in the shadow set.
+  void absorb_genuine(trace::NodeId broker, const bloom::Tcbf& genuine,
+                      std::string_view key, util::Time now);
+
+  /// Multi-key absorb: every key of the genuine filter enters the shadow.
+  void absorb_genuine(trace::NodeId broker, const bloom::Tcbf& genuine,
+                      std::span<const std::string_view> keys, util::Time now);
+
+  /// Merges another broker's relay state (filter + shadow) into `dst`'s,
+  /// with M-merge or A-merge semantics. `dst` is decayed to `now` first.
+  void merge_relay_from(trace::NodeId dst, const bloom::Tcbf& src_filter,
+                        const ShadowMap& src_shadow, BrokerMergeMode mode,
+                        util::Time now);
+
+  /// Ground truth: does `node`'s relay filter genuinely hold `key` at `now`?
+  /// A TCBF hit without this is a relay false positive.
+  bool genuinely_contains(trace::NodeId node, std::string_view key,
+                          util::Time now);
+
+  /// Shadow set snapshot (decayed to whenever relay() was last called).
+  const ShadowMap& shadow_snapshot(trace::NodeId node) const {
+    return relays_[node].shadow;
+  }
+
+  /// Resets a node's relay filter (e.g. on demotion from brokership).
+  void clear_relay(trace::NodeId node, util::Time now);
+
+  /// Per-node DF override in counter units per minute (adaptive DF); pass a
+  /// negative value to clear the override.
+  void set_node_df(trace::NodeId node, double df_per_minute);
+  double node_df(trace::NodeId node) const;
+
+  double global_df() const { return df_per_minute_; }
+  const bloom::BloomParams& params() const { return params_; }
+
+ private:
+  struct RelayState {
+    bloom::Tcbf filter;
+    ShadowMap shadow;
+    util::Time last_decay = 0;
+    double df_override = -1.0;
+  };
+
+  bloom::BloomParams params_;
+  double initial_counter_;
+  double df_per_minute_;
+  std::vector<RelayState> relays_;
+};
+
+}  // namespace bsub::core

@@ -1,0 +1,260 @@
+#include "engine/node.h"
+
+#include <algorithm>
+
+#include "util/byte_io.h"
+
+namespace bsub::engine {
+
+BsubNode::BsubNode(NodeId id, NodeConfig config)
+    : id_(id), config_(config),
+      relay_(config.filter_params, config.initial_counter) {}
+
+void BsubNode::subscribe(std::string key) {
+  interests_.insert(std::move(key));
+}
+
+void BsubNode::publish(ContentMessage message, util::Time now) {
+  message.producer = id_;
+  if (message.created == 0) message.created = now;
+  produced_.emplace(message.id,
+                    OwnedMessage{std::move(message), config_.copy_limit, {}});
+}
+
+bloom::Tcbf& BsubNode::relay_now(util::Time now) {
+  if (now > relay_decayed_at_) {
+    if (config_.df_per_minute > 0.0) {
+      relay_.decay(config_.df_per_minute *
+                   util::to_minutes(now - relay_decayed_at_));
+    }
+    relay_decayed_at_ = now;
+  }
+  return relay_;
+}
+
+bloom::BloomFilter BsubNode::interest_report() const {
+  bloom::BloomFilter bf(config_.filter_params);
+  for (const std::string& key : interests_) bf.insert(key);
+  return bf;
+}
+
+std::vector<std::vector<std::uint8_t>> BsubNode::begin_contact(
+    util::Time now) {
+  purge(now);
+  HelloFrame hello;
+  hello.sender = id_;
+  hello.is_broker = broker_;
+  hello.interest_report = interest_report();
+  hello.relay_report = relay_now(now).to_bloom_filter();
+  return {encode(hello)};
+}
+
+std::vector<std::vector<std::uint8_t>> BsubNode::handle(
+    std::span<const std::uint8_t> frame_bytes, util::Time now) {
+  Frame frame;
+  try {
+    frame = decode(frame_bytes);
+  } catch (const util::DecodeError&) {
+    return {};  // radios see garbage; drop it
+  }
+  purge(now);
+  switch (frame.type) {
+    case FrameType::kHello:
+      return on_hello(*frame.hello, now);
+    case FrameType::kGenuineFilter:
+      on_genuine(*frame.genuine, now);
+      return {};
+    case FrameType::kRelayFilter:
+      return on_relay(*frame.relay, now);
+    case FrameType::kData:
+      return on_data(*frame.data, now);
+    case FrameType::kCustodyAck:
+      on_custody_ack(*frame.custody_ack, now);
+      return {};
+  }
+  return {};
+}
+
+void BsubNode::append_deliveries(
+    const bloom::BloomFilter& report, util::Time now,
+    std::vector<std::vector<std::uint8_t>>& out) {
+  auto offer = [&](const ContentMessage& msg) {
+    if (!report.contains(msg.key)) return;
+    DataFrame data;
+    data.sender = id_;
+    data.message = msg;
+    data.custody = false;
+    out.push_back(encode(data));
+    ++deliveries_made_;
+  };
+  for (const auto& [id, owned] : produced_) offer(owned.msg);
+  const bloom::Tcbf* gate =
+      (config_.relay_gated_delivery && broker_) ? &relay_now(now) : nullptr;
+  for (const auto& [id, msg] : carried_) {
+    if (gate != nullptr && !gate->contains(msg.key)) continue;
+    offer(msg);
+  }
+}
+
+void BsubNode::append_pickups(NodeId broker,
+                              const bloom::BloomFilter& relay_report,
+                              util::Time now,
+                              std::vector<std::vector<std::uint8_t>>& out) {
+  (void)now;
+  // Two-phase custody: offers are free; the copy budget is only charged
+  // when the broker's ack arrives (on_custody_ack).
+  std::uint32_t in_flight = 0;
+  for (auto& [id, owned] : produced_) {
+    if (owned.copies_left == 0 || owned.placed.contains(broker) ||
+        !relay_report.contains(owned.msg.key)) {
+      continue;
+    }
+    ++pickups_sent_;
+    ++in_flight;
+    DataFrame data;
+    data.sender = id_;
+    data.message = owned.msg;
+    data.custody = true;
+    out.push_back(encode(data));
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> BsubNode::on_hello(
+    const HelloFrame& hello, util::Time now) {
+  std::vector<std::vector<std::uint8_t>> out;
+
+  // Direct + broker-to-consumer delivery against the peer's report.
+  append_deliveries(hello.interest_report, now, out);
+
+  if (hello.is_broker) {
+    // Interest propagation: our genuine filter.
+    if (!interests_.empty()) {
+      GenuineFrame genuine;
+      genuine.sender = id_;
+      genuine.filter = bloom::Tcbf(config_.filter_params,
+                                   config_.initial_counter);
+      for (const std::string& key : interests_) genuine.filter.insert(key);
+      out.push_back(encode(genuine));
+    }
+    // Pickup: replicate matching own messages to the broker.
+    append_pickups(hello.sender, hello.relay_report, now, out);
+    // Broker-broker: send our relay filter for the preferential exchange.
+    if (broker_) {
+      RelayFrame relay;
+      relay.sender = id_;
+      relay.filter = relay_now(now);
+      out.push_back(encode(relay));
+    }
+  }
+  return out;
+}
+
+void BsubNode::on_genuine(const GenuineFrame& frame, util::Time now) {
+  if (!broker_) return;  // only brokers hold relay filters
+  relay_now(now).a_merge(frame.filter);
+}
+
+std::vector<std::vector<std::uint8_t>> BsubNode::on_relay(
+    const RelayFrame& frame, util::Time now) {
+  std::vector<std::vector<std::uint8_t>> out;
+  if (!broker_) return out;
+  bloom::Tcbf& mine = relay_now(now);
+
+  // Preferential forwarding decisions on the pre-merge filters.
+  std::vector<std::pair<double, std::uint64_t>> ranked;
+  for (const auto& [id, msg] : carried_) {
+    if (auto it = transfer_refused_.find(id);
+        it != transfer_refused_.end() && it->second.contains(frame.sender)) {
+      continue;  // the peer already told us it will not take this one
+    }
+    const double pref = bloom::preference(frame.filter, mine, msg.key);
+    if (pref > 0.0) ranked.emplace_back(pref, id);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
+    return std::tie(y.first, x.second) < std::tie(x.first, y.second);
+  });
+  for (const auto& [pref, id] : ranked) {
+    DataFrame data;
+    data.sender = id_;
+    data.message = carried_.at(id);
+    data.custody = true;
+    out.push_back(encode(data));
+    // Two-phase custody: the copy leaves only when the peer acks.
+  }
+
+  if (config_.broker_merge == core::BrokerMergeMode::kMMerge) {
+    mine.m_merge(frame.filter);
+  } else {
+    mine.a_merge(frame.filter);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> BsubNode::on_data(
+    const DataFrame& frame, util::Time now) {
+  const ContentMessage& msg = frame.message;
+  if (msg.expired_at(now)) return {};
+  if (frame.custody) {
+    if (broker_ && !carried_ever_.contains(msg.id) && msg.producer != id_) {
+      carried_.emplace(msg.id, msg);
+      carried_ever_.insert(msg.id);
+      ++custody_accepted_;
+      CustodyAckFrame ack;
+      ack.sender = id_;
+      ack.message_id = msg.id;
+      return {encode(ack)};
+    }
+    ++custody_refused_;
+    CustodyAckFrame nack;
+    nack.sender = id_;
+    nack.message_id = msg.id;
+    nack.accepted = false;
+    return {encode(nack)};
+  }
+  // Final delivery: consume only if genuinely subscribed (a Bloom false
+  // positive on the sender side is discarded here). Own productions do not
+  // count as deliveries.
+  if (msg.producer == id_ || !interests_.contains(msg.key)) return {};
+  if (!consumed_.insert(msg.id).second) return {};
+  if (on_delivery_) on_delivery_(msg, now);
+  return {};
+}
+
+void BsubNode::on_custody_ack(const CustodyAckFrame& ack, util::Time now) {
+  (void)now;
+  if (auto it = produced_.find(ack.message_id); it != produced_.end()) {
+    OwnedMessage& owned = it->second;
+    if (!ack.accepted) {
+      // Permanent refusal: never offer this message to this peer again,
+      // without charging the copy budget.
+      owned.placed.insert(ack.sender);
+      return;
+    }
+    // Placed: charge the budget and remember the peer.
+    if (owned.copies_left > 0 && !owned.placed.contains(ack.sender)) {
+      owned.placed.insert(ack.sender);
+      if (--owned.copies_left == 0) produced_.erase(it);
+    }
+    return;
+  }
+  // A carried copy moved to a better broker: single custody, drop ours.
+  if (ack.accepted) {
+    carried_.erase(ack.message_id);
+    transfer_refused_.erase(ack.message_id);
+  } else if (carried_.contains(ack.message_id)) {
+    transfer_refused_[ack.message_id].insert(ack.sender);
+  }
+}
+
+void BsubNode::purge(util::Time now) {
+  std::erase_if(produced_, [now](const auto& kv) {
+    return kv.second.msg.expired_at(now);
+  });
+  std::erase_if(carried_,
+                [now](const auto& kv) { return kv.second.expired_at(now); });
+  std::erase_if(transfer_refused_, [this](const auto& kv) {
+    return !carried_.contains(kv.first);
+  });
+}
+
+}  // namespace bsub::engine

@@ -1,0 +1,144 @@
+// A live B-SUB node: the protocol state machine a real deployment would
+// run, driven entirely by wire frames (engine/wire.h).
+//
+// Contact flow between two nodes (section V, one logical round trip):
+//
+//   harness: contact begins
+//     each side emits kHello (id, broker flag, interest + relay reports)
+//   on kHello:
+//     - deliver matching buffered messages as kData (custody=false);
+//       broker-held copies are offered only while the relay still routes
+//       them (reverse-path gating);
+//     - if the peer is a broker: emit kGenuineFilter;
+//     - if the peer is a broker and we produce: replicate matching own
+//       messages as kData (custody=true), bounded by the copy limit;
+//     - if both sides are brokers: emit kRelayFilter.
+//   on kGenuineFilter (broker): A-merge into the relay filter.
+//   on kRelayFilter (broker): preferential-query forwarding of carried
+//     messages as kData (custody=true), then M-merge.
+//   on kData: custody=true -> store in the carried buffer; custody=false ->
+//     consume if genuinely interesting (the key is in our interest set).
+//
+// The node never touches a network: it consumes frames and returns frames,
+// so it is equally testable against the in-memory Network harness or a real
+// transport.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/tcbf.h"
+#include "core/config.h"
+#include "engine/wire.h"
+#include "util/time.h"
+
+namespace bsub::engine {
+
+/// Configuration for a live node; reuses the protocol constants of
+/// core::BsubConfig (filter geometry, C, DF, copy limit, gating).
+struct NodeConfig {
+  bloom::BloomParams filter_params{256, 4};
+  double initial_counter = 50.0;
+  double df_per_minute = 0.1;
+  std::uint32_t copy_limit = 3;
+  bool relay_gated_delivery = true;
+  core::BrokerMergeMode broker_merge = core::BrokerMergeMode::kMMerge;
+};
+
+class BsubNode {
+ public:
+  /// Called when a message is accepted by this node as a consumer.
+  using DeliveryHandler =
+      std::function<void(const ContentMessage&, util::Time)>;
+
+  BsubNode(NodeId id, NodeConfig config = {});
+
+  NodeId id() const { return id_; }
+  bool is_broker() const { return broker_; }
+  void set_broker(bool broker) { broker_ = broker; }
+
+  /// Subscribes to a content key.
+  void subscribe(std::string key);
+  const std::set<std::string>& subscriptions() const { return interests_; }
+
+  /// Publishes a message this node produced; it becomes eligible for direct
+  /// delivery and broker pickup.
+  void publish(ContentMessage message, util::Time now);
+
+  void set_delivery_handler(DeliveryHandler handler) {
+    on_delivery_ = std::move(handler);
+  }
+
+  /// Contact bootstrap: the frames this node sends when a contact opens.
+  std::vector<std::vector<std::uint8_t>> begin_contact(util::Time now);
+
+  /// Handles one incoming frame; returns the response frames (possibly
+  /// empty). Malformed frames are dropped (util::DecodeError swallowed —
+  /// a real radio sees garbage).
+  std::vector<std::vector<std::uint8_t>> handle(
+      std::span<const std::uint8_t> frame_bytes, util::Time now);
+
+  /// Drops expired state; safe to call any time.
+  void purge(util::Time now);
+
+  // Introspection.
+  std::size_t produced_count() const { return produced_.size(); }
+  std::size_t carried_count() const { return carried_.size(); }
+  const bloom::Tcbf& relay_filter() const { return relay_; }
+  std::uint64_t deliveries_made() const { return deliveries_made_; }
+  std::uint64_t pickups_sent() const { return pickups_sent_; }
+  std::uint64_t custody_accepted() const { return custody_accepted_; }
+  std::uint64_t custody_refused() const { return custody_refused_; }
+  std::uint64_t consumed_total() const { return consumed_.size(); }
+
+ private:
+  struct OwnedMessage {
+    ContentMessage msg;
+    std::uint32_t copies_left;
+    /// Brokers that already hold a replica; a copy is never spent twice on
+    /// the same peer (the producer remembers its placements).
+    std::set<NodeId> placed;
+  };
+
+  bloom::Tcbf& relay_now(util::Time now);
+  bloom::BloomFilter interest_report() const;
+  std::vector<std::vector<std::uint8_t>> on_hello(const HelloFrame& hello,
+                                                  util::Time now);
+  std::vector<std::vector<std::uint8_t>> on_relay(const RelayFrame& frame,
+                                                  util::Time now);
+  void on_genuine(const GenuineFrame& frame, util::Time now);
+  std::vector<std::vector<std::uint8_t>> on_data(const DataFrame& frame,
+                                                 util::Time now);
+  void on_custody_ack(const CustodyAckFrame& ack, util::Time now);
+  void append_deliveries(const bloom::BloomFilter& report, util::Time now,
+                         std::vector<std::vector<std::uint8_t>>& out);
+  void append_pickups(NodeId broker, const bloom::BloomFilter& relay_report,
+                      util::Time now,
+                      std::vector<std::vector<std::uint8_t>>& out);
+
+  NodeId id_;
+  NodeConfig config_;
+  bool broker_ = false;
+  std::set<std::string> interests_;
+  std::map<std::uint64_t, OwnedMessage> produced_;
+  std::map<std::uint64_t, ContentMessage> carried_;
+  /// Peers that permanently refused custody of a carried id (nacked).
+  std::map<std::uint64_t, std::set<NodeId>> transfer_refused_;
+  std::unordered_set<std::uint64_t> carried_ever_;
+  std::unordered_set<std::uint64_t> consumed_;
+  bloom::Tcbf relay_;
+  util::Time relay_decayed_at_ = 0;
+  DeliveryHandler on_delivery_;
+  std::uint64_t deliveries_made_ = 0;
+  std::uint64_t pickups_sent_ = 0;
+  std::uint64_t custody_accepted_ = 0;
+  std::uint64_t custody_refused_ = 0;
+};
+
+}  // namespace bsub::engine

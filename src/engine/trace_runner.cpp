@@ -1,0 +1,77 @@
+#include "engine/trace_runner.h"
+
+#include <unordered_map>
+
+namespace bsub::engine {
+
+TraceRunResults TraceRunner::run(const trace::ContactTrace& trace,
+                                 const workload::Workload& workload) {
+  Network net(node_config_);
+  core::BrokerElection election(trace.node_count(), election_config_);
+
+  // Materialize nodes with their subscriptions.
+  for (trace::NodeId n = 0; n < trace.node_count(); ++n) {
+    BsubNode& node = net.add_node(n);
+    for (workload::KeyId k : workload.interests_of(n)) {
+      node.subscribe(workload.keys().name(k));
+    }
+  }
+
+  // Creation times of each message id, for delay computation.
+  std::unordered_map<std::uint64_t, util::Time> created_at;
+
+  // Two-way merge of message creations and contacts, as the simulator does.
+  const auto& contacts = trace.contacts();
+  const auto& messages = workload.messages();
+  std::size_t ci = 0, mi = 0;
+  TraceRunResults results;
+  while (ci < contacts.size() || mi < messages.size()) {
+    const bool take_message =
+        mi < messages.size() &&
+        (ci >= contacts.size() || messages[mi].created <= contacts[ci].start);
+    if (take_message) {
+      const workload::Message& m = messages[mi++];
+      ContentMessage cm;
+      cm.id = m.id;
+      cm.key = workload.keys().name(m.key);
+      cm.body.assign(m.size_bytes, 0x5A);
+      cm.created = m.created;
+      cm.ttl = m.ttl;
+      created_at.emplace(cm.id, cm.created);
+      net.node(m.producer).publish(std::move(cm), m.created);
+      continue;
+    }
+    const trace::Contact& c = contacts[ci++];
+    // Election decides roles, exactly as in the simulator protocol.
+    election.on_contact(c.a, c.b, c.start);
+    net.node(c.a).set_broker(election.is_broker(c.a));
+    net.node(c.b).set_broker(election.is_broker(c.b));
+
+    const ContactReport report =
+        net.contact(c.a, c.b, c.start, c.duration(), bandwidth_);
+    ++results.contacts_processed;
+    results.frames_delivered += report.frames_delivered;
+    results.frames_dropped += report.frames_dropped;
+    results.bytes_used += report.bytes_used;
+  }
+
+  // Summarize deliveries (Network already deduplicates per consumer).
+  results.deliveries = net.deliveries().size();
+  results.expected_deliveries = workload.expected_deliveries();
+  if (results.expected_deliveries > 0) {
+    results.delivery_ratio =
+        static_cast<double>(results.deliveries) /
+        static_cast<double>(results.expected_deliveries);
+  }
+  double delay_sum = 0.0;
+  for (const DeliveryRecord& d : net.deliveries()) {
+    delay_sum += util::to_minutes(d.at - created_at.at(d.message_id));
+  }
+  if (results.deliveries > 0) {
+    results.mean_delay_minutes =
+        delay_sum / static_cast<double>(results.deliveries);
+  }
+  return results;
+}
+
+}  // namespace bsub::engine

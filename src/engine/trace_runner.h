@@ -1,0 +1,53 @@
+// Replays a contact trace + workload through the live frame-driven engine.
+//
+// This is the bridge between the two substrates: the same scenario that
+// drives the strategy-object simulator (sim::Simulator + core::BsubProtocol)
+// can be pushed through real BsubNodes exchanging encoded frames. Agreement
+// between the two is a strong end-to-end correctness check — every filter
+// crosses a codec boundary here.
+//
+// Differences vs the simulator model (kept deliberately):
+//   - roles come from the same BrokerElection rules, evaluated inline;
+//   - all transfers are real frames charged at wire size (the simulator
+//     charges analytic sizes);
+//   - messages carry real bodies of the workload's size.
+#pragma once
+
+#include "core/broker_allocation.h"
+#include "engine/network.h"
+#include "metrics/collector.h"
+#include "trace/trace.h"
+#include "workload/workload.h"
+
+namespace bsub::engine {
+
+struct TraceRunResults {
+  std::uint64_t deliveries = 0;          ///< unique (message, consumer)
+  std::uint64_t expected_deliveries = 0;
+  double delivery_ratio = 0.0;
+  double mean_delay_minutes = 0.0;
+  std::uint64_t contacts_processed = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t bytes_used = 0;
+};
+
+class TraceRunner {
+ public:
+  TraceRunner(NodeConfig node_config, core::BrokerElection::Config election,
+              double bandwidth_bytes_per_second =
+                  sim::kDefaultBandwidthBytesPerSecond)
+      : node_config_(node_config), election_config_(election),
+        bandwidth_(bandwidth_bytes_per_second) {}
+
+  /// Runs the whole scenario; deterministic.
+  TraceRunResults run(const trace::ContactTrace& trace,
+                      const workload::Workload& workload);
+
+ private:
+  NodeConfig node_config_;
+  core::BrokerElection::Config election_config_;
+  double bandwidth_;
+};
+
+}  // namespace bsub::engine

@@ -1,0 +1,173 @@
+#include "engine/wire.h"
+
+#include "bloom/tcbf_codec.h"
+#include "util/byte_io.h"
+#include "util/hash.h"
+
+namespace bsub::engine {
+
+namespace {
+
+constexpr std::uint8_t kFrameMagic = 0x5B;  // '['
+constexpr std::size_t kMaxBodyBytes = 1 << 20;
+constexpr std::size_t kMaxKeyBytes = 4096;
+
+/// Header: magic, type, payload length; trailer: FNV checksum of payload.
+std::vector<std::uint8_t> seal(FrameType type,
+                               const util::ByteWriter& payload) {
+  util::ByteWriter out;
+  out.put_u8(kFrameMagic);
+  out.put_u8(static_cast<std::uint8_t>(type));
+  out.put_varint(payload.size());
+  out.put_bytes(payload.bytes());
+  const std::string_view view(
+      reinterpret_cast<const char*>(payload.bytes().data()), payload.size());
+  out.put_u32(static_cast<std::uint32_t>(util::fnv1a64(view)));
+  return out.bytes();
+}
+
+void put_message(util::ByteWriter& w, const ContentMessage& m) {
+  w.put_u64(m.id);
+  w.put_string(m.key);
+  w.put_varint(m.body.size());
+  w.put_bytes(m.body);
+  w.put_u64(m.producer);
+  w.put_u64(static_cast<std::uint64_t>(m.created));
+  w.put_u64(static_cast<std::uint64_t>(m.ttl));
+}
+
+ContentMessage get_message(util::ByteReader& r) {
+  ContentMessage m;
+  m.id = r.get_u64();
+  m.key = r.get_string();
+  if (m.key.size() > kMaxKeyBytes) throw util::DecodeError("key too long");
+  const std::uint64_t body_len = r.get_varint();
+  if (body_len > kMaxBodyBytes) throw util::DecodeError("body too long");
+  m.body.resize(body_len);
+  for (auto& b : m.body) b = r.get_u8();
+  m.producer = r.get_u64();
+  m.created = static_cast<util::Time>(r.get_u64());
+  m.ttl = static_cast<util::Time>(r.get_u64());
+  return m;
+}
+
+void put_blob(util::ByteWriter& w, const std::vector<std::uint8_t>& blob) {
+  w.put_varint(blob.size());
+  w.put_bytes(blob);
+}
+
+std::vector<std::uint8_t> get_blob(util::ByteReader& r) {
+  const std::uint64_t len = r.get_varint();
+  if (len > kMaxBodyBytes) throw util::DecodeError("blob too long");
+  std::vector<std::uint8_t> blob(len);
+  for (auto& b : blob) b = r.get_u8();
+  return blob;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const HelloFrame& frame) {
+  util::ByteWriter w;
+  w.put_u64(frame.sender);
+  w.put_u8(frame.is_broker ? 1 : 0);
+  put_blob(w, bloom::encode_bloom(frame.interest_report));
+  put_blob(w, bloom::encode_bloom(frame.relay_report));
+  return seal(FrameType::kHello, w);
+}
+
+std::vector<std::uint8_t> encode(const GenuineFrame& frame) {
+  util::ByteWriter w;
+  w.put_u64(frame.sender);
+  put_blob(w, bloom::encode_tcbf(frame.filter,
+                                 bloom::CounterEncoding::kUniform));
+  return seal(FrameType::kGenuineFilter, w);
+}
+
+std::vector<std::uint8_t> encode(const RelayFrame& frame) {
+  util::ByteWriter w;
+  w.put_u64(frame.sender);
+  put_blob(w, bloom::encode_tcbf(frame.filter, bloom::CounterEncoding::kFull));
+  return seal(FrameType::kRelayFilter, w);
+}
+
+std::vector<std::uint8_t> encode(const DataFrame& frame) {
+  util::ByteWriter w;
+  w.put_u64(frame.sender);
+  put_message(w, frame.message);
+  w.put_u8(frame.custody ? 1 : 0);
+  return seal(FrameType::kData, w);
+}
+
+std::vector<std::uint8_t> encode(const CustodyAckFrame& frame) {
+  util::ByteWriter w;
+  w.put_u64(frame.sender);
+  w.put_u64(frame.message_id);
+  w.put_u8(frame.accepted ? 1 : 0);
+  return seal(FrameType::kCustodyAck, w);
+}
+
+Frame decode(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.get_u8() != kFrameMagic) throw util::DecodeError("bad frame magic");
+  const auto type = static_cast<FrameType>(r.get_u8());
+  const std::uint64_t payload_len = r.get_varint();
+  if (payload_len > r.remaining()) {
+    throw util::DecodeError("frame payload truncated");
+  }
+
+  // Slice the payload, verify the trailing checksum, then parse.
+  std::vector<std::uint8_t> payload(payload_len);
+  for (auto& b : payload) b = r.get_u8();
+  const std::uint32_t declared = r.get_u32();
+  const std::string_view view(reinterpret_cast<const char*>(payload.data()),
+                              payload.size());
+  if (declared != static_cast<std::uint32_t>(util::fnv1a64(view))) {
+    throw util::DecodeError("frame checksum mismatch");
+  }
+
+  util::ByteReader p(payload);
+  Frame frame;
+  frame.type = type;
+  switch (type) {
+    case FrameType::kHello: {
+      HelloFrame h;
+      h.sender = p.get_u64();
+      h.is_broker = p.get_u8() != 0;
+      h.interest_report = bloom::decode_bloom(get_blob(p));
+      h.relay_report = bloom::decode_bloom(get_blob(p));
+      frame.hello = std::move(h);
+      break;
+    }
+    case FrameType::kGenuineFilter: {
+      GenuineFrame g{p.get_u64(), bloom::decode_tcbf(get_blob(p))};
+      frame.genuine = std::move(g);
+      break;
+    }
+    case FrameType::kRelayFilter: {
+      RelayFrame rf{p.get_u64(), bloom::decode_tcbf(get_blob(p))};
+      frame.relay = std::move(rf);
+      break;
+    }
+    case FrameType::kData: {
+      DataFrame d;
+      d.sender = p.get_u64();
+      d.message = get_message(p);
+      d.custody = p.get_u8() != 0;
+      frame.data = std::move(d);
+      break;
+    }
+    case FrameType::kCustodyAck: {
+      CustodyAckFrame a;
+      a.sender = p.get_u64();
+      a.message_id = p.get_u64();
+      a.accepted = p.get_u8() != 0;
+      frame.custody_ack = a;
+      break;
+    }
+    default:
+      throw util::DecodeError("unknown frame type");
+  }
+  return frame;
+}
+
+}  // namespace bsub::engine

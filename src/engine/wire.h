@@ -1,0 +1,117 @@
+// Wire protocol for the live B-SUB node engine (the paper's future-work
+// "prototype HUNET system").
+//
+// Everything two devices exchange during a contact is a length-prefixed,
+// checksummed frame. The frame types mirror the protocol steps of section V:
+//
+//   kHello          opens a contact: sender id, broker flag, and the
+//                   counter-less interest/relay reports the peer needs to
+//                   start matching immediately (one round trip total).
+//   kGenuineFilter  consumer -> broker interest propagation (uniform TCBF).
+//   kRelayFilter    broker <-> broker relay exchange (full TCBF).
+//   kData           a content message; the custody flag distinguishes a
+//                   broker replica (pickup / preferential transfer) from a
+//                   final delivery.
+//
+// Frames survive hostile bytes: decode() throws util::DecodeError on any
+// malformed, truncated, or checksum-failing input.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/tcbf.h"
+#include "util/time.h"
+
+namespace bsub::engine {
+
+/// Engine node identifier (independent of trace NodeId).
+using NodeId = std::uint64_t;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kGenuineFilter = 2,
+  kRelayFilter = 3,
+  kData = 4,
+  kCustodyAck = 5,
+};
+
+/// A content message as carried on the wire: the key is a raw string (the
+/// engine is independent of any workload key table).
+struct ContentMessage {
+  std::uint64_t id = 0;
+  std::string key;
+  std::vector<std::uint8_t> body;
+  NodeId producer = 0;
+  util::Time created = 0;
+  util::Time ttl = 0;
+
+  util::Time expiry() const { return created + ttl; }
+  bool expired_at(util::Time now) const { return now >= expiry(); }
+
+  friend bool operator==(const ContentMessage&, const ContentMessage&) =
+      default;
+};
+
+struct HelloFrame {
+  NodeId sender = 0;
+  bool is_broker = false;
+  /// Counter-less BF of the sender's own interests.
+  bloom::BloomFilter interest_report;
+  /// Counter-less BF of the sender's relay filter (meaningful for brokers).
+  bloom::BloomFilter relay_report;
+};
+
+struct GenuineFrame {
+  NodeId sender = 0;
+  bloom::Tcbf filter;
+};
+
+struct RelayFrame {
+  NodeId sender = 0;
+  bloom::Tcbf filter;
+};
+
+struct DataFrame {
+  NodeId sender = 0;
+  ContentMessage message;
+  /// True when the receiver takes broker custody (a replica), false when
+  /// this is a final delivery to a consumer.
+  bool custody = false;
+};
+
+/// Confirms that a custody DATA frame was accepted. Custody transfers are
+/// two-phase: the sender only releases (or charges) its copy on the ack, so
+/// a refusal or a lost frame never destroys the message.
+struct CustodyAckFrame {
+  NodeId sender = 0;
+  std::uint64_t message_id = 0;
+  /// False = permanent refusal (the receiver already carried this id);
+  /// the sender stops offering this message to this peer.
+  bool accepted = true;
+};
+
+/// A decoded frame; exactly one member is engaged, per `type`.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::optional<HelloFrame> hello;
+  std::optional<GenuineFrame> genuine;
+  std::optional<RelayFrame> relay;
+  std::optional<DataFrame> data;
+  std::optional<CustodyAckFrame> custody_ack;
+};
+
+std::vector<std::uint8_t> encode(const HelloFrame& frame);
+std::vector<std::uint8_t> encode(const GenuineFrame& frame);
+std::vector<std::uint8_t> encode(const RelayFrame& frame);
+std::vector<std::uint8_t> encode(const DataFrame& frame);
+std::vector<std::uint8_t> encode(const CustodyAckFrame& frame);
+
+/// Decodes any frame; throws util::DecodeError on malformed input.
+Frame decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace bsub::engine

@@ -1,0 +1,59 @@
+#include "metrics/collector.h"
+
+namespace bsub::metrics {
+
+void Collector::set_expected(std::uint64_t messages_created,
+                             std::uint64_t expected_deliveries) {
+  messages_created_ = messages_created;
+  expected_deliveries_ = expected_deliveries;
+}
+
+void Collector::record_forwarding(const workload::Message& msg) {
+  ++forwardings_;
+  message_bytes_ += msg.size_bytes;
+}
+
+void Collector::record_delivery(const workload::Message& msg,
+                                trace::NodeId node, util::Time now,
+                                bool interested, bool falsely_injected) {
+  if (!delivered_pairs_.insert(pair_key(msg.id, node)).second) return;
+  if (interested) {
+    ++interested_deliveries_;
+    delay_minutes_.add(util::to_minutes(now - msg.created));
+  }
+  if (!interested || falsely_injected) ++false_deliveries_;
+}
+
+bool Collector::delivered(workload::MessageId id, trace::NodeId node) const {
+  return delivered_pairs_.contains(pair_key(id, node));
+}
+
+RunResults Collector::results() const {
+  RunResults r;
+  r.messages_created = messages_created_;
+  r.expected_deliveries = expected_deliveries_;
+  r.interested_deliveries = interested_deliveries_;
+  r.false_deliveries = false_deliveries_;
+  r.forwardings = forwardings_;
+  r.message_bytes = message_bytes_;
+  r.control_bytes = control_bytes_;
+  if (expected_deliveries_ > 0) {
+    r.delivery_ratio = static_cast<double>(interested_deliveries_) /
+                       static_cast<double>(expected_deliveries_);
+  }
+  if (!delay_minutes_.empty()) {
+    r.mean_delay_minutes = delay_minutes_.mean();
+    r.median_delay_minutes = delay_minutes_.median();
+    r.max_delay_minutes = delay_minutes_.percentile(100.0);
+  }
+  std::uint64_t total_delivered = delivered_pairs_.size();
+  if (total_delivered > 0) {
+    r.forwardings_per_delivery = static_cast<double>(forwardings_) /
+                                 static_cast<double>(total_delivered);
+    r.false_positive_rate = static_cast<double>(false_deliveries_) /
+                            static_cast<double>(total_delivered);
+  }
+  return r;
+}
+
+}  // namespace bsub::metrics

@@ -1,0 +1,80 @@
+// Metrics collection for protocol runs (paper section VII's four metrics):
+// delivery ratio, delay of delivered messages, forwardings per delivered
+// message, and the false-positive delivery rate — plus byte-level overhead
+// accounting used in the memory/bandwidth discussions.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "trace/contact.h"
+#include "util/stats.h"
+#include "util/time.h"
+#include "workload/message.h"
+
+namespace bsub::metrics {
+
+/// Final numbers for one protocol run.
+struct RunResults {
+  std::uint64_t messages_created = 0;
+  std::uint64_t expected_deliveries = 0;  ///< (msg, interested node) pairs
+  std::uint64_t interested_deliveries = 0;
+  /// Deliveries attributable to Bloom false positives: handed to an
+  /// uninterested consumer, or riding a copy that was falsely injected into
+  /// the network by a relay-filter false positive (paper section VI-B).
+  std::uint64_t false_deliveries = 0;
+  std::uint64_t forwardings = 0;          ///< message-body transmissions
+  std::uint64_t message_bytes = 0;
+  std::uint64_t control_bytes = 0;        ///< filters / interest reports
+
+  double delivery_ratio = 0.0;            ///< interested / expected
+  double mean_delay_minutes = 0.0;        ///< over interested deliveries
+  double median_delay_minutes = 0.0;
+  double max_delay_minutes = 0.0;
+  double forwardings_per_delivery = 0.0;  ///< forwardings / total delivered
+  double false_positive_rate = 0.0;       ///< false / total delivered
+};
+
+/// Accumulates events during a run; protocols report through this.
+class Collector {
+ public:
+  void set_expected(std::uint64_t messages_created,
+                    std::uint64_t expected_deliveries);
+
+  /// A message body crossed a link (any hop, including final delivery).
+  void record_forwarding(const workload::Message& msg);
+
+  /// A message reached `node`. `interested` means the node subscribed to
+  /// the message's key (drives delivery ratio and delay); `falsely_injected`
+  /// marks copies whose path into the network was created by a relay-filter
+  /// false positive (drives the FPR metric even when the receiving consumer
+  /// was genuinely interested). Duplicate (msg, node) pairs are ignored.
+  void record_delivery(const workload::Message& msg, trace::NodeId node,
+                       util::Time now, bool interested,
+                       bool falsely_injected = false);
+
+  /// True if (msg, node) was already delivered — lets protocols skip
+  /// retransmissions to satisfied consumers.
+  bool delivered(workload::MessageId id, trace::NodeId node) const;
+
+  void record_control_bytes(std::uint64_t bytes) { control_bytes_ += bytes; }
+
+  RunResults results() const;
+
+ private:
+  static std::uint64_t pair_key(workload::MessageId id, trace::NodeId node) {
+    return (id << 20) ^ static_cast<std::uint64_t>(node);
+  }
+
+  std::uint64_t messages_created_ = 0;
+  std::uint64_t expected_deliveries_ = 0;
+  std::uint64_t forwardings_ = 0;
+  std::uint64_t message_bytes_ = 0;
+  std::uint64_t control_bytes_ = 0;
+  std::uint64_t interested_deliveries_ = 0;
+  std::uint64_t false_deliveries_ = 0;
+  std::unordered_set<std::uint64_t> delivered_pairs_;
+  util::PercentileTracker delay_minutes_;
+};
+
+}  // namespace bsub::metrics

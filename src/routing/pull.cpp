@@ -1,0 +1,45 @@
+#include "routing/pull.h"
+
+namespace bsub::routing {
+
+void PullProtocol::on_start(const trace::ContactTrace& trace,
+                            const workload::Workload& workload,
+                            metrics::Collector& collector) {
+  workload_ = &workload;
+  collector_ = &collector;
+  produced_.assign(trace.node_count(), {});
+}
+
+void PullProtocol::on_message_created(const workload::Message& msg,
+                                      util::Time /*now*/) {
+  produced_[msg.producer].add(msg);
+}
+
+void PullProtocol::on_contact(trace::NodeId a, trace::NodeId b, util::Time now,
+                              util::Time /*duration*/, sim::Link& link) {
+  produced_[a].purge_expired(now);
+  produced_[b].purge_expired(now);
+  pull(a, b, now, link);
+  pull(b, a, now, link);
+}
+
+void PullProtocol::pull(trace::NodeId consumer, trace::NodeId producer,
+                        util::Time now, sim::Link& link) {
+  // The consumer announces its interests: raw key strings.
+  std::size_t announce_bytes = 0;
+  for (workload::KeyId k : workload_->interests_of(consumer)) {
+    announce_bytes += workload_->keys().name(k).size();
+  }
+  if (!link.try_send(announce_bytes)) return;
+  collector_->record_control_bytes(announce_bytes);
+
+  for (const auto& [id, msg] : produced_[producer]) {
+    if (!workload_->is_interested(consumer, msg.key)) continue;
+    if (collector_->delivered(id, consumer)) continue;
+    if (!link.try_send(msg.size_bytes)) break;
+    collector_->record_forwarding(msg);
+    collector_->record_delivery(msg, consumer, now, /*interested=*/true);
+  }
+}
+
+}  // namespace bsub::routing

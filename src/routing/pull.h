@@ -1,0 +1,36 @@
+// PULL baseline (paper section VII-A): one-hop interest-driven collection.
+//
+// A node only collects messages it is interested in, and only from direct
+// neighbors' own productions — no relaying ever happens. PULL is the
+// overhead lower bound but pays in delivery ratio and delay.
+#pragma once
+
+#include <vector>
+
+#include "sim/message_store.h"
+#include "sim/protocol.h"
+
+namespace bsub::routing {
+
+class PullProtocol final : public sim::Protocol {
+ public:
+  void on_start(const trace::ContactTrace& trace,
+                const workload::Workload& workload,
+                metrics::Collector& collector) override;
+  void on_message_created(const workload::Message& msg,
+                          util::Time now) override;
+  void on_contact(trace::NodeId a, trace::NodeId b, util::Time now,
+                  util::Time duration, sim::Link& link) override;
+  const char* name() const override { return "PULL"; }
+
+ private:
+  /// `consumer` pulls matching messages produced by `producer`.
+  void pull(trace::NodeId consumer, trace::NodeId producer, util::Time now,
+            sim::Link& link);
+
+  const workload::Workload* workload_ = nullptr;
+  metrics::Collector* collector_ = nullptr;
+  std::vector<sim::MessageStore> produced_;  // each node's own messages
+};
+
+}  // namespace bsub::routing

@@ -1,0 +1,54 @@
+#include "routing/push.h"
+
+#include <algorithm>
+
+namespace bsub::routing {
+
+void PushProtocol::on_start(const trace::ContactTrace& trace,
+                            const workload::Workload& workload,
+                            metrics::Collector& collector) {
+  workload_ = &workload;
+  collector_ = &collector;
+  buffers_.assign(trace.node_count(), {});
+  seen_.assign(trace.node_count(),
+               std::vector<bool>(workload.messages().size(), false));
+}
+
+void PushProtocol::on_message_created(const workload::Message& msg,
+                                      util::Time /*now*/) {
+  buffers_[msg.producer].push_back(msg.id);
+  seen_[msg.producer][msg.id] = true;
+}
+
+void PushProtocol::on_contact(trace::NodeId a, trace::NodeId b, util::Time now,
+                              util::Time /*duration*/, sim::Link& link) {
+  purge(a, now);
+  purge(b, now);
+  transfer(a, b, now, link);
+  transfer(b, a, now, link);
+}
+
+void PushProtocol::transfer(trace::NodeId from, trace::NodeId to,
+                            util::Time now, sim::Link& link) {
+  const auto& messages = workload_->messages();
+  for (workload::MessageId id : buffers_[from]) {
+    if (seen_[to][id]) continue;
+    const workload::Message& msg = messages[id];
+    if (!link.try_send(msg.size_bytes)) break;
+    collector_->record_forwarding(msg);
+    seen_[to][id] = true;
+    buffers_[to].push_back(id);
+    if (workload_->is_interested(to, msg.key)) {
+      collector_->record_delivery(msg, to, now, /*interested=*/true);
+    }
+  }
+}
+
+void PushProtocol::purge(trace::NodeId node, util::Time now) {
+  const auto& messages = workload_->messages();
+  std::erase_if(buffers_[node], [&](workload::MessageId id) {
+    return messages[id].expired_at(now);
+  });
+}
+
+}  // namespace bsub::routing

@@ -1,0 +1,39 @@
+// PUSH baseline (paper section VII-A): epidemic flooding.
+//
+// A node replicates every message it stores to every encountered node that
+// does not yet have a copy, subject to the contact's byte budget. PUSH is
+// the delivery-ratio/delay upper bound and the overhead worst case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace bsub::routing {
+
+class PushProtocol final : public sim::Protocol {
+ public:
+  void on_start(const trace::ContactTrace& trace,
+                const workload::Workload& workload,
+                metrics::Collector& collector) override;
+  void on_message_created(const workload::Message& msg,
+                          util::Time now) override;
+  void on_contact(trace::NodeId a, trace::NodeId b, util::Time now,
+                  util::Time duration, sim::Link& link) override;
+  const char* name() const override { return "PUSH"; }
+
+ private:
+  void transfer(trace::NodeId from, trace::NodeId to, util::Time now,
+                sim::Link& link);
+  void purge(trace::NodeId node, util::Time now);
+
+  const workload::Workload* workload_ = nullptr;
+  metrics::Collector* collector_ = nullptr;
+  // buffers_[n]: ids of live messages held by n, in acquisition order.
+  std::vector<std::vector<workload::MessageId>> buffers_;
+  // seen_[n][id]: n already has (or had) a copy; prevents re-replication.
+  std::vector<std::vector<bool>> seen_;
+};
+
+}  // namespace bsub::routing

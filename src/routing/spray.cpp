@@ -1,0 +1,88 @@
+#include "routing/spray.h"
+
+namespace bsub::routing {
+
+void SprayProtocol::on_start(const trace::ContactTrace& trace,
+                             const workload::Workload& workload,
+                             metrics::Collector& collector) {
+  workload_ = &workload;
+  collector_ = &collector;
+  produced_.assign(trace.node_count(), {});
+  relayed_.assign(trace.node_count(), {});
+}
+
+void SprayProtocol::on_message_created(const workload::Message& msg,
+                                       util::Time /*now*/) {
+  produced_[msg.producer].emplace(msg.id, SourceMessage{msg, copies_});
+}
+
+void SprayProtocol::on_contact(trace::NodeId a, trace::NodeId b,
+                               util::Time now, util::Time /*duration*/,
+                               sim::Link& link) {
+  purge(a, now);
+  purge(b, now);
+  // Deliveries first (they satisfy consumers directly), then sprays.
+  deliver(a, b, now, link);
+  deliver(b, a, now, link);
+  spray(a, b, now, link);
+  spray(b, a, now, link);
+}
+
+void SprayProtocol::spray(trace::NodeId producer, trace::NodeId peer,
+                          util::Time now, sim::Link& link) {
+  for (auto it = produced_[producer].begin();
+       it != produced_[producer].end();) {
+    SourceMessage& sm = it->second;
+    if (sm.copies_left == 0 || relayed_[peer].contains(sm.msg.id) ||
+        sm.msg.producer == peer) {
+      ++it;
+      continue;
+    }
+    if (!link.try_send(sm.msg.size_bytes)) break;
+    collector_->record_forwarding(sm.msg);
+    relayed_[peer].add(sm.msg);
+    // A spray copy that lands on its consumer is also a delivery.
+    if (workload_->is_interested(peer, sm.msg.key)) {
+      collector_->record_delivery(sm.msg, peer, now, /*interested=*/true);
+    }
+    if (--sm.copies_left == 0) {
+      it = produced_[producer].erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SprayProtocol::deliver(trace::NodeId holder, trace::NodeId consumer,
+                            util::Time now, sim::Link& link) {
+  // Producer-held messages deliver directly too (and do not spend copies).
+  for (const auto& [id, sm] : produced_[holder]) {
+    if (!workload_->is_interested(consumer, sm.msg.key) ||
+        sm.msg.producer == consumer) {
+      continue;
+    }
+    if (collector_->delivered(id, consumer)) continue;
+    if (!link.try_send(sm.msg.size_bytes)) return;
+    collector_->record_forwarding(sm.msg);
+    collector_->record_delivery(sm.msg, consumer, now, /*interested=*/true);
+  }
+  for (const auto& [id, msg] : relayed_[holder]) {
+    if (!workload_->is_interested(consumer, msg.key) ||
+        msg.producer == consumer) {
+      continue;
+    }
+    if (collector_->delivered(id, consumer)) continue;
+    if (!link.try_send(msg.size_bytes)) return;
+    collector_->record_forwarding(msg);
+    collector_->record_delivery(msg, consumer, now, /*interested=*/true);
+  }
+}
+
+void SprayProtocol::purge(trace::NodeId node, util::Time now) {
+  std::erase_if(produced_[node], [now](const auto& kv) {
+    return kv.second.msg.expired_at(now);
+  });
+  relayed_[node].purge_expired(now);
+}
+
+}  // namespace bsub::routing

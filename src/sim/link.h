@@ -1,0 +1,42 @@
+// A contact-scoped radio link with a finite byte budget.
+//
+// The paper models Bluetooth at a 1 Mbps peak but assumes an effective
+// 250 Kbps; a contact of duration d can move at most d * rate bytes in both
+// directions combined. Protocols must push every transmission through
+// try_send so that bandwidth contention is honored.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace bsub::sim {
+
+/// Effective Bluetooth throughput the paper assumes: 250 Kbps.
+inline constexpr double kDefaultBandwidthBytesPerSecond = 250'000.0 / 8.0;
+
+class Link {
+ public:
+  Link(util::Time duration, double bytes_per_second)
+      : budget_(static_cast<std::uint64_t>(
+            util::to_seconds(duration) * bytes_per_second)) {}
+
+  /// Consumes `bytes` of budget. Returns false (consuming nothing) when the
+  /// remaining budget is insufficient — the transfer does not happen.
+  bool try_send(std::size_t bytes) {
+    if (bytes > budget_ - used_) return false;
+    used_ += bytes;
+    return true;
+  }
+
+  std::uint64_t budget_bytes() const { return budget_; }
+  std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t remaining_bytes() const { return budget_ - used_; }
+
+ private:
+  std::uint64_t budget_;
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace bsub::sim

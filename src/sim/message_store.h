@@ -1,0 +1,51 @@
+// Per-node message buffer shared by all protocols.
+//
+// Ordered by message id (== creation order) so that iteration — and
+// therefore transmission order under bandwidth pressure — is deterministic.
+#pragma once
+
+#include <map>
+
+#include "util/time.h"
+#include "workload/message.h"
+
+namespace bsub::sim {
+
+class MessageStore {
+ public:
+  /// Adds a copy; returns false if the id is already buffered.
+  bool add(const workload::Message& msg) {
+    return messages_.emplace(msg.id, msg).second;
+  }
+
+  bool contains(workload::MessageId id) const {
+    return messages_.contains(id);
+  }
+
+  bool remove(workload::MessageId id) { return messages_.erase(id) > 0; }
+
+  /// Pointer to the buffered message, or nullptr if absent.
+  const workload::Message* find(workload::MessageId id) const {
+    auto it = messages_.find(id);
+    return it == messages_.end() ? nullptr : &it->second;
+  }
+
+  /// Drops messages whose TTL has elapsed at `now`.
+  void purge_expired(util::Time now) {
+    std::erase_if(messages_,
+                  [now](const auto& kv) { return kv.second.expired_at(now); });
+  }
+
+  std::size_t size() const { return messages_.size(); }
+  bool empty() const { return messages_.empty(); }
+  void clear() { messages_.clear(); }
+
+  /// Iteration in id (creation) order.
+  auto begin() const { return messages_.begin(); }
+  auto end() const { return messages_.end(); }
+
+ private:
+  std::map<workload::MessageId, workload::Message> messages_;
+};
+
+}  // namespace bsub::sim

@@ -1,0 +1,44 @@
+// Protocol strategy interface for the trace-driven simulator.
+//
+// A protocol owns all per-node state (buffers, filters, roles) and reacts to
+// the two event kinds the simulator replays: message creation at a producer
+// and pairwise contacts. Every transmission must pass through the contact's
+// Link so that the byte budget is honored, and deliveries/forwardings must
+// be reported to the metrics Collector.
+#pragma once
+
+#include "metrics/collector.h"
+#include "sim/link.h"
+#include "trace/contact.h"
+#include "trace/trace.h"
+#include "util/time.h"
+#include "workload/workload.h"
+
+namespace bsub::sim {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Called once before replay with the full scenario.
+  virtual void on_start(const trace::ContactTrace& trace,
+                        const workload::Workload& workload,
+                        metrics::Collector& collector) = 0;
+
+  /// A producer created a message at `now` (== msg.created).
+  virtual void on_message_created(const workload::Message& msg,
+                                  util::Time now) = 0;
+
+  /// Nodes `a` and `b` are in contact during [now, now + link budget's
+  /// duration). All transfers go through `link`.
+  virtual void on_contact(trace::NodeId a, trace::NodeId b, util::Time now,
+                          util::Time duration, Link& link) = 0;
+
+  /// Called once after the last event.
+  virtual void on_end(util::Time now) {}
+
+  /// Human-readable protocol name for reports.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace bsub::sim

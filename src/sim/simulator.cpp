@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+namespace bsub::sim {
+
+metrics::RunResults Simulator::run(const trace::ContactTrace& trace,
+                                   const workload::Workload& workload,
+                                   Protocol& protocol) {
+  metrics::Collector collector;
+  collector.set_expected(workload.messages().size(),
+                         workload.expected_deliveries());
+  protocol.on_start(trace, workload, collector);
+
+  const auto& contacts = trace.contacts();
+  const auto& messages = workload.messages();
+  std::size_t ci = 0, mi = 0;
+  util::Time now = trace.start_time();
+
+  // Two-way merge of the contact stream and the message-creation stream;
+  // creations at time t are visible to a contact starting at the same t.
+  while (ci < contacts.size() || mi < messages.size()) {
+    const bool take_message =
+        mi < messages.size() &&
+        (ci >= contacts.size() || messages[mi].created <= contacts[ci].start);
+    if (take_message) {
+      now = messages[mi].created;
+      protocol.on_message_created(messages[mi], now);
+      ++mi;
+    } else {
+      const trace::Contact& c = contacts[ci];
+      now = c.start;
+      Link link(c.duration(), config_.bandwidth_bytes_per_second);
+      protocol.on_contact(c.a, c.b, now, c.duration(), link);
+      ++ci;
+    }
+  }
+  protocol.on_end(now);
+  return collector.results();
+}
+
+}  // namespace bsub::sim

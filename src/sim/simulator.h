@@ -1,0 +1,34 @@
+// Trace-driven DTN simulator (paper section VII's evaluation substrate).
+//
+// Replays a contact trace against a materialized workload: message-creation
+// events and contact events are merged in time order and dispatched to the
+// protocol under test. Deterministic: same trace + workload + protocol state
+// gives identical results.
+#pragma once
+
+#include "metrics/collector.h"
+#include "sim/link.h"
+#include "sim/protocol.h"
+#include "trace/trace.h"
+#include "workload/workload.h"
+
+namespace bsub::sim {
+
+struct SimulatorConfig {
+  double bandwidth_bytes_per_second = kDefaultBandwidthBytesPerSecond;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(SimulatorConfig config = {}) : config_(config) {}
+
+  /// Runs `protocol` over the scenario and returns the collected metrics.
+  metrics::RunResults run(const trace::ContactTrace& trace,
+                          const workload::Workload& workload,
+                          Protocol& protocol);
+
+ private:
+  SimulatorConfig config_;
+};
+
+}  // namespace bsub::sim

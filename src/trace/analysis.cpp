@@ -1,0 +1,89 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace bsub::trace {
+
+namespace {
+
+std::map<std::pair<NodeId, NodeId>, std::vector<util::Time>> contacts_by_pair(
+    const ContactTrace& trace) {
+  std::map<std::pair<NodeId, NodeId>, std::vector<util::Time>> by_pair;
+  for (const Contact& c : trace.contacts()) {
+    by_pair[{c.a, c.b}].push_back(c.start);
+  }
+  return by_pair;
+}
+
+}  // namespace
+
+PairStats pair_stats(const ContactTrace& trace) {
+  PairStats stats;
+  const auto by_pair = contacts_by_pair(trace);
+  stats.pairs_meeting = by_pair.size();
+  std::size_t total = 0;
+  for (const auto& [pair, starts] : by_pair) {
+    total += starts.size();
+    stats.max_contacts_per_pair =
+        std::max(stats.max_contacts_per_pair, starts.size());
+  }
+  if (!by_pair.empty()) {
+    stats.mean_contacts_per_pair =
+        static_cast<double>(total) / static_cast<double>(by_pair.size());
+  }
+  const std::size_t n = trace.node_count();
+  if (n >= 2) {
+    stats.pair_coverage = static_cast<double>(stats.pairs_meeting) /
+                          (static_cast<double>(n) * (n - 1) / 2.0);
+  }
+  return stats;
+}
+
+std::vector<double> pair_inter_contact_times_s(const ContactTrace& trace) {
+  std::vector<double> gaps;
+  for (auto& [pair, starts] : contacts_by_pair(trace)) {
+    // Starts arrive in trace (time) order already, but sort defensively.
+    std::vector<util::Time> s = starts;
+    std::sort(s.begin(), s.end());
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      gaps.push_back(util::to_seconds(s[i] - s[i - 1]));
+    }
+  }
+  return gaps;
+}
+
+std::vector<double> node_inter_contact_times_s(const ContactTrace& trace) {
+  std::vector<std::vector<util::Time>> by_node(trace.node_count());
+  for (const Contact& c : trace.contacts()) {
+    by_node[c.a].push_back(c.start);
+    by_node[c.b].push_back(c.start);
+  }
+  std::vector<double> gaps;
+  for (auto& starts : by_node) {
+    std::sort(starts.begin(), starts.end());
+    for (std::size_t i = 1; i < starts.size(); ++i) {
+      gaps.push_back(util::to_seconds(starts[i] - starts[i - 1]));
+    }
+  }
+  return gaps;
+}
+
+std::vector<double> contact_durations_s(const ContactTrace& trace) {
+  std::vector<double> durations;
+  durations.reserve(trace.contacts().size());
+  for (const Contact& c : trace.contacts()) {
+    durations.push_back(util::to_seconds(c.duration()));
+  }
+  return durations;
+}
+
+double fraction_above(const std::vector<double>& samples, double threshold) {
+  if (samples.empty()) return 0.0;
+  std::size_t above = 0;
+  for (double s : samples) above += (s > threshold);
+  return static_cast<double>(above) / static_cast<double>(samples.size());
+}
+
+}  // namespace bsub::trace

@@ -1,0 +1,39 @@
+// Trace analytics beyond the Table-I summary: inter-contact-time
+// distributions and pair-level statistics. These are the quantities the DTN
+// literature (and this paper's related work, e.g. Chaintreau et al.) uses
+// to characterize human mobility, and what our synthetic generators are
+// judged against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace bsub::trace {
+
+/// Pair-level aggregate statistics.
+struct PairStats {
+  std::size_t pairs_meeting = 0;      ///< distinct pairs with >= 1 contact
+  double mean_contacts_per_pair = 0;  ///< over pairs that meet
+  std::size_t max_contacts_per_pair = 0;
+  double pair_coverage = 0;           ///< pairs meeting / all possible pairs
+};
+
+PairStats pair_stats(const ContactTrace& trace);
+
+/// Gaps (seconds) between consecutive contacts of the same pair, pooled
+/// over all pairs. Heavy-tailed in real human traces.
+std::vector<double> pair_inter_contact_times_s(const ContactTrace& trace);
+
+/// Gaps (seconds) between consecutive contacts of the same node (any peer),
+/// pooled over all nodes — the refresh rate relay filters actually see.
+std::vector<double> node_inter_contact_times_s(const ContactTrace& trace);
+
+/// Contact durations in seconds, in trace order.
+std::vector<double> contact_durations_s(const ContactTrace& trace);
+
+/// Fraction of samples above `threshold` (handy for tail inspection).
+double fraction_above(const std::vector<double>& samples, double threshold);
+
+}  // namespace bsub::trace

@@ -1,0 +1,36 @@
+#include "trace/centrality.h"
+
+#include <algorithm>
+
+namespace bsub::trace {
+
+std::vector<double> degree_centrality(const ContactTrace& trace) {
+  auto deg = trace.degrees();
+  std::vector<double> c(deg.size(), 0.0);
+  if (trace.node_count() < 2) return c;
+  double denom = static_cast<double>(trace.node_count() - 1);
+  for (std::size_t i = 0; i < deg.size(); ++i) {
+    c[i] = static_cast<double>(deg[i]) / denom;
+  }
+  return c;
+}
+
+std::vector<double> contact_centrality(const ContactTrace& trace) {
+  auto counts = trace.contact_counts();
+  std::vector<double> c(counts.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t n : counts) total += static_cast<double>(n);
+  if (total == 0.0) return c;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    c[i] = static_cast<double>(counts[i]) / total;
+  }
+  return c;
+}
+
+std::pair<double, double> centrality_range(const std::vector<double>& c) {
+  if (c.empty()) return {0.0, 0.0};
+  auto [mn, mx] = std::minmax_element(c.begin(), c.end());
+  return {*mn, *mx};
+}
+
+}  // namespace bsub::trace

@@ -1,0 +1,22 @@
+// Degree-centrality measures over contact traces (paper sections II-A,
+// VII-A): the paper sets each node's message-generation rate proportionally
+// to its centrality and drives broker election from windowed degrees.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace bsub::trace {
+
+/// Degree centrality: unique peers met across the whole trace, normalized
+/// to [0, 1] by (node_count - 1). Nodes that meet everyone score 1.
+std::vector<double> degree_centrality(const ContactTrace& trace);
+
+/// Contact-volume centrality: share of total contact participations.
+std::vector<double> contact_centrality(const ContactTrace& trace);
+
+/// Min/max of a centrality vector, as (min, max); (0, 0) when empty.
+std::pair<double, double> centrality_range(const std::vector<double>& c);
+
+}  // namespace bsub::trace

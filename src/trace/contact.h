@@ -1,0 +1,28 @@
+// A single pairwise contact in a human-contact trace.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace bsub::trace {
+
+/// Node identifier within a trace; dense in [0, node_count).
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// One sighting: nodes `a` and `b` were within radio range during
+/// [start, end). Undirected; by convention a < b after normalization.
+struct Contact {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  util::Time start = 0;
+  util::Time end = 0;
+
+  util::Time duration() const { return end - start; }
+
+  friend bool operator==(const Contact&, const Contact&) = default;
+};
+
+}  // namespace bsub::trace

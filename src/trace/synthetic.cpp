@@ -1,0 +1,223 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace bsub::trace {
+
+namespace {
+
+/// Samples a start time from the piecewise-constant hour-of-day intensity
+/// profile tiled across the trace duration.
+class StartTimeSampler {
+ public:
+  StartTimeSampler(const std::array<double, 24>& hourly, util::Time duration)
+      : duration_(duration) {
+    // Build the CDF over whole hours of the trace; the profile repeats
+    // every 24 h.
+    std::size_t hours =
+        static_cast<std::size_t>((duration + util::kHour - 1) / util::kHour);
+    cdf_.resize(hours);
+    double acc = 0.0;
+    for (std::size_t h = 0; h < hours; ++h) {
+      acc += std::max(0.0, hourly[h % 24]);
+      cdf_[h] = acc;
+    }
+    assert(acc > 0.0);
+    for (double& v : cdf_) v /= acc;
+  }
+
+  util::Time sample(util::Rng& rng) const {
+    double u = rng.next_double();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    std::size_t hour = static_cast<std::size_t>(it - cdf_.begin());
+    if (hour >= cdf_.size()) hour = cdf_.size() - 1;
+    util::Time within = static_cast<util::Time>(rng.next_double() *
+                                                static_cast<double>(util::kHour));
+    util::Time t = static_cast<util::Time>(hour) * util::kHour + within;
+    return std::min(t, duration_ - 1);
+  }
+
+ private:
+  util::Time duration_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+ContactTrace generate_trace(const SyntheticTraceConfig& config) {
+  assert(config.node_count >= 2);
+  assert(config.community_count >= 1);
+  util::Rng rng(config.seed);
+  util::Rng pair_rng = rng.split(1);
+  util::Rng time_rng = rng.split(2);
+  util::Rng dur_rng = rng.split(3);
+
+  // Per-node sociability weights (heavy-tailed) and community labels.
+  std::vector<double> weight(config.node_count);
+  std::vector<std::size_t> community(config.node_count);
+  for (std::size_t i = 0; i < config.node_count; ++i) {
+    weight[i] = rng.next_pareto(1.0, config.sociability_alpha);
+    community[i] = i % config.community_count;  // balanced assignment
+  }
+
+  // Per-community weight lists for biased peer selection.
+  std::vector<std::vector<NodeId>> members(config.community_count);
+  std::vector<std::vector<double>> member_weight(config.community_count);
+  for (std::size_t i = 0; i < config.node_count; ++i) {
+    members[community[i]].push_back(static_cast<NodeId>(i));
+    member_weight[community[i]].push_back(weight[i]);
+  }
+
+  StartTimeSampler start_sampler(config.hourly_intensity, config.duration);
+
+  std::vector<Contact> contacts;
+  contacts.reserve(config.contact_count);
+  const double min_dur = config.min_contact_duration_s;
+  const double max_dur = config.max_contact_duration_s;
+
+  // Contacts are generated session by session: a seed community hosts a
+  // gathering, members are drawn (mostly) from it weighted by sociability,
+  // and the members mingle pairwise for the session's duration.
+  std::vector<NodeId> session;
+  std::vector<double> session_weight;
+  while (contacts.size() < config.contact_count) {
+    if (pair_rng.next_bool(config.random_encounter_fraction)) {
+      // An isolated hallway encounter between one community-biased pair.
+      std::size_t a = pair_rng.next_weighted(weight);
+      std::size_t b = a;
+      const bool intra = pair_rng.next_bool(config.intra_community_bias) &&
+                         members[community[a]].size() > 1;
+      for (int attempts = 0; b == a && attempts < 64; ++attempts) {
+        b = intra ? members[community[a]][pair_rng.next_weighted(
+                        member_weight[community[a]])]
+                  : pair_rng.next_weighted(weight);
+      }
+      if (b == a) continue;
+      Contact c;
+      c.a = static_cast<NodeId>(std::min(a, b));
+      c.b = static_cast<NodeId>(std::max(a, b));
+      c.start = start_sampler.sample(time_rng);
+      double dur_s = std::clamp(
+          dur_rng.next_exponential(1.0 / config.mean_contact_duration_s),
+          min_dur, max_dur);
+      c.end = std::min<util::Time>(c.start + util::from_seconds(dur_s),
+                                   config.duration);
+      if (c.end > c.start) contacts.push_back(c);
+      continue;
+    }
+    const util::Time session_start = start_sampler.sample(time_rng);
+    const util::Time session_duration = static_cast<util::Time>(
+        pair_rng.next_int(config.session_duration_min,
+                          config.session_duration_max));
+    const std::size_t target_size = std::max<std::size_t>(
+        2, std::min(config.node_count,
+                    1 + pair_rng.next_poisson(config.session_size_mean - 1)));
+    const std::size_t seed_community =
+        community[pair_rng.next_weighted(weight)];
+
+    // Draw distinct members: from the seed community with the configured
+    // bias, otherwise from everyone; always sociability-weighted.
+    session.clear();
+    session_weight.clear();
+    for (int attempts = 0;
+         session.size() < target_size && attempts < 256; ++attempts) {
+      std::size_t n;
+      if (pair_rng.next_bool(config.intra_community_bias)) {
+        std::size_t idx = pair_rng.next_weighted(member_weight[seed_community]);
+        n = members[seed_community][idx];
+      } else {
+        n = pair_rng.next_weighted(weight);
+      }
+      if (std::find(session.begin(), session.end(),
+                    static_cast<NodeId>(n)) == session.end()) {
+        session.push_back(static_cast<NodeId>(n));
+        session_weight.push_back(weight[n]);
+      }
+    }
+    if (session.size() < 2) continue;
+
+    // Pairwise sightings among members, spread across the session.
+    const std::size_t session_contacts = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config.contacts_per_member *
+                                    static_cast<double>(session.size()) /
+                                    2.0));
+    for (std::size_t i = 0;
+         i < session_contacts && contacts.size() < config.contact_count;
+         ++i) {
+      std::size_t ia = pair_rng.next_weighted(session_weight);
+      std::size_t ib = ia;
+      for (int attempts = 0; ib == ia && attempts < 64; ++attempts) {
+        ib = pair_rng.next_weighted(session_weight);
+      }
+      if (ib == ia) continue;
+      Contact c;
+      c.a = std::min(session[ia], session[ib]);
+      c.b = std::max(session[ia], session[ib]);
+      c.start = session_start +
+                static_cast<util::Time>(time_rng.next_double() *
+                                        static_cast<double>(session_duration));
+      double dur_s = std::clamp(
+          dur_rng.next_exponential(1.0 / config.mean_contact_duration_s),
+          min_dur, max_dur);
+      c.end = std::min<util::Time>(c.start + util::from_seconds(dur_s),
+                                   config.duration);
+      if (c.end > c.start) contacts.push_back(c);
+    }
+  }
+
+  return ContactTrace(config.node_count, std::move(contacts), config.name);
+}
+
+SyntheticTraceConfig haggle_infocom06_config(std::uint64_t seed) {
+  SyntheticTraceConfig cfg;
+  cfg.name = "haggle-infocom06-like";
+  cfg.node_count = 79;
+  cfg.contact_count = 67360;
+  cfg.duration = 3 * util::kDay;
+  cfg.community_count = 6;          // parallel session tracks / affiliations
+  cfg.intra_community_bias = 0.55;  // conferences mix heavily
+  cfg.sociability_alpha = 1.6;
+  cfg.mean_contact_duration_s = 120.0;
+  cfg.session_size_mean = 10.0;     // talks, lunch tables, hallway clusters
+  cfg.session_duration_min = 30 * util::kMinute;
+  cfg.session_duration_max = 2 * util::kHour;
+  cfg.contacts_per_member = 7.0;
+  // Conference rhythm: quiet nights, session blocks, lunch and evening
+  // social peaks.
+  cfg.hourly_intensity = {0.05, 0.03, 0.02, 0.02, 0.02, 0.05,  // 00-05
+                          0.15, 0.40, 0.90, 1.00, 1.00, 1.00,  // 06-11
+                          1.30, 1.10, 1.00, 1.00, 1.00, 0.90,  // 12-17
+                          0.80, 0.90, 0.70, 0.40, 0.20, 0.10}; // 18-23
+  cfg.seed = seed;
+  return cfg;
+}
+
+SyntheticTraceConfig mit_reality_config(std::uint64_t seed) {
+  SyntheticTraceConfig cfg;
+  cfg.name = "mit-reality-3day-like";
+  cfg.node_count = 97;
+  cfg.contact_count = 54667;
+  cfg.duration = 3 * util::kDay;
+  cfg.community_count = 10;         // labs / dorm groups
+  cfg.intra_community_bias = 0.85;  // campus life is cliquish
+  cfg.sociability_alpha = 1.4;      // stronger hubs
+  cfg.mean_contact_duration_s = 180.0;
+  cfg.session_size_mean = 5.0;      // small lab/classroom groups
+  cfg.session_duration_min = 45 * util::kMinute;
+  cfg.session_duration_max = 3 * util::kHour;
+  cfg.contacts_per_member = 8.0;
+  // Campus diurnal rhythm: classes and office hours, quieter evenings.
+  cfg.hourly_intensity = {0.04, 0.02, 0.02, 0.02, 0.02, 0.05,  // 00-05
+                          0.20, 0.50, 0.90, 1.00, 1.00, 0.90,  // 06-11
+                          1.00, 1.00, 1.00, 0.90, 0.80, 0.70,  // 12-17
+                          0.50, 0.40, 0.30, 0.20, 0.10, 0.06}; // 18-23
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace bsub::trace

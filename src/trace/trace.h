@@ -1,0 +1,60 @@
+// Container and statistics for a contact trace (paper Table I substrate).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/contact.h"
+#include "util/time.h"
+
+namespace bsub::trace {
+
+/// Aggregate statistics of a trace, mirroring the paper's Table I plus the
+/// distribution facts the synthetic generators are calibrated against.
+struct TraceStats {
+  std::size_t node_count = 0;
+  std::size_t contact_count = 0;
+  util::Time duration = 0;             ///< last end - first start
+  double mean_contact_duration_s = 0;  ///< seconds
+  double mean_contacts_per_node = 0;
+  double mean_degree = 0;              ///< unique peers met per node
+};
+
+/// An immutable, time-ordered collection of contacts.
+class ContactTrace {
+ public:
+  ContactTrace() = default;
+
+  /// Takes ownership of contacts; normalizes (a < b), drops empty/negative
+  /// durations and self-contacts, sorts by start time.
+  ContactTrace(std::size_t node_count, std::vector<Contact> contacts,
+               std::string name = "");
+
+  const std::string& name() const { return name_; }
+  std::size_t node_count() const { return node_count_; }
+  const std::vector<Contact>& contacts() const { return contacts_; }
+  bool empty() const { return contacts_.empty(); }
+
+  util::Time start_time() const;
+  util::Time end_time() const;
+
+  TraceStats stats() const;
+
+  /// Unique peers each node meets over the whole trace (degree centrality).
+  std::vector<std::size_t> degrees() const;
+
+  /// Unique peers each node meets within [from, to).
+  std::vector<std::size_t> degrees_in_window(util::Time from,
+                                             util::Time to) const;
+
+  /// Total number of contacts each node participates in.
+  std::vector<std::size_t> contact_counts() const;
+
+ private:
+  std::string name_;
+  std::size_t node_count_ = 0;
+  std::vector<Contact> contacts_;
+};
+
+}  // namespace bsub::trace

@@ -1,0 +1,71 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace bsub::trace {
+
+ContactTrace read_trace(std::istream& in, std::string name) {
+  std::vector<Contact> contacts;
+  std::size_t node_count = 0;
+  bool explicit_nodes = false;
+  NodeId max_id = 0;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hs(line.substr(1));
+      std::string word;
+      if (hs >> word && word == "nodes") {
+        if (hs >> node_count) explicit_nodes = true;
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::uint64_t a = 0, b = 0;
+    double start_s = 0.0, end_s = 0.0;
+    if (!(ls >> a >> b >> start_s >> end_s)) {
+      throw std::runtime_error("trace parse error at line " +
+                               std::to_string(line_no));
+    }
+    Contact c;
+    c.a = static_cast<NodeId>(a);
+    c.b = static_cast<NodeId>(b);
+    c.start = util::from_seconds(start_s);
+    c.end = util::from_seconds(end_s);
+    max_id = std::max({max_id, c.a, c.b});
+    contacts.push_back(c);
+  }
+  if (!explicit_nodes) {
+    node_count = contacts.empty() ? 0 : static_cast<std::size_t>(max_id) + 1;
+  }
+  return ContactTrace(node_count, std::move(contacts), std::move(name));
+}
+
+ContactTrace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(in, path);
+}
+
+void write_trace(std::ostream& out, const ContactTrace& trace) {
+  out << "# nodes " << trace.node_count() << "\n";
+  out << "# contacts " << trace.contacts().size() << "\n";
+  for (const Contact& c : trace.contacts()) {
+    out << c.a << ' ' << c.b << ' ' << util::to_seconds(c.start) << ' '
+        << util::to_seconds(c.end) << "\n";
+  }
+}
+
+void save_trace(const std::string& path, const ContactTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace file: " + path);
+  write_trace(out, trace);
+}
+
+}  // namespace bsub::trace

@@ -1,0 +1,29 @@
+// CRAWDAD-style text I/O for contact traces.
+//
+// Format: one contact per line, "<a> <b> <start_seconds> <end_seconds>",
+// '#' introduces comments. A header line "# nodes <n>" fixes the node count;
+// otherwise it is inferred as max id + 1. This matches the shape of the
+// published Haggle / Reality contact exports, so real CRAWDAD data can be
+// used in place of the synthetic traces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace bsub::trace {
+
+/// Parses a trace from a stream. Throws std::runtime_error on parse errors.
+ContactTrace read_trace(std::istream& in, std::string name = "");
+
+/// Parses a trace from a file. Throws std::runtime_error if unreadable.
+ContactTrace load_trace(const std::string& path);
+
+/// Writes a trace in the same format (seconds resolution).
+void write_trace(std::ostream& out, const ContactTrace& trace);
+
+/// Writes to a file. Throws std::runtime_error if unwritable.
+void save_trace(const std::string& path, const ContactTrace& trace);
+
+}  // namespace bsub::trace

@@ -1,0 +1,49 @@
+#include "util/binomial.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bsub::util {
+
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -INFINITY;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::uint64_t x, std::uint64_t n, double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  if (x > n) return 0.0;
+  if (p == 0.0) return x == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return x == n ? 1.0 : 0.0;
+  double lp = log_binomial_coefficient(n, x) +
+              static_cast<double>(x) * std::log(p) +
+              static_cast<double>(n - x) * std::log1p(-p);
+  return std::exp(lp);
+}
+
+double binomial_cdf(std::uint64_t x, std::uint64_t n, double p) {
+  if (x >= n) return 1.0;
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i <= x; ++i) acc += binomial_pmf(i, n, p);
+  return acc < 1.0 ? acc : 1.0;
+}
+
+double expected_min_binomial(std::uint64_t n, double p, std::uint32_t k) {
+  assert(k >= 1);
+  if (n == 0 || p <= 0.0) return 0.0;
+  // E[min] = sum_{t=1..n} P[min >= t]; accumulate the survival function of a
+  // single binomial incrementally to keep the whole loop O(n).
+  double cdf = binomial_pmf(0, n, p);  // F(0)
+  double expectation = 0.0;
+  for (std::uint64_t t = 1; t <= n; ++t) {
+    double survival = 1.0 - cdf;  // P[X >= t] = 1 - F(t-1)
+    if (survival <= 0.0) break;
+    expectation += std::pow(survival, static_cast<double>(k));
+    cdf += binomial_pmf(t, n, p);
+  }
+  return expectation;
+}
+
+}  // namespace bsub::util

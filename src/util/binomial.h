@@ -1,0 +1,28 @@
+// Binomial distribution and order-statistic math backing the paper's decay
+// factor analysis (section VI-A, Eq. 4-5).
+//
+// For a key inserted into a TCBF with k hash functions over m bits, each of
+// its bits is accidentally hit by other keys. With N other keys in the
+// window, the hit count of one bit is Binomial(N, k/m); the key survives
+// until its *minimum* counter drains, so the relevant quantity is the
+// expected minimum of k iid binomials (Eq. 4).
+#pragma once
+
+#include <cstdint>
+
+namespace bsub::util {
+
+/// log(n choose k); exact via lgamma.
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k);
+
+/// P[X = x] for X ~ Binomial(n, p).
+double binomial_pmf(std::uint64_t x, std::uint64_t n, double p);
+
+/// P[X <= x] for X ~ Binomial(n, p).
+double binomial_cdf(std::uint64_t x, std::uint64_t n, double p);
+
+/// Eq. 4: E[min(X_0..X_{k-1})] for k iid Binomial(n, p) variables, computed
+/// as sum_{t>=1} P[min >= t] = sum_{t=1..n} (1 - CDF(t-1))^k.
+double expected_min_binomial(std::uint64_t n, double p, std::uint32_t k);
+
+}  // namespace bsub::util

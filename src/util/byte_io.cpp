@@ -1,0 +1,150 @@
+#include "util/byte_io.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace bsub::util {
+
+void ByteWriter::put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::put_u16(std::uint16_t v) {
+  put_u8(static_cast<std::uint8_t>(v));
+  put_u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  put_u16(static_cast<std::uint16_t>(v));
+  put_u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v));
+  put_u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    put_u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  put_u8(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_double(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bits);
+}
+
+void ByteWriter::put_bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::put_string(std::string_view s) {
+  put_varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::put_bits(std::uint64_t value, unsigned bits) {
+  assert(bits >= 1 && bits <= 64);
+  if (bits < 64) value &= (1ULL << bits) - 1;
+  // Emit MSB-first, spilling full bytes as they accumulate.
+  for (unsigned i = bits; i > 0; --i) {
+    bit_acc_ = (bit_acc_ << 1) | ((value >> (i - 1)) & 1ULL);
+    if (++bit_count_ == 8) {
+      put_u8(static_cast<std::uint8_t>(bit_acc_));
+      bit_acc_ = 0;
+      bit_count_ = 0;
+    }
+  }
+}
+
+void ByteWriter::flush_bits() {
+  if (bit_count_ > 0) {
+    put_u8(static_cast<std::uint8_t>(bit_acc_ << (8 - bit_count_)));
+    bit_acc_ = 0;
+    bit_count_ = 0;
+  }
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) throw DecodeError("byte buffer underflow");
+}
+
+std::uint8_t ByteReader::get_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::get_u16() {
+  std::uint16_t lo = get_u8();
+  std::uint16_t hi = get_u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t ByteReader::get_u32() {
+  std::uint32_t lo = get_u16();
+  std::uint32_t hi = get_u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t ByteReader::get_u64() {
+  std::uint64_t lo = get_u32();
+  std::uint64_t hi = get_u32();
+  return lo | (hi << 32);
+}
+
+std::uint64_t ByteReader::get_varint() {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (shift >= 64) throw DecodeError("varint too long");
+    std::uint8_t b = get_u8();
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+double ByteReader::get_double() {
+  std::uint64_t bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::get_string() {
+  std::uint64_t n = get_varint();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::uint64_t ByteReader::get_bits(unsigned bits) {
+  assert(bits >= 1 && bits <= 64);
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    if (bit_count_ == 0) {
+      bit_acc_ = get_u8();
+      bit_count_ = 8;
+    }
+    v = (v << 1) | ((bit_acc_ >> (bit_count_ - 1)) & 1ULL);
+    --bit_count_;
+  }
+  return v;
+}
+
+void ByteReader::align_bits() {
+  bit_acc_ = 0;
+  bit_count_ = 0;
+}
+
+unsigned bits_for(std::uint64_t n) {
+  if (n <= 2) return 1;
+  return static_cast<unsigned>(std::bit_width(n - 1));
+}
+
+}  // namespace bsub::util

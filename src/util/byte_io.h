@@ -1,0 +1,82 @@
+// Byte-level serialization for the TCBF wire codec and trace files.
+//
+// Little-endian fixed-width integers plus LEB128 varints, and a bit-packing
+// writer used to encode set-bit locations in ceil(log2 m) bits each (paper
+// section VI-C).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bsub::util {
+
+/// Thrown on malformed input during decoding.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends primitive values to a growable byte buffer.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_varint(std::uint64_t v);
+  void put_double(double v);
+  void put_bytes(std::span<const std::uint8_t> data);
+  void put_string(std::string_view s);  // varint length + bytes
+
+  /// Appends `value` using the low `bits` bits (1..64), MSB-first into a
+  /// packing stream. Call `flush_bits()` before writing byte-aligned data.
+  void put_bits(std::uint64_t value, unsigned bits);
+  void flush_bits();
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t bit_acc_ = 0;
+  unsigned bit_count_ = 0;
+};
+
+/// Reads primitive values from a byte span; throws DecodeError on underflow.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::uint64_t get_varint();
+  double get_double();
+  std::string get_string();
+
+  /// Reads `bits` bits (1..64), MSB-first, from the packing stream.
+  /// Call `align_bits()` before resuming byte-aligned reads.
+  std::uint64_t get_bits(unsigned bits);
+  void align_bits();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return remaining() == 0 && bit_count_ == 0; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t bit_acc_ = 0;
+  unsigned bit_count_ = 0;
+};
+
+/// Number of bits needed to represent values in [0, n); at least 1.
+unsigned bits_for(std::uint64_t n);
+
+}  // namespace bsub::util

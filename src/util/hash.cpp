@@ -1,0 +1,41 @@
+#include "util/hash.h"
+
+namespace bsub::util {
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t hash64(std::string_view data, std::uint64_t seed) {
+  return mix64(fnv1a64(data) ^ mix64(seed));
+}
+
+HashPair hash_pair(std::string_view key) {
+  std::uint64_t base = fnv1a64(key);
+  return HashPair{mix64(base), mix64(base ^ 0x9E3779B97F4A7C15ULL)};
+}
+
+std::vector<std::size_t> bloom_indices(std::string_view key, std::uint32_t k,
+                                       std::size_t m) {
+  HashPair hp = hash_pair(key);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) out.push_back(km_index(hp, i, m));
+  return out;
+}
+
+}  // namespace bsub::util

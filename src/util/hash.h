@@ -1,0 +1,49 @@
+// Hashing primitives for Bloom filters.
+//
+// Bloom-filter bit positions use the Kirsch-Mitzenmacher construction:
+// two independent 64-bit hashes (h1, h2) of the key simulate k independent
+// hash functions as g_i(x) = h1(x) + i*h2(x) (mod m), which preserves the
+// asymptotic false-positive rate of k truly independent functions.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace bsub::util {
+
+/// 64-bit FNV-1a over a byte string.
+std::uint64_t fnv1a64(std::string_view data);
+
+/// MurmurHash3 64-bit finalizer; a strong integer mixer.
+std::uint64_t mix64(std::uint64_t x);
+
+/// 64-bit hash of a string with a seed (FNV-1a core + mixing).
+std::uint64_t hash64(std::string_view data, std::uint64_t seed);
+
+/// The (h1, h2) pair feeding double hashing.
+struct HashPair {
+  std::uint64_t h1;
+  std::uint64_t h2;
+};
+
+/// Computes the double-hashing pair for a key.
+HashPair hash_pair(std::string_view key);
+
+/// Kirsch-Mitzenmacher: the i-th of k bit positions in a table of m slots.
+///
+/// h2 is forced odd so that, for power-of-two m, successive probes cycle
+/// through all slots instead of a subgroup.
+inline std::size_t km_index(const HashPair& hp, std::uint32_t i,
+                            std::size_t m) {
+  std::uint64_t h2 = hp.h2 | 1ULL;
+  return static_cast<std::size_t>((hp.h1 + static_cast<std::uint64_t>(i) * h2) %
+                                  m);
+}
+
+/// All k bit positions for a key in a table of m slots. Positions may repeat
+/// (the paper's analysis also ignores such collisions).
+std::vector<std::size_t> bloom_indices(std::string_view key, std::uint32_t k,
+                                       std::size_t m);
+
+}  // namespace bsub::util

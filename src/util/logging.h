@@ -1,0 +1,48 @@
+// Minimal leveled logging for library diagnostics.
+//
+// Defaults to Warn so that simulations stay quiet; experiment binaries raise
+// the level when tracing protocol behavior.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace bsub::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr if `level` passes the filter.
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_message(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(LogLevel::Debug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(LogLevel::Info, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(LogLevel::Warn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(LogLevel::Error, args...);
+}
+
+}  // namespace bsub::util

@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through Rng so that a simulation run is
+// fully reproducible from a single 64-bit seed. The generator is
+// xoshiro256** (Blackman & Vigna), seeded via splitmix64 so that nearby seeds
+// produce unrelated streams.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bsub::util {
+
+/// Stateless splitmix64 step; also useful as a cheap integer mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with distribution helpers.
+///
+/// Satisfies UniformRandomBitGenerator, so it also works with <random>
+/// distributions, although the built-in helpers below are preferred for
+/// reproducibility across standard-library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xB5EEDF17E5ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+
+  /// Raw 64 random bits.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double next_exponential(double rate);
+
+  /// Pareto(xm, alpha): heavy-tailed, support [xm, inf). Used for
+  /// inter-contact gaps, which are heavy-tailed in human-mobility traces.
+  double next_pareto(double xm, double alpha);
+
+  /// Standard normal via Box-Muller.
+  double next_gaussian();
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint64_t next_poisson(double mean);
+
+  /// Index in [0, weights.size()) drawn proportionally to weights.
+  /// Requires a non-empty span with a positive total weight.
+  std::size_t next_weighted(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Independent child generator; distinct `stream` values give unrelated
+  /// sequences. Lets subsystems draw randomness without perturbing each
+  /// other's streams.
+  Rng split(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over ranks {1..n} with exponent s, via precomputed CDF.
+/// Used for the tail of the Twitter-trend key popularity distribution.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent);
+
+  /// Rank in [0, n); rank 0 is the most popular.
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of the given rank.
+  double pmf(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<double> pmf_;
+};
+
+}  // namespace bsub::util

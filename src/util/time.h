@@ -1,0 +1,38 @@
+// Simulation time: integer milliseconds since the start of the trace.
+//
+// Integer time keeps event ordering exact (no FP drift when comparing event
+// timestamps); sub-millisecond precision is never needed for human-contact
+// traces whose native resolution is seconds.
+#pragma once
+
+#include <cstdint>
+
+namespace bsub::util {
+
+/// Simulation timestamp or duration in milliseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kMillisecond = 1;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+inline constexpr Time kMinute = 60 * kSecond;
+inline constexpr Time kHour = 60 * kMinute;
+inline constexpr Time kDay = 24 * kHour;
+
+/// Largest representable time; used as "never" / "+infinity".
+inline constexpr Time kTimeMax = INT64_MAX;
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / kSecond; }
+constexpr double to_minutes(Time t) { return static_cast<double>(t) / kMinute; }
+constexpr double to_hours(Time t) { return static_cast<double>(t) / kHour; }
+
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+constexpr Time from_minutes(double m) {
+  return static_cast<Time>(m * static_cast<double>(kMinute));
+}
+constexpr Time from_hours(double h) {
+  return static_cast<Time>(h * static_cast<double>(kHour));
+}
+
+}  // namespace bsub::util

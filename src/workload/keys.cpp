@@ -1,0 +1,79 @@
+#include "workload/keys.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace bsub::workload {
+
+KeySet::KeySet(std::vector<KeyInfo> keys) : keys_(std::move(keys)) {
+  if (keys_.empty()) throw std::invalid_argument("KeySet: empty key list");
+  weights_.reserve(keys_.size());
+  double total = 0.0;
+  for (const KeyInfo& k : keys_) {
+    if (k.weight < 0.0) throw std::invalid_argument("KeySet: negative weight");
+    weights_.push_back(k.weight);
+    total += k.weight;
+  }
+  if (total <= 0.0) throw std::invalid_argument("KeySet: zero total weight");
+}
+
+KeyId KeySet::sample(util::Rng& rng) const {
+  return rng.next_weighted(weights_);
+}
+
+double KeySet::average_key_length() const {
+  return static_cast<double>(total_key_bytes()) /
+         static_cast<double>(keys_.size());
+}
+
+std::size_t KeySet::total_key_bytes() const {
+  std::size_t total = 0;
+  for (const KeyInfo& k : keys_) total += k.name.size();
+  return total;
+}
+
+KeySet twitter_trend_keys() {
+  // Table II, spaces removed, as published.
+  std::vector<KeyInfo> keys = {
+      {"NewMoon", 0.132},
+      {"Twitter'sNew", 0.103},
+      {"funnybutnotcool", 0.0887},
+      {"openwebawards", 0.0739},
+  };
+  // The 34 unpublished keys: period-plausible trends from Nov 2009, with a
+  // Zipf(0.8) tail renormalized to the remaining probability mass.
+  static const char* kTail[] = {
+      "TigerWoods",      "AdamLambert",     "TaylorSwift",
+      "TaylorLautner",   "JanetJackson",    "MichaelJackson",
+      "ThisIsIt",        "Twilight",        "KristenStewart",
+      "RobertPattinson", "KanyeWest",       "LadyGaga",
+      "BadRomance",      "Thanksgiving",    "BlackFriday",
+      "CyberMonday",     "ClimateGate",     "Copenhagen15",
+      "HealthCareBill",  "SwineFlu",        "H1N1vaccine",
+      "XboxLive",        "ModernWarfare2",  "LeftForDead2",
+      "AssassinsCreed2", "GoogleWave",      "ChromeOS",
+      "DroidDoes",       "iPhone3GS",       "PremierLeague",
+      "Yankees",         "WorldSeries",     "MondayNight",
+      "BalloonBoy",
+  };
+  constexpr std::size_t kTailCount = std::size(kTail);
+  double top4 = 0.0;
+  for (const KeyInfo& k : keys) top4 += k.weight;
+  const double tail_mass = 1.0 - top4;
+
+  double zipf_total = 0.0;
+  for (std::size_t r = 0; r < kTailCount; ++r) {
+    zipf_total += 1.0 / std::pow(static_cast<double>(r + 5), 0.8);
+  }
+  for (std::size_t r = 0; r < kTailCount; ++r) {
+    double w = tail_mass / std::pow(static_cast<double>(r + 5), 0.8) /
+               zipf_total;
+    keys.push_back({kTail[r], w});
+  }
+  assert(keys.size() == 38);
+  return KeySet(std::move(keys));
+}
+
+}  // namespace bsub::workload

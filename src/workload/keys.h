@@ -1,0 +1,60 @@
+// The Twitter-trend key universe (paper section VII-A, Table II).
+//
+// The paper collected 38 trending-topic keys from the Twitter Trend API for
+// the week of 16-22 Nov 2009 and published the top four with their weights
+// (spaces removed): NewMoon 0.132, Twitter'sNew 0.103, funnybutnotcool
+// 0.0887, openwebawards 0.0739. The remaining 34 keys are not listed; we
+// substitute period-plausible trend strings whose weights follow a Zipf tail
+// renormalized so the whole distribution sums to one, keeping the published
+// average key length of ~11.5 bytes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bsub::workload {
+
+/// Index into a KeySet.
+using KeyId = std::size_t;
+
+struct KeyInfo {
+  std::string name;
+  double weight = 0.0;  ///< selection probability; sums to 1 across the set
+};
+
+/// A fixed universe of content keys with a popularity distribution.
+class KeySet {
+ public:
+  explicit KeySet(std::vector<KeyInfo> keys);
+
+  std::size_t size() const { return keys_.size(); }
+  const KeyInfo& operator[](KeyId id) const { return keys_[id]; }
+  const std::string& name(KeyId id) const { return keys_[id].name; }
+  double weight(KeyId id) const { return keys_[id].weight; }
+
+  /// Draws a key id proportionally to the weights.
+  KeyId sample(util::Rng& rng) const;
+
+  /// Mean key length in bytes (the paper reports 11.5 for its set).
+  double average_key_length() const;
+
+  /// Total bytes of all key strings.
+  std::size_t total_key_bytes() const;
+
+  auto begin() const { return keys_.begin(); }
+  auto end() const { return keys_.end(); }
+
+ private:
+  std::vector<KeyInfo> keys_;
+  std::vector<double> weights_;  // cached for sampling
+};
+
+/// The 38-key Twitter-trend set described above. Keys are sorted by weight,
+/// descending; ids 0-3 are the published Table II entries.
+KeySet twitter_trend_keys();
+
+}  // namespace bsub::workload

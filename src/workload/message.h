@@ -1,0 +1,33 @@
+// Messages exchanged in the pub-sub system (paper section V-A).
+//
+// A message's content is identified by a single key; bodies are small (the
+// paper assumes Twitter-like posts of at most 140 bytes).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/contact.h"
+#include "util/time.h"
+#include "workload/keys.h"
+
+namespace bsub::workload {
+
+/// Unique message identifier, dense per simulation run.
+using MessageId = std::uint64_t;
+
+/// Maximum message body size (Twitter post limit the paper adopts).
+inline constexpr std::size_t kMaxMessageBytes = 140;
+
+struct Message {
+  MessageId id = 0;
+  KeyId key = 0;
+  trace::NodeId producer = trace::kInvalidNode;
+  std::uint32_t size_bytes = 0;     ///< body size, uniform in [1, 140]
+  util::Time created = 0;
+  util::Time ttl = 0;               ///< lifetime from creation (= max delay)
+
+  util::Time expiry() const { return created + ttl; }
+  bool expired_at(util::Time now) const { return now >= expiry(); }
+};
+
+}  // namespace bsub::workload

@@ -1,0 +1,135 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+#include "trace/centrality.h"
+
+namespace bsub::workload {
+
+Workload::Workload(const trace::ContactTrace& trace, const KeySet& keys,
+                   const WorkloadConfig& config)
+    : keys_(&keys) {
+  assert(config.interests_per_node >= 1);
+  const std::size_t n = trace.node_count();
+  util::Rng rng(config.seed);
+  util::Rng interest_rng = rng.split(1);
+  util::Rng schedule_rng = rng.split(2);
+
+  // Interests: `interests_per_node` distinct keys per node, drawn by
+  // popularity (rejection on duplicates, capped by the key universe).
+  const std::uint32_t per_node = static_cast<std::uint32_t>(
+      std::min<std::size_t>(config.interests_per_node, keys.size()));
+  interests_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    while (interests_[i].size() < per_node) {
+      KeyId k = keys.sample(interest_rng);
+      if (std::find(interests_[i].begin(), interests_[i].end(), k) ==
+          interests_[i].end()) {
+        interests_[i].push_back(k);
+      }
+    }
+  }
+  index_subscribers();
+
+  // Rates proportional to centrality; isolated nodes (centrality 0) produce
+  // at the base rate, matching the paper's "minimum rate for the smallest
+  // centrality" convention.
+  centrality_ = trace::degree_centrality(trace);
+  double min_positive = 0.0;
+  for (double c : centrality_) {
+    if (c > 0.0 && (min_positive == 0.0 || c < min_positive)) {
+      min_positive = c;
+    }
+  }
+  if (min_positive == 0.0) min_positive = 1.0;
+
+  const util::Time horizon = trace.end_time();
+  const util::Time origin = trace.start_time();
+  for (std::size_t i = 0; i < n; ++i) {
+    double scale = centrality_[i] > 0.0 ? centrality_[i] / min_positive : 1.0;
+    double rate_per_ms = config.base_rate_per_minute * scale /
+                         static_cast<double>(util::kMinute);
+    if (rate_per_ms <= 0.0) continue;
+    // Poisson arrivals over [origin, horizon).
+    double t = static_cast<double>(origin);
+    for (;;) {
+      t += schedule_rng.next_exponential(rate_per_ms);
+      if (t >= static_cast<double>(horizon)) break;
+      Message msg;
+      msg.key = keys.sample(schedule_rng);
+      msg.producer = static_cast<trace::NodeId>(i);
+      msg.size_bytes = static_cast<std::uint32_t>(
+          schedule_rng.next_int(1, kMaxMessageBytes));
+      msg.created = static_cast<util::Time>(t);
+      msg.ttl = config.ttl;
+      messages_.push_back(msg);
+    }
+  }
+  sort_and_renumber();
+}
+
+Workload::Workload(const KeySet& keys, std::size_t node_count,
+                   std::vector<KeyId> interests,
+                   std::vector<Message> messages)
+    : Workload(keys, node_count,
+               [&] {
+                 std::vector<std::vector<KeyId>> multi(interests.size());
+                 for (std::size_t i = 0; i < interests.size(); ++i) {
+                   multi[i] = {interests[i]};
+                 }
+                 return multi;
+               }(),
+               std::move(messages)) {}
+
+Workload::Workload(const KeySet& keys, std::size_t node_count,
+                   std::vector<std::vector<KeyId>> interests,
+                   std::vector<Message> messages)
+    : keys_(&keys), interests_(std::move(interests)),
+      messages_(std::move(messages)), centrality_(node_count, 0.0) {
+  assert(interests_.size() == node_count);
+  for ([[maybe_unused]] const auto& keys_of_node : interests_) {
+    assert(!keys_of_node.empty());
+  }
+  index_subscribers();
+  sort_and_renumber();
+}
+
+void Workload::index_subscribers() {
+  subscribers_.assign(keys_->size(), {});
+  for (std::size_t i = 0; i < interests_.size(); ++i) {
+    for (KeyId k : interests_[i]) {
+      assert(k < keys_->size());
+      subscribers_[k].push_back(static_cast<trace::NodeId>(i));
+    }
+  }
+}
+
+void Workload::sort_and_renumber() {
+  std::sort(messages_.begin(), messages_.end(),
+            [](const Message& x, const Message& y) {
+              return std::tie(x.created, x.id) < std::tie(y.created, y.id);
+            });
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    messages_[i].id = static_cast<MessageId>(i);
+  }
+}
+
+bool Workload::is_interested(trace::NodeId node, KeyId key) const {
+  const auto& keys_of_node = interests_[node];
+  return std::find(keys_of_node.begin(), keys_of_node.end(), key) !=
+         keys_of_node.end();
+}
+
+std::uint64_t Workload::expected_deliveries() const {
+  std::uint64_t total = 0;
+  for (const Message& m : messages_) {
+    for (trace::NodeId s : subscribers_[m.key]) {
+      if (s != m.producer) ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace bsub::workload

@@ -1,0 +1,148 @@
+#include "bloom/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bloom/fpr.h"
+
+namespace bsub::bloom {
+namespace {
+
+constexpr BloomParams kPaper{256, 4};
+
+TEST(OptimizeAllocation, RespectsStorageBound) {
+  AllocationPlan plan = optimize_allocation(100, 500, kPaper);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LT(plan.memory_bytes, 500.0);
+}
+
+TEST(OptimizeAllocation, PicksLargestFeasibleH) {
+  AllocationPlan plan = optimize_allocation(100, 500, kPaper);
+  ASSERT_TRUE(plan.feasible);
+  // One more filter must bust the bound (or exceed the key count).
+  if (plan.filter_count < 100) {
+    EXPECT_GE(multi_filter_memory_bytes(100, plan.filter_count + 1, kPaper),
+              500.0);
+  }
+}
+
+TEST(OptimizeAllocation, MoreStorageNeverHurtsFpr) {
+  AllocationPlan tight = optimize_allocation(100, 450, kPaper);
+  AllocationPlan roomy = optimize_allocation(100, 900, kPaper);
+  ASSERT_TRUE(tight.feasible);
+  ASSERT_TRUE(roomy.feasible);
+  EXPECT_GE(roomy.filter_count, tight.filter_count);
+  EXPECT_LE(roomy.joint_fpr, tight.joint_fpr);
+}
+
+TEST(OptimizeAllocation, InfeasibleBoundReported) {
+  // A bound smaller than even one filter's cost.
+  AllocationPlan plan = optimize_allocation(100, 10, kPaper);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_EQ(plan.filter_count, 1u);
+}
+
+TEST(OptimizeAllocation, HNeverExceedsKeyCount) {
+  AllocationPlan plan = optimize_allocation(5, 1e9, kPaper);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LE(plan.filter_count, 5u);
+}
+
+TEST(OptimizeAllocation, ThetaMatchesPerFilterLoad) {
+  AllocationPlan plan = optimize_allocation(100, 500, kPaper);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.fill_threshold,
+              expected_fill_ratio(plan.keys_per_filter, kPaper), 1e-12);
+}
+
+TEST(OptimizeAllocation, MaxFiltersCapHonored) {
+  AllocationPlan plan = optimize_allocation(100, 1e9, kPaper, 3);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LE(plan.filter_count, 3u);
+}
+
+TEST(TcbfPool, InsertAndQueryAcrossFilters) {
+  TcbfPool pool(kPaper, 50.0, 0.2);  // low threshold: forces new filters
+  for (int i = 0; i < 60; ++i) pool.insert("key" + std::to_string(i));
+  EXPECT_GT(pool.filter_count(), 1u);
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_TRUE(pool.contains("key" + std::to_string(i))) << i;
+  }
+}
+
+TEST(TcbfPool, SingleFilterWhileUnderThreshold) {
+  TcbfPool pool(kPaper, 50.0, 0.9);
+  for (int i = 0; i < 10; ++i) pool.insert("key" + std::to_string(i));
+  EXPECT_EQ(pool.filter_count(), 1u);
+}
+
+TEST(TcbfPool, FillThresholdControlsPerFilterLoad) {
+  TcbfPool pool(kPaper, 50.0, 0.3);
+  for (int i = 0; i < 100; ++i) pool.insert("key" + std::to_string(i));
+  for (const Tcbf& f : pool.filters()) {
+    // A filter may exceed the threshold by one insertion only.
+    EXPECT_LE(f.fill_ratio(), 0.3 + 4.0 / 256.0 + 1e-12);
+  }
+}
+
+TEST(TcbfPool, DecayDrainsAndReleasesFilters) {
+  TcbfPool pool(kPaper, 50.0, 0.2);
+  for (int i = 0; i < 60; ++i) pool.insert("key" + std::to_string(i));
+  ASSERT_GT(pool.filter_count(), 1u);
+  pool.decay(50.0);
+  EXPECT_EQ(pool.filter_count(), 1u);  // all drained, one kept for inserts
+  EXPECT_FALSE(pool.contains("key0"));
+}
+
+TEST(TcbfPool, PartialDecayKeepsRecentKeys) {
+  TcbfPool pool(kPaper, 50.0, 0.15);
+  pool.insert("old");
+  pool.decay(30.0);  // old at 20
+  pool.insert("new");
+  pool.decay(25.0);  // old gone, new at 25
+  EXPECT_FALSE(pool.contains("old"));
+  EXPECT_TRUE(pool.contains("new"));
+}
+
+TEST(TcbfPool, MinCounterTakesBestAcrossFilters) {
+  TcbfPool pool(kPaper, 50.0, 0.01);  // every insert may open a filter
+  pool.insert("key");
+  pool.decay(10.0);
+  pool.insert("key");  // likely lands in a newer filter at full strength
+  auto c = pool.min_counter("key");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(*c, 50.0);
+}
+
+TEST(TcbfPool, MinCounterAbsentIsNullopt) {
+  TcbfPool pool(kPaper, 50.0, 0.5);
+  pool.insert("present");
+  EXPECT_FALSE(pool.min_counter("absent-key-xyz").has_value());
+}
+
+TEST(TcbfPool, EncodedSizeGrowsWithContent) {
+  TcbfPool pool(kPaper, 50.0, 0.5);
+  std::size_t empty_size = pool.encoded_size_bytes();
+  for (int i = 0; i < 20; ++i) pool.insert("key" + std::to_string(i));
+  EXPECT_GT(pool.encoded_size_bytes(), empty_size);
+}
+
+TEST(TcbfPool, PlanDrivenPoolStaysNearPlannedFpr) {
+  // End-to-end VI-D: derive a plan, run a pool at the plan's threshold, and
+  // check the realized per-filter loads stay near the planned load.
+  const double n_total = 120;
+  AllocationPlan plan = optimize_allocation(n_total, 800, kPaper);
+  ASSERT_TRUE(plan.feasible);
+  TcbfPool pool(kPaper, 50.0, plan.fill_threshold);
+  for (int i = 0; i < static_cast<int>(n_total); ++i) {
+    pool.insert("key" + std::to_string(i));
+  }
+  for (const Tcbf& f : pool.filters()) {
+    double est_keys = keys_from_fill_ratio(f.fill_ratio(), kPaper);
+    EXPECT_LE(est_keys, plan.keys_per_filter * 1.5 + 4.0);
+  }
+}
+
+}  // namespace
+}  // namespace bsub::bloom

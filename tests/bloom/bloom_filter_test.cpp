@@ -1,0 +1,150 @@
+#include "bloom/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bloom/fpr.h"
+
+namespace bsub::bloom {
+namespace {
+
+TEST(BloomFilter, StartsEmpty) {
+  BloomFilter bf;
+  EXPECT_TRUE(bf.empty());
+  EXPECT_EQ(bf.popcount(), 0u);
+  EXPECT_DOUBLE_EQ(bf.fill_ratio(), 0.0);
+  EXPECT_FALSE(bf.contains("anything"));
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bf;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 30; ++i) keys.push_back("key" + std::to_string(i));
+  for (const auto& k : keys) bf.insert(k);
+  for (const auto& k : keys) EXPECT_TRUE(bf.contains(k)) << k;
+}
+
+TEST(BloomFilter, SingleKeySetsAtMostKBits) {
+  BloomFilter bf({256, 4});
+  bf.insert("NewMoon");
+  EXPECT_LE(bf.popcount(), 4u);
+  EXPECT_GE(bf.popcount(), 1u);
+}
+
+TEST(BloomFilter, InsertIsIdempotent) {
+  BloomFilter bf;
+  bf.insert("key");
+  auto once = bf.set_bits();
+  bf.insert("key");
+  EXPECT_EQ(bf.set_bits(), once);
+}
+
+TEST(BloomFilter, MergeIsUnion) {
+  BloomFilter a, b;
+  a.insert("alpha");
+  b.insert("beta");
+  a.merge(b);
+  EXPECT_TRUE(a.contains("alpha"));
+  EXPECT_TRUE(a.contains("beta"));
+}
+
+TEST(BloomFilter, MergeMismatchedParamsThrows) {
+  BloomFilter a({256, 4}), b({128, 4});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  BloomFilter c({256, 3});
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(BloomFilter, MergeIsCommutative) {
+  BloomFilter a1({64, 3}), b1({64, 3});
+  a1.insert("x");
+  b1.insert("y");
+  BloomFilter a2 = a1, b2 = b1;
+  a1.merge(b1);
+  b2.merge(a2);
+  EXPECT_EQ(a1, b2);
+}
+
+TEST(BloomFilter, SetBitsMatchesTestBit) {
+  BloomFilter bf({100, 4});
+  bf.insert("one");
+  bf.insert("two");
+  auto bits = bf.set_bits();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (bf.test_bit(i)) ++count;
+  }
+  EXPECT_EQ(bits.size(), count);
+  for (std::size_t b : bits) EXPECT_TRUE(bf.test_bit(b));
+}
+
+TEST(BloomFilter, ClearResets) {
+  BloomFilter bf;
+  bf.insert("key");
+  bf.clear();
+  EXPECT_TRUE(bf.empty());
+  EXPECT_FALSE(bf.contains("key"));
+}
+
+TEST(BloomFilter, NonMultipleOf64Bits) {
+  BloomFilter bf({100, 4});
+  for (int i = 0; i < 20; ++i) bf.insert("k" + std::to_string(i));
+  for (std::size_t b : bf.set_bits()) EXPECT_LT(b, 100u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(bf.contains("k" + std::to_string(i)));
+  }
+}
+
+TEST(BloomFilter, FillRatioIncreasesWithLoad) {
+  BloomFilter bf({256, 4});
+  double prev = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    bf.insert("key" + std::to_string(i));
+    double fr = bf.fill_ratio();
+    EXPECT_GE(fr, prev);
+    prev = fr;
+  }
+  EXPECT_GT(prev, 0.3);
+}
+
+TEST(BloomFilter, EmpiricalFprTracksEquationOne) {
+  // Insert n keys, probe with fresh keys, and compare the observed FPR with
+  // the paper's Eq. 1 at the paper's settings (m=256, k=4, n=38).
+  BloomParams params{256, 4};
+  BloomFilter bf(params);
+  const int n = 38;
+  for (int i = 0; i < n; ++i) bf.insert("stored" + std::to_string(i));
+  int fp = 0;
+  const int probes = 200000;
+  for (int i = 0; i < probes; ++i) {
+    fp += bf.contains("probe" + std::to_string(i));
+  }
+  const double observed = static_cast<double>(fp) / probes;
+  const double expected = false_positive_rate(n, params);
+  // Eq. 1 is an expectation over random filters; a single filter deviates,
+  // so allow a generous band around the ~0.04 theoretical value.
+  EXPECT_NEAR(observed, expected, 0.03);
+}
+
+TEST(BloomFilter, DistinctKeysMostlyDistinguishable) {
+  BloomFilter bf({1024, 4});
+  bf.insert("present");
+  int fp = 0;
+  for (int i = 0; i < 1000; ++i) {
+    fp += bf.contains("absent" + std::to_string(i));
+  }
+  EXPECT_LE(fp, 2);  // nearly empty filter: FPR ~ (4/1024)^4
+}
+
+TEST(BloomFilter, EqualityComparesContent) {
+  BloomFilter a, b;
+  a.insert("k");
+  EXPECT_NE(a, b);
+  b.insert("k");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace bsub::bloom

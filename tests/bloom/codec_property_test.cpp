@@ -1,0 +1,121 @@
+// Property suite for the wire codec: randomized filters of every geometry
+// must round-trip bit-exactly (positions) and within quantization error
+// (counters), for every counter encoding and across the sparse/dense layout
+// boundary.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "bloom/tcbf_codec.h"
+#include "util/byte_io.h"
+#include "util/rng.h"
+
+namespace bsub::bloom {
+namespace {
+
+using Params = std::tuple<std::size_t /*m*/, std::uint32_t /*k*/,
+                          int /*keys*/, int /*encoding*/>;
+
+class CodecRoundTrip : public ::testing::TestWithParam<Params> {};
+
+TEST_P(CodecRoundTrip, PositionsExactCountersQuantized) {
+  auto [m, k, keys, enc_i] = GetParam();
+  const auto encoding = static_cast<CounterEncoding>(enc_i);
+  util::Rng rng(static_cast<std::uint64_t>(m * 1315423911u + k * 2654435761u +
+                                           static_cast<unsigned>(keys)));
+
+  for (int trial = 0; trial < 8; ++trial) {
+    Tcbf t({m, k}, 50.0);
+    for (int i = 0; i < keys; ++i) {
+      t.insert("key" + std::to_string(rng()));
+    }
+    if (encoding == CounterEncoding::kFull && trial % 2 == 1) {
+      // Exercise non-uniform counters: partial decay + an A-merge.
+      Tcbf extra({m, k}, 50.0);
+      extra.insert("extra" + std::to_string(rng()));
+      t.decay(rng.next_double(0.0, 20.0));
+      t.a_merge(extra);
+    }
+
+    const Tcbf u = decode_tcbf(encode_tcbf(t, encoding));
+    ASSERT_EQ(u.params(), t.params());
+    ASSERT_EQ(u.set_bits(), t.set_bits());
+
+    if (encoding == CounterEncoding::kFull) {
+      double max_counter = 0.0;
+      for (std::size_t b : t.set_bits()) {
+        max_counter = std::max(max_counter, t.counter(b));
+      }
+      const double tolerance = max_counter / 255.0 / 2.0 + 1e-9;
+      for (std::size_t b : t.set_bits()) {
+        EXPECT_NEAR(u.counter(b), t.counter(b), tolerance);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CodecRoundTrip,
+    ::testing::Combine(::testing::Values<std::size_t>(64, 256, 1000, 4096),
+                       ::testing::Values<std::uint32_t>(2, 4, 6),
+                       ::testing::Values(0, 3, 38, 200),  // sparse -> dense
+                       ::testing::Values(0, 1, 2)));      // encodings
+
+class BloomCodecRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(BloomCodecRoundTrip, Exact) {
+  auto [m, keys] = GetParam();
+  util::Rng rng(m * 31 + static_cast<unsigned>(keys));
+  for (int trial = 0; trial < 8; ++trial) {
+    BloomFilter bf({m, 4});
+    for (int i = 0; i < keys; ++i) bf.insert("k" + std::to_string(rng()));
+    EXPECT_EQ(decode_bloom(encode_bloom(bf)), bf);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BloomCodecRoundTrip,
+    ::testing::Combine(::testing::Values<std::size_t>(64, 256, 1000),
+                       ::testing::Values(0, 1, 38, 500)));
+
+TEST(CodecFuzz, RandomBytesNeverCrash) {
+  // Decoding attacker-controlled bytes must throw DecodeError or produce a
+  // valid filter — never crash or hang.
+  util::Rng rng(0xFEED);
+  int decoded = 0, rejected = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.next_below(64));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    try {
+      Tcbf t = decode_tcbf(bytes);
+      ++decoded;
+      (void)t.popcount();
+    } catch (const util::DecodeError&) {
+      ++rejected;
+    }
+    try {
+      BloomFilter bf = decode_bloom(bytes);
+      ++decoded;
+      (void)bf.popcount();
+    } catch (const util::DecodeError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(CodecFuzz, TruncationsOfValidPayloadNeverCrash) {
+  Tcbf t({256, 4}, 50.0);
+  for (int i = 0; i < 20; ++i) t.insert("key" + std::to_string(i));
+  const auto full = encode_tcbf(t, CounterEncoding::kFull);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::vector<std::uint8_t> cut(full.begin(),
+                                  full.begin() + static_cast<long>(len));
+    EXPECT_THROW(decode_tcbf(cut), util::DecodeError) << len;
+  }
+}
+
+}  // namespace
+}  // namespace bsub::bloom

@@ -1,0 +1,102 @@
+#include "bloom/counting_bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bsub::bloom {
+namespace {
+
+TEST(CountingBloomFilter, InsertThenContains) {
+  CountingBloomFilter cbf;
+  cbf.insert("key");
+  EXPECT_TRUE(cbf.contains("key"));
+}
+
+TEST(CountingBloomFilter, RemoveDeletesKey) {
+  CountingBloomFilter cbf;
+  cbf.insert("key");
+  EXPECT_TRUE(cbf.remove("key"));
+  EXPECT_FALSE(cbf.contains("key"));
+}
+
+TEST(CountingBloomFilter, RemoveAbsentKeyFails) {
+  CountingBloomFilter cbf;
+  cbf.insert("other");
+  EXPECT_FALSE(cbf.remove("key"));
+  EXPECT_TRUE(cbf.contains("other"));
+}
+
+TEST(CountingBloomFilter, DoubleInsertNeedsDoubleRemove) {
+  CountingBloomFilter cbf;
+  cbf.insert("key");
+  cbf.insert("key");
+  EXPECT_TRUE(cbf.remove("key"));
+  EXPECT_TRUE(cbf.contains("key"));
+  EXPECT_TRUE(cbf.remove("key"));
+  EXPECT_FALSE(cbf.contains("key"));
+}
+
+TEST(CountingBloomFilter, RemoveDoesNotDisturbOtherKeys) {
+  CountingBloomFilter cbf;
+  for (int i = 0; i < 20; ++i) cbf.insert("key" + std::to_string(i));
+  EXPECT_TRUE(cbf.remove("key7"));
+  for (int i = 0; i < 20; ++i) {
+    if (i == 7) continue;
+    EXPECT_TRUE(cbf.contains("key" + std::to_string(i))) << i;
+  }
+}
+
+TEST(CountingBloomFilter, MergeSumsCounters) {
+  CountingBloomFilter a, b;
+  a.insert("key");
+  b.insert("key");
+  a.merge(b);
+  // Two logical copies: one removal must leave the key present.
+  EXPECT_TRUE(a.remove("key"));
+  EXPECT_TRUE(a.contains("key"));
+}
+
+TEST(CountingBloomFilter, MergeMismatchedParamsThrows) {
+  CountingBloomFilter a({256, 4}), b({512, 4});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(CountingBloomFilter, ToBloomFilterPreservesMembership) {
+  CountingBloomFilter cbf;
+  cbf.insert("alpha");
+  cbf.insert("beta");
+  BloomFilter bf = cbf.to_bloom_filter();
+  EXPECT_TRUE(bf.contains("alpha"));
+  EXPECT_TRUE(bf.contains("beta"));
+  EXPECT_EQ(bf.popcount(), cbf.popcount());
+}
+
+TEST(CountingBloomFilter, PopcountAndFillRatio) {
+  CountingBloomFilter cbf({100, 2});
+  EXPECT_EQ(cbf.popcount(), 0u);
+  cbf.insert("x");
+  EXPECT_GE(cbf.popcount(), 1u);
+  EXPECT_LE(cbf.popcount(), 2u);
+  EXPECT_DOUBLE_EQ(cbf.fill_ratio(),
+                   static_cast<double>(cbf.popcount()) / 100.0);
+}
+
+TEST(CountingBloomFilter, ClearResets) {
+  CountingBloomFilter cbf;
+  cbf.insert("key");
+  cbf.clear();
+  EXPECT_FALSE(cbf.contains("key"));
+  EXPECT_EQ(cbf.popcount(), 0u);
+}
+
+TEST(CountingBloomFilter, CounterAccessor) {
+  CountingBloomFilter cbf({64, 1});
+  cbf.insert("key");
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < 64; ++i) total += cbf.counter(i);
+  EXPECT_EQ(total, 1u);  // single hash, single insert
+}
+
+}  // namespace
+}  // namespace bsub::bloom

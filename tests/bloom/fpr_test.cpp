@@ -1,0 +1,164 @@
+#include "bloom/fpr.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace bsub::bloom {
+namespace {
+
+constexpr BloomParams kPaper{256, 4};
+
+TEST(Fpr, PaperWorstCaseIsAboutFourPercent) {
+  // Section VII-A: "The worst case FPR of the filter storing 38 keys, in
+  // theory, in this setting, is 0.04."
+  EXPECT_NEAR(false_positive_rate(38, kPaper), 0.04, 0.005);
+  EXPECT_NEAR(false_positive_rate_exact(38, kPaper), 0.04, 0.005);
+}
+
+TEST(Fpr, ZeroKeysMeansZeroFpr) {
+  EXPECT_DOUBLE_EQ(false_positive_rate(0, kPaper), 0.0);
+  EXPECT_DOUBLE_EQ(false_positive_rate_exact(0, kPaper), 0.0);
+}
+
+TEST(Fpr, MonotoneIncreasingInN) {
+  double prev = -1.0;
+  for (std::uint64_t n = 0; n <= 100; n += 5) {
+    double f = false_positive_rate(n, kPaper);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Fpr, ApproxMatchesExactForLargeM) {
+  for (std::uint64_t n : {1u, 10u, 38u, 100u}) {
+    EXPECT_NEAR(false_positive_rate(n, kPaper),
+                false_positive_rate_exact(n, kPaper), 2e-3)
+        << n;
+  }
+}
+
+TEST(Fpr, ApproachesOneUnderOverload) {
+  EXPECT_GT(false_positive_rate(10000, kPaper), 0.999);
+}
+
+TEST(ExpectedSetBits, ZeroAndSaturation) {
+  EXPECT_DOUBLE_EQ(expected_set_bits(0, kPaper), 0.0);
+  EXPECT_NEAR(expected_set_bits(1e9, kPaper), 256.0, 1e-6);
+}
+
+TEST(ExpectedSetBits, SingleKeyNearlyK) {
+  // One key sets ~k bits (slightly fewer due to self-collision).
+  double s = expected_set_bits(1, kPaper);
+  EXPECT_GT(s, 3.9);
+  EXPECT_LE(s, 4.0);
+}
+
+TEST(FillRatio, ConsistentWithSetBits) {
+  for (double n : {1.0, 10.0, 38.0, 64.0}) {
+    EXPECT_NEAR(expected_fill_ratio(n, kPaper),
+                expected_set_bits(n, kPaper) / 256.0, 1e-12);
+  }
+}
+
+TEST(KeysFromFillRatio, InvertsExpectedFillRatio) {
+  for (double n : {1.0, 5.0, 38.0, 80.0}) {
+    double fr = expected_fill_ratio(n, kPaper);
+    EXPECT_NEAR(keys_from_fill_ratio(fr, kPaper), n, 1e-9) << n;
+  }
+}
+
+TEST(KeysFromFillRatio, FullFilterIsInfinite) {
+  EXPECT_TRUE(std::isinf(keys_from_fill_ratio(1.0, kPaper)));
+}
+
+TEST(KeysFromFillRatio, EmptyFilterIsZero) {
+  EXPECT_DOUBLE_EQ(keys_from_fill_ratio(0.0, kPaper), 0.0);
+}
+
+TEST(ExpectedUniqueKeys, BoundaryBehavior) {
+  EXPECT_DOUBLE_EQ(expected_unique_keys(0, 38), 0.0);
+  EXPECT_NEAR(expected_unique_keys(1, 38), 1.0, 1e-12);
+  // Far more draws than the universe: almost every key seen.
+  EXPECT_NEAR(expected_unique_keys(1000, 38), 38.0, 0.01);
+}
+
+TEST(ExpectedUniqueKeys, LessThanDrawnWhenDuplicatesPossible) {
+  double u = expected_unique_keys(38, 38);
+  EXPECT_LT(u, 38.0);
+  EXPECT_GT(u, 20.0);  // 38(1-(1-1/38)^38) ~ 24.3
+}
+
+TEST(JointFpr, SingleFilterMatchesEquationOne) {
+  std::array<std::uint64_t, 1> keys = {38};
+  EXPECT_NEAR(joint_false_positive_rate(keys, kPaper),
+              false_positive_rate(38, kPaper), 1e-12);
+}
+
+TEST(JointFpr, EmptyCollectionIsZero) {
+  EXPECT_DOUBLE_EQ(joint_false_positive_rate({}, kPaper), 0.0);
+}
+
+TEST(JointFpr, UnionBoundHolds) {
+  std::array<std::uint64_t, 3> keys = {10, 20, 30};
+  double joint = joint_false_positive_rate(keys, kPaper);
+  double sum = 0.0;
+  for (auto n : keys) sum += false_positive_rate(n, kPaper);
+  EXPECT_LE(joint, sum);
+  EXPECT_GE(joint, false_positive_rate(30, kPaper));  // at least the worst
+}
+
+TEST(JointFprUniform, SplittingReducesJointFpr) {
+  // The section VI-D monotonicity: for fixed total keys, more filters =
+  // lower joint FPR (each filter is much emptier).
+  double prev = 1.1;
+  for (std::uint32_t h : {1u, 2u, 4u, 8u}) {
+    double f = joint_false_positive_rate_uniform(76, h, kPaper);
+    EXPECT_LT(f, prev) << h;
+    prev = f;
+  }
+}
+
+TEST(JointFprUniform, MatchesExplicitUniformSplit) {
+  std::array<std::uint64_t, 4> keys = {19, 19, 19, 19};
+  EXPECT_NEAR(joint_false_positive_rate(keys, kPaper),
+              joint_false_positive_rate_uniform(76, 4, kPaper), 1e-12);
+}
+
+TEST(MultiFilterMemory, IncreasesWithH) {
+  // The other side of the VI-D trade-off: memory grows with h.
+  double prev = 0.0;
+  for (std::uint32_t h : {1u, 2u, 4u, 8u, 16u}) {
+    double m = multi_filter_memory_bits(76, h, kPaper);
+    EXPECT_GT(m, prev) << h;
+    prev = m;
+  }
+}
+
+TEST(MultiFilterMemory, SingleFilterFormula) {
+  // h = 1: s * (8 + ceil(log2 m)) bits with s from Eq. 2.
+  double s = expected_set_bits(38, kPaper);
+  EXPECT_NEAR(multi_filter_memory_bits(38, 1, kPaper), s * (8 + 8), 1e-9);
+}
+
+TEST(MultiFilterMemory, BytesIsCeilOfBits) {
+  double bits = multi_filter_memory_bits(38, 2, kPaper);
+  EXPECT_DOUBLE_EQ(multi_filter_memory_bytes(38, 2, kPaper),
+                   std::ceil(bits / 8.0));
+}
+
+TEST(WasteRatios, SectionSixBFormulas) {
+  EXPECT_DOUBLE_EQ(completely_wasted_ratio(0.04), 0.0016);
+  EXPECT_DOUBLE_EQ(partially_useful_ratio(0.04), 0.04 * 0.96);
+  EXPECT_DOUBLE_EQ(completely_wasted_ratio(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(partially_useful_ratio(1.0), 0.0);
+}
+
+TEST(WasteRatios, WasteIsSmallAtPaperOperatingPoint) {
+  double fpr = false_positive_rate(38, kPaper);
+  EXPECT_LT(completely_wasted_ratio(fpr), 0.002);
+}
+
+}  // namespace
+}  // namespace bsub::bloom

@@ -1,0 +1,50 @@
+// Counter saturation: the A-merge feedback loop (paper Fig. 6) must not be
+// able to push counters past the ceiling (real counters are one byte on the
+// wire; in memory they saturate instead of overflowing).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bloom/tcbf.h"
+
+namespace bsub::bloom {
+namespace {
+
+TEST(TcbfSaturation, AMergeLoopSaturatesInsteadOfOverflowing) {
+  Tcbf a({256, 4}, 50.0), b({256, 4}, 50.0);
+  a.insert("key");
+  b.insert("key");
+  // Simulate the Fig. 6 loop: two brokers A-merging each other repeatedly
+  // doubles counters each round — 2^200 would overflow without saturation.
+  for (int round = 0; round < 200; ++round) {
+    a.a_merge(b);
+    b.a_merge(a);
+  }
+  ASSERT_TRUE(a.min_counter("key").has_value());
+  EXPECT_TRUE(std::isfinite(*a.min_counter("key")));
+  EXPECT_LE(*a.min_counter("key"), kCounterSaturation);
+  EXPECT_LE(*b.min_counter("key"), kCounterSaturation);
+}
+
+TEST(TcbfSaturation, SaturatedCountersStillDecay) {
+  Tcbf a({256, 4}, kCounterSaturation), b({256, 4}, kCounterSaturation);
+  a.insert("key");
+  b.insert("key");
+  a.a_merge(b);  // saturates at the ceiling
+  a.decay(kCounterSaturation - 1.0);
+  ASSERT_TRUE(a.min_counter("key").has_value());
+  EXPECT_DOUBLE_EQ(*a.min_counter("key"), 1.0);
+  a.decay(2.0);
+  EXPECT_FALSE(a.contains("key"));
+}
+
+TEST(TcbfSaturation, NormalValuesUnaffected) {
+  Tcbf a({256, 4}, 50.0), b({256, 4}, 50.0);
+  a.insert("key");
+  b.insert("key");
+  a.a_merge(b);
+  EXPECT_DOUBLE_EQ(*a.min_counter("key"), 100.0);
+}
+
+}  // namespace
+}  // namespace bsub::bloom

@@ -1,0 +1,268 @@
+#include "bloom/tcbf.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace bsub::bloom {
+namespace {
+
+constexpr double kC = 50.0;  // paper's initial counter value
+
+Tcbf make(std::initializer_list<const char*> keys, double c = kC) {
+  Tcbf t({256, 4}, c);
+  for (const char* k : keys) t.insert(k);
+  return t;
+}
+
+TEST(Tcbf, InsertSetsCountersToInitialValue) {
+  Tcbf t = make({"key"});
+  EXPECT_TRUE(t.contains("key"));
+  EXPECT_EQ(t.min_counter("key"), kC);
+  for (std::size_t b : t.set_bits()) EXPECT_DOUBLE_EQ(t.counter(b), kC);
+}
+
+TEST(Tcbf, ReinsertDoesNotChangeCounters) {
+  // Paper section IV-A: "If the counter has already been set, we do not
+  // change its value" — any insertion sequence yields uniform counters C.
+  Tcbf t = make({"a", "b", "a", "a"});
+  for (std::size_t b : t.set_bits()) EXPECT_DOUBLE_EQ(t.counter(b), kC);
+}
+
+TEST(Tcbf, InsertAfterDecayRestoresOnlyClearedBits) {
+  Tcbf t = make({"key"});
+  t.decay(10.0);
+  t.insert("key");  // counters are 40, already set: unchanged
+  EXPECT_EQ(t.min_counter("key"), 40.0);
+}
+
+TEST(Tcbf, ExistentialQueryNoFalseNegatives) {
+  Tcbf t({256, 4}, kC);
+  for (int i = 0; i < 38; ++i) t.insert("key" + std::to_string(i));
+  for (int i = 0; i < 38; ++i) {
+    EXPECT_TRUE(t.contains("key" + std::to_string(i)));
+  }
+}
+
+TEST(Tcbf, AMergeSumsCounters) {
+  Tcbf a = make({"key"});
+  Tcbf b = make({"key"});
+  a.a_merge(b);
+  EXPECT_EQ(a.min_counter("key"), 2 * kC);
+}
+
+TEST(Tcbf, AMergeUnionsBits) {
+  Tcbf a = make({"x"});
+  Tcbf b = make({"y"});
+  a.a_merge(b);
+  EXPECT_TRUE(a.contains("x"));
+  EXPECT_TRUE(a.contains("y"));
+}
+
+TEST(Tcbf, MMergeTakesMaximum) {
+  Tcbf a = make({"key"});
+  a.decay(20.0);  // counters 30
+  Tcbf b = make({"key"});
+  b.decay(5.0);  // counters 45
+  a.m_merge(b);
+  EXPECT_EQ(a.min_counter("key"), 45.0);
+}
+
+TEST(Tcbf, MMergeIsIdempotent) {
+  // M-merging the same filter twice changes nothing — the property that
+  // kills the bogus-counter loop of paper Fig. 6.
+  Tcbf a = make({"key"});
+  Tcbf b = make({"other"});
+  a.m_merge(b);
+  const auto counters_once = a.counters();
+  a.m_merge(b);
+  EXPECT_EQ(a.counters(), counters_once);
+}
+
+TEST(Tcbf, AMergeIsNotIdempotent) {
+  // The contrast with M-merge: repeated A-merges inflate counters (the
+  // bogus-counter failure mode between frequently-meeting brokers).
+  Tcbf a = make({"key"});
+  Tcbf b = make({"key"});
+  a.a_merge(b);
+  double after_one = *a.min_counter("key");
+  a.a_merge(b);
+  EXPECT_GT(*a.min_counter("key"), after_one);
+}
+
+TEST(Tcbf, InsertIntoMergedFilterThrows) {
+  Tcbf a = make({"x"});
+  Tcbf b = make({"y"});
+  a.a_merge(b);
+  EXPECT_TRUE(a.merged());
+  EXPECT_THROW(a.insert("z"), std::logic_error);
+}
+
+TEST(Tcbf, MergeParamMismatchThrows) {
+  Tcbf a({256, 4}, kC);
+  Tcbf b({128, 4}, kC);
+  EXPECT_THROW(a.a_merge(b), std::invalid_argument);
+  EXPECT_THROW(a.m_merge(b), std::invalid_argument);
+}
+
+TEST(Tcbf, DecayRemovesKeyExactlyWhenCounterDrains) {
+  Tcbf t = make({"key"});
+  t.decay(kC - 1.0);
+  EXPECT_TRUE(t.contains("key"));
+  t.decay(1.0);
+  EXPECT_FALSE(t.contains("key"));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tcbf, DecayClampsAtZero) {
+  Tcbf t = make({"key"});
+  t.decay(1000.0);
+  for (std::size_t i = 0; i < 256; ++i) EXPECT_GE(t.counter(i), 0.0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tcbf, FractionalDecayAccumulates) {
+  Tcbf t = make({"key"});
+  for (int i = 0; i < 100; ++i) t.decay(0.138);  // the paper's DF value
+  EXPECT_NEAR(*t.min_counter("key"), kC - 13.8, 1e-9);
+}
+
+TEST(Tcbf, DecayZeroIsNoop) {
+  Tcbf t = make({"key"});
+  t.decay(0.0);
+  EXPECT_EQ(t.min_counter("key"), kC);
+}
+
+TEST(Tcbf, TemporalDeletionOrdering) {
+  // Key inserted later (via fresh filter + A-merge) outlives earlier keys:
+  // the Fig. 4 scenario where only the most recent key remains.
+  Tcbf t = make({"old"});
+  t.decay(30.0);  // old at 20
+  Tcbf fresh = make({"new"});
+  t.a_merge(fresh);
+  t.decay(25.0);  // old would be at -5 -> gone, new at 25
+  EXPECT_FALSE(t.contains("old"));
+  EXPECT_TRUE(t.contains("new"));
+}
+
+TEST(Tcbf, ReinforcementExtendsLifetime) {
+  // A consumer that keeps meeting a broker A-merges its genuine filter in
+  // repeatedly; the interest then survives proportionally longer.
+  Tcbf relay = make({"interest"});
+  Tcbf genuine = make({"interest"});
+  relay.a_merge(genuine);  // counter 100
+  relay.decay(80.0);
+  EXPECT_TRUE(relay.contains("interest"));
+  relay.decay(25.0);
+  EXPECT_FALSE(relay.contains("interest"));
+}
+
+TEST(Tcbf, MinCounterAbsentKeyIsNullopt) {
+  Tcbf t = make({"key"});
+  EXPECT_FALSE(t.min_counter("missing").has_value());
+}
+
+TEST(Tcbf, MinCounterTracksPartialDecayOverlap) {
+  // When two keys share bits, the minimum counter reflects the weakest bit.
+  Tcbf t({256, 4}, kC);
+  t.insert("a");
+  t.decay(10.0);
+  // Merge a fresh filter with "b"; if the two keys share any bit, "a" keeps
+  // its decayed value and "b" gets at least the max of shared bits.
+  Tcbf u = make({"b"});
+  t.a_merge(u);
+  ASSERT_TRUE(t.min_counter("a").has_value());
+  EXPECT_LE(*t.min_counter("a"), kC);
+}
+
+TEST(Tcbf, ToBloomFilterStripsCounters) {
+  Tcbf t = make({"alpha", "beta"});
+  BloomFilter bf = t.to_bloom_filter();
+  EXPECT_TRUE(bf.contains("alpha"));
+  EXPECT_TRUE(bf.contains("beta"));
+  EXPECT_EQ(bf.popcount(), t.popcount());
+}
+
+TEST(Tcbf, ClearAllowsInsertAgain) {
+  Tcbf a = make({"x"});
+  Tcbf b = make({"y"});
+  a.a_merge(b);
+  a.clear();
+  EXPECT_FALSE(a.merged());
+  EXPECT_NO_THROW(a.insert("z"));
+  EXPECT_TRUE(a.contains("z"));
+}
+
+TEST(Tcbf, FromCountersRoundTrip) {
+  Tcbf t = make({"key"});
+  t.decay(7.5);
+  Tcbf u = Tcbf::from_counters(t.params(), t.initial_counter(), t.counters());
+  EXPECT_EQ(u.counters(), t.counters());
+  EXPECT_TRUE(u.merged());
+  EXPECT_EQ(u.min_counter("key"), t.min_counter("key"));
+}
+
+TEST(Tcbf, FromCountersSizeMismatchThrows) {
+  EXPECT_THROW(
+      Tcbf::from_counters({256, 4}, kC, std::vector<double>(100, 0.0)),
+      std::invalid_argument);
+}
+
+TEST(TcbfPreference, KeyInBothFiltersIsDifference) {
+  Tcbf b = make({"key"});  // c_b = 50
+  Tcbf f = make({"key"});
+  f.decay(20.0);  // c_f = 30
+  EXPECT_DOUBLE_EQ(preference(b, f, "key"), 20.0);
+  EXPECT_DOUBLE_EQ(preference(f, b, "key"), -20.0);
+}
+
+TEST(TcbfPreference, KeyAbsentFromSecondFilterIsCb) {
+  // Paper section IV-A: the preference is c_b when c_f = 0.
+  Tcbf b = make({"key"});
+  Tcbf f = make({"unrelated"});
+  EXPECT_DOUBLE_EQ(preference(b, f, "key"), kC);
+}
+
+TEST(TcbfPreference, KeyAbsentFromBothIsZero) {
+  Tcbf b = make({"x"});
+  Tcbf f = make({"y"});
+  EXPECT_DOUBLE_EQ(preference(b, f, "z"), 0.0);
+}
+
+TEST(TcbfPreference, ReinforcedBrokerWins) {
+  // The broker that met the consumer more often has the higher counter and
+  // therefore positive preference — the forwarder-selection rule of V-C.
+  Tcbf close_broker = make({"interest"});
+  Tcbf genuine = make({"interest"});
+  close_broker.a_merge(genuine);
+  close_broker.a_merge(genuine);  // 3C total
+  Tcbf far_broker = make({"interest"});
+  far_broker.decay(30.0);  // 0.4C
+  EXPECT_GT(preference(close_broker, far_broker, "interest"), 0.0);
+  EXPECT_LT(preference(far_broker, close_broker, "interest"), 0.0);
+}
+
+class TcbfParamTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint32_t>> {
+};
+
+TEST_P(TcbfParamTest, InsertContainsDecayAcrossGeometries) {
+  auto [m, k] = GetParam();
+  Tcbf t({m, k}, kC);
+  for (int i = 0; i < 10; ++i) t.insert("key" + std::to_string(i));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(t.contains("key" + std::to_string(i)));
+  }
+  t.decay(kC);
+  EXPECT_TRUE(t.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TcbfParamTest,
+    ::testing::Values(std::make_tuple(64, 2), std::make_tuple(128, 3),
+                      std::make_tuple(256, 4), std::make_tuple(512, 5),
+                      std::make_tuple(1000, 4), std::make_tuple(4096, 8)));
+
+}  // namespace
+}  // namespace bsub::bloom

@@ -1,0 +1,141 @@
+// Tests for the reverse-path delivery gating (section V-C) and the
+// carried_ever loop prevention in broker-to-broker forwarding.
+#include <gtest/gtest.h>
+
+#include "core/bsub_protocol.h"
+#include "sim/simulator.h"
+#include "testing/scenario.h"
+
+namespace bsub::core {
+namespace {
+
+using bsub::testing::contact;
+using bsub::testing::make_message;
+using bsub::testing::two_keys;
+using util::from_minutes;
+
+struct Harness {
+  workload::KeySet keys = two_keys();
+  trace::ContactTrace trace;
+  workload::Workload workload;
+  metrics::Collector collector;
+  BsubProtocol proto;
+
+  Harness(std::size_t nodes, std::vector<workload::KeyId> interests,
+          std::vector<workload::Message> messages, BsubConfig cfg)
+      : trace(nodes, {contact(0, 1, 0)}),
+        workload(keys, nodes, std::move(interests), std::move(messages)),
+        proto(cfg) {
+    proto.on_start(trace, workload, collector);
+    for (const auto& m : workload.messages()) {
+      proto.on_message_created(m, m.created);
+    }
+  }
+
+  void meet(trace::NodeId a, trace::NodeId b, double minute) {
+    sim::Link link(util::kHour, 1e9);
+    proto.on_contact(a, b, from_minutes(minute), util::kHour, link);
+  }
+};
+
+BsubConfig pinned(double df, bool gating) {
+  BsubConfig cfg;
+  cfg.broker_lower = 0;
+  cfg.broker_upper = 1000000;
+  cfg.df_per_minute = df;
+  cfg.relay_gated_delivery = gating;
+  return cfg;
+}
+
+TEST(RelayGating, StaleRouteMutesCarriedCopy) {
+  // Broker 1 picks up a message while the route is fresh, but by the time
+  // it meets the consumer the interest has decayed out of its relay: the
+  // copy must not be offered.
+  Harness h(3, {1, 1, 0}, {make_message(0, 0, 0)},
+            pinned(/*df=*/1.0, /*gating=*/true));
+  h.proto.election_mutable().set_broker(1, true);
+  h.meet(2, 1, 1.0);   // consumer primes broker (counter 50, ~50 min life)
+  h.meet(0, 1, 10.0);  // pickup while alive
+  ASSERT_EQ(h.collector.results().forwardings, 1u);
+  h.meet(1, 2, 80.0);  // relay decayed at t=51: gated, no delivery
+  EXPECT_EQ(h.collector.results().interested_deliveries, 0u);
+}
+
+TEST(RelayGating, FreshRouteDelivers) {
+  Harness h(3, {1, 1, 0}, {make_message(0, 0, 0)},
+            pinned(/*df=*/1.0, /*gating=*/true));
+  h.proto.election_mutable().set_broker(1, true);
+  h.meet(2, 1, 1.0);
+  h.meet(0, 1, 10.0);
+  h.meet(1, 2, 30.0);  // relay still holds the key (counter ~21)
+  EXPECT_EQ(h.collector.results().interested_deliveries, 1u);
+}
+
+TEST(RelayGating, DisablingGatingRestoresDelivery) {
+  Harness h(3, {1, 1, 0}, {make_message(0, 0, 0)},
+            pinned(/*df=*/1.0, /*gating=*/false));
+  h.proto.election_mutable().set_broker(1, true);
+  h.meet(2, 1, 1.0);
+  h.meet(0, 1, 10.0);
+  h.meet(1, 2, 80.0);  // stale route, but gating is off
+  EXPECT_EQ(h.collector.results().interested_deliveries, 1u);
+}
+
+TEST(RelayGating, ReinforcementReopensTheRoute) {
+  Harness h(3, {1, 1, 0}, {make_message(0, 0, 0)},
+            pinned(/*df=*/1.0, /*gating=*/true));
+  h.proto.election_mutable().set_broker(1, true);
+  h.meet(2, 1, 1.0);
+  h.meet(0, 1, 10.0);
+  h.meet(2, 1, 60.0);  // consumer re-primes: route restored...
+  h.meet(1, 2, 80.0);  // ...and the stored copy is offered again
+  EXPECT_EQ(h.collector.results().interested_deliveries, 1u);
+}
+
+TEST(RelayGating, DemotedBrokerServesLeftoversUngated) {
+  Harness h(3, {1, 1, 0}, {make_message(0, 0, 0)},
+            pinned(/*df=*/1.0, /*gating=*/true));
+  h.proto.election_mutable().set_broker(1, true);
+  h.meet(2, 1, 1.0);
+  h.meet(0, 1, 10.0);
+  h.proto.election_mutable().set_broker(1, false);  // demotion
+  h.meet(1, 2, 80.0);  // ex-broker, relay authority gone: delivers ungated
+  EXPECT_EQ(h.collector.results().interested_deliveries, 1u);
+}
+
+TEST(LoopPrevention, CopyNeverRevisitsABroker) {
+  // Brokers 1 and 2 with alternating reinforcement could ping-pong a copy
+  // forever; carried_ever must hold the walk to one visit each.
+  BsubConfig cfg = pinned(1.0, false);
+  Harness h(4, {1, 1, 1, 0}, {make_message(0, 0, 0)}, cfg);
+  h.proto.election_mutable().set_broker(1, true);
+  h.proto.election_mutable().set_broker(2, true);
+  h.meet(3, 1, 1.0);   // prime broker 1
+  h.meet(0, 1, 2.0);   // pickup at broker 1
+  ASSERT_EQ(h.proto.traffic().pickups, 1u);
+  h.meet(3, 2, 10.0);  // broker 2 now fresher
+  h.meet(1, 2, 11.0);  // copy moves 1 -> 2
+  EXPECT_EQ(h.proto.traffic().broker_transfers, 1u);
+  h.meet(3, 1, 20.0);  // broker 1 fresher again
+  h.meet(1, 2, 21.0);  // must NOT move back: 1 already carried it
+  h.meet(2, 1, 30.0);
+  EXPECT_EQ(h.proto.traffic().broker_transfers, 1u);
+}
+
+TEST(LoopPrevention, BrokerDoesNotRePickUpAfterForwardingAway) {
+  BsubConfig cfg = pinned(0.0, false);
+  cfg.copy_limit = 5;
+  Harness h(4, {1, 1, 1, 0}, {make_message(0, 0, 0)}, cfg);
+  h.proto.election_mutable().set_broker(1, true);
+  h.proto.election_mutable().set_broker(2, true);
+  h.meet(3, 1, 1.0);
+  h.meet(3, 2, 2.0);
+  h.meet(3, 2, 3.0);   // broker 2 reinforced twice: stronger
+  h.meet(0, 1, 5.0);   // pickup #1 at broker 1
+  h.meet(1, 2, 6.0);   // moves to broker 2
+  h.meet(0, 1, 7.0);   // producer meets broker 1 again: no second pickup
+  EXPECT_EQ(h.proto.traffic().pickups, 1u);
+}
+
+}  // namespace
+}  // namespace bsub::core

@@ -1,0 +1,101 @@
+// B-SUB end-to-end with multi-key interests (section V-A extension).
+#include <gtest/gtest.h>
+
+#include "core/bsub_protocol.h"
+#include "sim/simulator.h"
+#include "testing/scenario.h"
+#include "trace/synthetic.h"
+
+namespace bsub::core {
+namespace {
+
+using bsub::testing::contact;
+using bsub::testing::make_message;
+
+workload::KeySet three_keys() {
+  return workload::KeySet({{"alpha", 0.4}, {"beta", 0.35}, {"gamma", 0.25}});
+}
+
+BsubConfig pinned() {
+  BsubConfig cfg;
+  cfg.broker_lower = 0;
+  cfg.broker_upper = 1000000;
+  cfg.df_per_minute = 0.0;
+  return cfg;
+}
+
+TEST(BsubMultiKey, ConsumerWithTwoInterestsReceivesBoth) {
+  auto keys = three_keys();
+  trace::ContactTrace t(2, {contact(0, 1, 0)});
+  // Node 1 subscribes to alpha AND gamma; node 0 produces one of each key.
+  workload::Workload w(keys, 2, std::vector<std::vector<workload::KeyId>>{
+                                    {1}, {0, 2}},
+                       {make_message(0, 0, 0), make_message(0, 1, 0),
+                        make_message(0, 2, 0)});
+  metrics::Collector collector;
+  BsubProtocol proto(pinned());
+  proto.on_start(t, w, collector);
+  for (const auto& m : w.messages()) proto.on_message_created(m, m.created);
+  sim::Link link(util::kHour, 1e9);
+  proto.on_contact(0, 1, util::from_minutes(5), util::kHour, link);
+  auto r = collector.results();
+  EXPECT_EQ(r.interested_deliveries, 2u);  // alpha + gamma, not beta
+  EXPECT_EQ(r.false_deliveries, 0u);
+}
+
+TEST(BsubMultiKey, GenuineFilterCarriesAllInterestsToBroker) {
+  auto keys = three_keys();
+  trace::ContactTrace t(3, {contact(0, 1, 0)});
+  workload::Workload w(keys, 3, std::vector<std::vector<workload::KeyId>>{
+                                    {0, 1}, {2}, {2}},
+                       {});
+  metrics::Collector collector;
+  BsubProtocol proto(pinned());
+  proto.on_start(t, w, collector);
+  proto.election_mutable().set_broker(1, true);
+  sim::Link link(util::kHour, 1e9);
+  proto.on_contact(0, 1, util::from_minutes(1), util::kHour, link);
+  auto& relay = proto.interests_mutable().relay(1, util::from_minutes(1));
+  EXPECT_TRUE(relay.contains("alpha"));
+  EXPECT_TRUE(relay.contains("beta"));
+}
+
+TEST(BsubMultiKey, EndToEndOnSyntheticTraceWithThreeInterests) {
+  trace::SyntheticTraceConfig tcfg;
+  tcfg.node_count = 25;
+  tcfg.contact_count = 5000;
+  tcfg.duration = util::kDay;
+  tcfg.seed = 44;
+  auto t = trace::generate_trace(tcfg);
+  auto keys = workload::twitter_trend_keys();
+  workload::WorkloadConfig wcfg;
+  wcfg.ttl = 8 * util::kHour;
+  wcfg.interests_per_node = 3;
+  workload::Workload w(t, keys, wcfg);
+  BsubProtocol proto;
+  auto r = sim::Simulator().run(t, w, proto);
+  EXPECT_GT(r.delivery_ratio, 0.05);
+  EXPECT_GT(r.interested_deliveries, 0u);
+}
+
+TEST(BsubMultiKey, MoreInterestsNeverReduceAbsoluteDeliveries) {
+  trace::SyntheticTraceConfig tcfg;
+  tcfg.node_count = 25;
+  tcfg.contact_count = 5000;
+  tcfg.duration = util::kDay;
+  tcfg.seed = 45;
+  auto t = trace::generate_trace(tcfg);
+  auto keys = workload::twitter_trend_keys();
+  auto run_with = [&](std::uint32_t per_node) {
+    workload::WorkloadConfig wcfg;
+    wcfg.ttl = 8 * util::kHour;
+    wcfg.interests_per_node = per_node;
+    workload::Workload w(t, keys, wcfg);
+    BsubProtocol proto;
+    return sim::Simulator().run(t, w, proto).interested_deliveries;
+  };
+  EXPECT_GT(run_with(4), run_with(1));
+}
+
+}  // namespace
+}  // namespace bsub::core

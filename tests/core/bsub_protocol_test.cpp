@@ -1,0 +1,307 @@
+#include "core/bsub_protocol.h"
+
+#include "core/df_tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "testing/scenario.h"
+#include "trace/synthetic.h"
+
+namespace bsub::core {
+namespace {
+
+using bsub::testing::contact;
+using bsub::testing::make_message;
+using bsub::testing::two_keys;
+using util::from_minutes;
+
+/// A link with an effectively unlimited budget.
+sim::Link big_link() { return sim::Link(util::kHour, 1e9); }
+
+/// Config with the election neutralized so tests control roles directly.
+BsubConfig pinned_roles_config() {
+  BsubConfig cfg;
+  cfg.broker_lower = 0;        // never promote
+  cfg.broker_upper = 1000000;  // never demote
+  cfg.df_per_minute = 0.0;     // no decay unless a test enables it
+  return cfg;
+}
+
+/// Drives the protocol by hand: trace only provides node count.
+struct Harness {
+  workload::KeySet keys = two_keys();
+  trace::ContactTrace trace;
+  workload::Workload workload;
+  metrics::Collector collector;
+  BsubProtocol proto;
+
+  Harness(std::size_t nodes, std::vector<workload::KeyId> interests,
+          std::vector<workload::Message> messages,
+          BsubConfig cfg = pinned_roles_config())
+      : trace(nodes, {contact(0, 1, 0)}),  // placeholder contact
+        workload(keys, nodes, std::move(interests), std::move(messages)),
+        proto(cfg) {
+    proto.on_start(trace, workload, collector);
+  }
+
+  void create_all_messages() {
+    for (const auto& m : workload.messages()) {
+      proto.on_message_created(m, m.created);
+    }
+  }
+
+  void meet(trace::NodeId a, trace::NodeId b, double minute) {
+    sim::Link link = big_link();
+    proto.on_contact(a, b, from_minutes(minute), util::kHour, link);
+  }
+};
+
+TEST(BsubProtocol, ConsumerInterestReachesBrokerRelay) {
+  Harness h(2, {0, 1}, {});
+  h.proto.election_mutable().set_broker(1, true);
+  h.meet(0, 1, 1.0);
+  // Node 0's interest (key 0 = "alpha") must now be in broker 1's relay.
+  EXPECT_TRUE(
+      h.proto.interests_mutable().relay(1, from_minutes(1)).contains("alpha"));
+}
+
+TEST(BsubProtocol, DirectProducerToConsumerDelivery) {
+  Harness h(2, {0, 0}, {make_message(0, 0, 0)});
+  h.create_all_messages();
+  h.meet(0, 1, 5.0);
+  auto r = h.collector.results();
+  EXPECT_EQ(r.interested_deliveries, 1u);
+  EXPECT_EQ(r.false_deliveries, 0u);
+  EXPECT_NEAR(r.mean_delay_minutes, 5.0, 1e-9);
+}
+
+TEST(BsubProtocol, NonMatchingMessageNotDeliveredDirectly) {
+  // Node 1 wants "beta"; producer has "alpha".
+  Harness h(2, {0, 1}, {make_message(0, 0, 0)});
+  h.create_all_messages();
+  h.meet(0, 1, 5.0);
+  EXPECT_EQ(h.collector.results().interested_deliveries, 0u);
+}
+
+TEST(BsubProtocol, ThreeHopPubSubPath) {
+  // Nodes: 0 producer, 1 broker, 2 consumer (key 0). The consumer never
+  // meets the producer; delivery must go through the broker.
+  Harness h(3, {1, 1, 0}, {make_message(0, 0, 0)});
+  h.proto.election_mutable().set_broker(1, true);
+  h.create_all_messages();
+  h.meet(2, 1, 1.0);   // interest propagation: consumer -> broker
+  h.meet(0, 1, 10.0);  // pickup: producer -> broker
+  h.meet(1, 2, 20.0);  // delivery: broker -> consumer
+  auto r = h.collector.results();
+  EXPECT_EQ(r.interested_deliveries, 1u);
+  EXPECT_NEAR(r.mean_delay_minutes, 20.0, 1e-9);
+  EXPECT_EQ(r.forwardings, 2u);  // pickup + delivery
+  EXPECT_EQ(h.proto.false_injections(), 0u);
+}
+
+TEST(BsubProtocol, NoPickupWithoutPropagatedInterest) {
+  // The broker's relay is empty: it must not pick anything up.
+  Harness h(3, {1, 1, 0}, {make_message(0, 0, 0)});
+  h.proto.election_mutable().set_broker(1, true);
+  h.create_all_messages();
+  h.meet(0, 1, 10.0);  // producer meets broker with empty relay
+  EXPECT_EQ(h.collector.results().forwardings, 0u);
+}
+
+TEST(BsubProtocol, CopyLimitBoundsBrokerReplicas) {
+  BsubConfig cfg = pinned_roles_config();
+  cfg.copy_limit = 2;
+  // Producer 0; brokers 1, 2, 3 all primed with consumer 4's interest.
+  Harness h(5, {1, 1, 1, 1, 0}, {make_message(0, 0, 0)}, cfg);
+  for (trace::NodeId b = 1; b <= 3; ++b) {
+    h.proto.election_mutable().set_broker(b, true);
+  }
+  h.create_all_messages();
+  for (trace::NodeId b = 1; b <= 3; ++b) h.meet(4, b, 1.0);  // interests
+  for (trace::NodeId b = 1; b <= 3; ++b) h.meet(0, b, 10.0); // pickups
+  // Only copy_limit pickups may happen.
+  EXPECT_EQ(h.collector.results().forwardings, 2u);
+  // After the limit, the producer forgot the message: a later direct meeting
+  // with the consumer delivers nothing from the producer. The brokers still
+  // deliver their copies.
+  h.meet(0, 4, 20.0);
+  EXPECT_EQ(h.collector.results().interested_deliveries, 0u);
+  h.meet(1, 4, 30.0);
+  EXPECT_EQ(h.collector.results().interested_deliveries, 1u);
+}
+
+TEST(BsubProtocol, DirectDeliveryDoesNotConsumeCopies) {
+  BsubConfig cfg = pinned_roles_config();
+  cfg.copy_limit = 1;
+  // Producer 0, consumers 1 and 2, broker 3 primed by consumer 2.
+  Harness h(4, {1, 0, 0, 1}, {make_message(0, 0, 0)}, cfg);
+  h.proto.election_mutable().set_broker(3, true);
+  h.create_all_messages();
+  h.meet(1, 0, 1.0);  // direct delivery to consumer 1 (no copy spent)
+  h.meet(2, 3, 2.0);  // consumer 2 primes broker 3
+  h.meet(0, 3, 5.0);  // pickup still possible: copy budget intact
+  h.meet(3, 2, 9.0);  // broker delivers to consumer 2
+  EXPECT_EQ(h.collector.results().interested_deliveries, 2u);
+}
+
+TEST(BsubProtocol, BrokerExchangeMMergesRelays) {
+  Harness h(3, {0, 1, 1}, {});
+  h.proto.election_mutable().set_broker(1, true);
+  h.proto.election_mutable().set_broker(2, true);
+  h.meet(0, 1, 1.0);  // consumer 0 ("alpha") primes broker 1
+  h.meet(1, 2, 5.0);  // broker-broker exchange
+  EXPECT_TRUE(
+      h.proto.interests_mutable().relay(2, from_minutes(5)).contains("alpha"));
+}
+
+TEST(BsubProtocol, PreferentialForwardingMovesMessageToBetterBroker) {
+  // Broker 1 carries a message but broker 2 is closer to the consumer
+  // (higher relay counter via repeated reinforcement).
+  Harness h(4, {1, 1, 1, 0}, {make_message(0, 0, 0)});
+  h.proto.election_mutable().set_broker(1, true);
+  h.proto.election_mutable().set_broker(2, true);
+  h.create_all_messages();
+  h.meet(3, 1, 1.0);  // consumer primes broker 1 once
+  h.meet(3, 2, 2.0);  // consumer primes broker 2 twice (stronger)
+  h.meet(3, 2, 3.0);
+  h.meet(0, 1, 10.0);  // producer -> broker 1 pickup
+  ASSERT_EQ(h.collector.results().forwardings, 1u);
+  h.meet(1, 2, 20.0);  // broker exchange: message should move to broker 2
+  EXPECT_EQ(h.collector.results().forwardings, 2u);
+  // Single custody: broker 1 dropped it; only broker 2 can deliver now.
+  h.meet(1, 3, 25.0);
+  EXPECT_EQ(h.collector.results().interested_deliveries, 0u);
+  h.meet(2, 3, 30.0);
+  EXPECT_EQ(h.collector.results().interested_deliveries, 1u);
+}
+
+TEST(BsubProtocol, NoBackwardForwardingBetweenBrokers) {
+  // After the message moves 1 -> 2, a second meeting must not bounce it
+  // back (reverse preference is negative).
+  Harness h(4, {1, 1, 1, 0}, {make_message(0, 0, 0)});
+  h.proto.election_mutable().set_broker(1, true);
+  h.proto.election_mutable().set_broker(2, true);
+  h.create_all_messages();
+  h.meet(3, 2, 1.0);
+  h.meet(3, 2, 2.0);
+  h.meet(3, 1, 3.0);
+  h.meet(0, 1, 10.0);
+  h.meet(1, 2, 20.0);  // moves to 2
+  auto before = h.collector.results().forwardings;
+  h.meet(1, 2, 21.0);  // must not move again
+  EXPECT_EQ(h.collector.results().forwardings, before);
+}
+
+TEST(BsubProtocol, DecayErasesStaleInterests) {
+  BsubConfig cfg = pinned_roles_config();
+  cfg.df_per_minute = 1.0;  // C=50 drains in 50 minutes
+  Harness h(3, {1, 1, 0}, {make_message(0, 0, from_minutes(100))}, cfg);
+  h.proto.election_mutable().set_broker(1, true);
+  h.meet(2, 1, 1.0);  // consumer primes broker
+  h.create_all_messages();
+  h.meet(0, 1, 100.0);  // 99 minutes later: interest long gone, no pickup
+  EXPECT_EQ(h.collector.results().forwardings, 0u);
+}
+
+TEST(BsubProtocol, ReinforcementKeepsInterestAliveUnderDecay) {
+  BsubConfig cfg = pinned_roles_config();
+  cfg.df_per_minute = 1.0;
+  Harness h(3, {1, 1, 0}, {make_message(0, 0, from_minutes(100))}, cfg);
+  h.proto.election_mutable().set_broker(1, true);
+  // Consumer meets the broker every 30 minutes: counters pile up.
+  for (int m = 0; m <= 90; m += 30) h.meet(2, 1, m);
+  h.create_all_messages();
+  h.meet(0, 1, 100.0);
+  EXPECT_EQ(h.collector.results().forwardings, 1u);  // pickup happened
+}
+
+TEST(BsubProtocol, ExpiredMessagesPurgedEverywhere) {
+  Harness h(3, {1, 1, 0},
+            {make_message(0, 0, 0, /*ttl=*/from_minutes(15))});
+  h.proto.election_mutable().set_broker(1, true);
+  h.create_all_messages();
+  h.meet(2, 1, 1.0);
+  h.meet(0, 1, 5.0);  // picked up at t=5
+  ASSERT_EQ(h.collector.results().forwardings, 1u);
+  h.meet(1, 2, 30.0);  // expired at 15: no delivery
+  EXPECT_EQ(h.collector.results().interested_deliveries, 0u);
+}
+
+TEST(BsubProtocol, ControlBytesAreAccounted) {
+  Harness h(2, {0, 1}, {});
+  h.proto.election_mutable().set_broker(1, true);
+  h.meet(0, 1, 1.0);
+  EXPECT_GT(h.collector.results().control_bytes, 0u);
+}
+
+TEST(BsubProtocol, RunsEndToEndOnSyntheticTrace) {
+  trace::SyntheticTraceConfig tcfg;
+  tcfg.node_count = 30;
+  tcfg.contact_count = 6000;
+  tcfg.duration = util::kDay;
+  tcfg.seed = 77;
+  auto t = trace::generate_trace(tcfg);
+  auto keys = workload::twitter_trend_keys();
+  workload::WorkloadConfig wcfg;
+  wcfg.ttl = 6 * util::kHour;
+  workload::Workload w(t, keys, wcfg);
+
+  BsubConfig cfg;
+  cfg.df_per_minute =
+      compute_df(t, wcfg.ttl, cfg.filter_params, cfg.initial_counter)
+          .df_per_minute;
+  BsubProtocol proto(cfg);
+  sim::Simulator sim;
+  auto r = sim.run(t, w, proto);
+  EXPECT_GT(r.delivery_ratio, 0.05);
+  EXPECT_GT(r.forwardings, 0u);
+  EXPECT_GT(proto.election().broker_count(), 0u);
+}
+
+TEST(BsubProtocol, DeterministicAcrossRuns) {
+  trace::SyntheticTraceConfig tcfg;
+  tcfg.node_count = 20;
+  tcfg.contact_count = 3000;
+  tcfg.duration = util::kDay;
+  tcfg.seed = 88;
+  auto t = trace::generate_trace(tcfg);
+  auto keys = workload::twitter_trend_keys();
+  workload::Workload w(t, keys, {});
+
+  auto run_once = [&] {
+    BsubProtocol proto;
+    sim::Simulator sim;
+    return sim.run(t, w, proto);
+  };
+  auto r1 = run_once();
+  auto r2 = run_once();
+  EXPECT_EQ(r1.interested_deliveries, r2.interested_deliveries);
+  EXPECT_EQ(r1.forwardings, r2.forwardings);
+  EXPECT_EQ(r1.false_deliveries, r2.false_deliveries);
+  EXPECT_EQ(r1.control_bytes, r2.control_bytes);
+  EXPECT_DOUBLE_EQ(r1.mean_delay_minutes, r2.mean_delay_minutes);
+}
+
+TEST(BsubProtocol, AdaptiveDfModeRunsAndDelivers) {
+  trace::SyntheticTraceConfig tcfg;
+  tcfg.node_count = 25;
+  tcfg.contact_count = 4000;
+  tcfg.duration = util::kDay;
+  tcfg.seed = 91;
+  auto t = trace::generate_trace(tcfg);
+  auto keys = workload::twitter_trend_keys();
+  workload::WorkloadConfig wcfg;
+  wcfg.ttl = 6 * util::kHour;
+  workload::Workload w(t, keys, wcfg);
+  BsubConfig cfg;
+  cfg.adaptive_df = true;
+  cfg.df_window = wcfg.ttl;
+  BsubProtocol proto(cfg);
+  sim::Simulator sim;
+  auto r = sim.run(t, w, proto);
+  EXPECT_GT(r.interested_deliveries, 0u);
+}
+
+}  // namespace
+}  // namespace bsub::core

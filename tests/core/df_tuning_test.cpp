@@ -1,0 +1,131 @@
+#include "core/df_tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.h"
+
+namespace bsub::core {
+namespace {
+
+constexpr bloom::BloomParams kPaper{256, 4};
+
+trace::ContactTrace dense_trace(std::uint64_t seed = 13) {
+  trace::SyntheticTraceConfig cfg;
+  cfg.node_count = 30;
+  cfg.contact_count = 10000;
+  cfg.duration = util::kDay;
+  cfg.seed = seed;
+  return trace::generate_trace(cfg);
+}
+
+TEST(EstimateKeysPerWindow, EmptyTraceIsZero) {
+  trace::ContactTrace empty(5, {});
+  EXPECT_DOUBLE_EQ(estimate_keys_per_window(empty, util::kHour), 0.0);
+}
+
+TEST(EstimateKeysPerWindow, BoundedByNodeCountMinusOne) {
+  auto t = dense_trace();
+  double n = estimate_keys_per_window(t, 6 * util::kHour);
+  EXPECT_GT(n, 0.0);
+  EXPECT_LE(n, 29.0);
+}
+
+TEST(EstimateKeysPerWindow, GrowsWithWindow) {
+  auto t = dense_trace();
+  double small = estimate_keys_per_window(t, util::kHour);
+  double large = estimate_keys_per_window(t, 12 * util::kHour);
+  EXPECT_LT(small, large);
+}
+
+TEST(EstimateKeysPerWindow, WindowLargerThanTraceEqualsFullDegrees) {
+  auto t = dense_trace();
+  double full = estimate_keys_per_window(t, 10 * util::kDay);
+  auto deg = t.degrees();
+  double mean = 0.0;
+  for (auto d : deg) mean += static_cast<double>(d);
+  mean /= static_cast<double>(deg.size());
+  EXPECT_NEAR(full, mean, 1e-9);
+}
+
+TEST(ComputeDfFromKeys, NoAccidentalHitsGivesBaseRate) {
+  // With zero other keys, E[min] = 0 and DF = C/W + delta.
+  DfEstimate est =
+      compute_df_from_keys(0.0, 10 * util::kHour, kPaper, 50.0, 0.0);
+  EXPECT_DOUBLE_EQ(est.expected_min_increment, 0.0);
+  EXPECT_NEAR(est.df_per_minute, 50.0 / 600.0, 1e-12);
+}
+
+TEST(ComputeDfFromKeys, DeltaIsAdded) {
+  DfEstimate a = compute_df_from_keys(0.0, util::kHour, kPaper, 50.0, 0.0);
+  DfEstimate b = compute_df_from_keys(0.0, util::kHour, kPaper, 50.0, 0.05);
+  EXPECT_NEAR(b.df_per_minute - a.df_per_minute, 0.05, 1e-12);
+}
+
+TEST(ComputeDfFromKeys, MoreKeysRaiseDf) {
+  DfEstimate sparse =
+      compute_df_from_keys(10.0, 10 * util::kHour, kPaper, 50.0);
+  DfEstimate dense =
+      compute_df_from_keys(200.0, 10 * util::kHour, kPaper, 50.0);
+  EXPECT_GT(dense.df_per_minute, sparse.df_per_minute);
+  EXPECT_GT(dense.expected_min_increment, sparse.expected_min_increment);
+}
+
+TEST(ComputeDfFromKeys, LongerWindowLowersDf) {
+  DfEstimate short_w = compute_df_from_keys(50.0, util::kHour, kPaper, 50.0);
+  DfEstimate long_w =
+      compute_df_from_keys(50.0, 20 * util::kHour, kPaper, 50.0);
+  EXPECT_GT(short_w.df_per_minute, long_w.df_per_minute);
+}
+
+TEST(ComputeDf, PaperScaleSanity) {
+  // The paper reports DF ~ 0.138/min for W = 10 h on the Haggle trace with
+  // C = 50. Our synthetic Haggle-like trace should land in the same decade.
+  auto t = trace::generate_trace(trace::haggle_infocom06_config(5));
+  DfEstimate est = compute_df(t, 10 * util::kHour, kPaper, 50.0);
+  EXPECT_GT(est.df_per_minute, 0.05);
+  EXPECT_LT(est.df_per_minute, 0.5);
+}
+
+TEST(ComputeDf, DrainsWithinRoughlyWindow) {
+  // The defining property of Eq. 5: an interest inserted once (counter C,
+  // possibly refreshed E[min] times) drains in about W.
+  auto t = dense_trace();
+  const util::Time window = 5 * util::kHour;
+  DfEstimate est = compute_df(t, window, kPaper, 50.0, 0.0);
+  const double minutes_to_drain =
+      50.0 * (1.0 + est.expected_min_increment) / est.df_per_minute;
+  EXPECT_NEAR(minutes_to_drain, util::to_minutes(window), 1e-6);
+}
+
+TEST(OnlineDfController, RaisesDfWhenFprTooHigh) {
+  OnlineDfController ctl(0.1, 0.02);
+  double df = ctl.observe(0.05);
+  EXPECT_GT(df, 0.1);
+}
+
+TEST(OnlineDfController, LowersDfWhenFprWellBelowTarget) {
+  OnlineDfController ctl(0.1, 0.02);
+  double df = ctl.observe(0.001);
+  EXPECT_LT(df, 0.1);
+}
+
+TEST(OnlineDfController, HoldsInDeadband) {
+  OnlineDfController ctl(0.1, 0.02);
+  double df = ctl.observe(0.015);  // between target/2 and target
+  EXPECT_DOUBLE_EQ(df, 0.1);
+}
+
+TEST(OnlineDfController, ConvergesTowardTargetInSimulatedLoop) {
+  // Toy plant: measured FPR is inversely proportional to DF.
+  OnlineDfController ctl(0.01, 0.02);
+  double measured = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    measured = 0.002 / ctl.df();
+    ctl.observe(measured);
+  }
+  EXPECT_LT(measured, 0.05);
+  EXPECT_GT(measured, 0.005);
+}
+
+}  // namespace
+}  // namespace bsub::core

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "engine/network.h"
+
+namespace bsub::engine {
+namespace {
+
+using util::from_minutes;
+using util::kHour;
+
+ContentMessage msg(std::uint64_t id, std::string key, util::Time created,
+                   util::Time ttl = util::kDay) {
+  ContentMessage m;
+  m.id = id;
+  m.key = std::move(key);
+  m.body = std::vector<std::uint8_t>(100, 0xAB);
+  m.created = created;
+  m.ttl = ttl;
+  return m;
+}
+
+NodeConfig no_decay() {
+  NodeConfig cfg;
+  cfg.df_per_minute = 0.0;
+  return cfg;
+}
+
+TEST(Engine, DirectDeliveryProducerToConsumer) {
+  Network net(no_decay());
+  BsubNode& producer = net.add_node(1);
+  BsubNode& consumer = net.add_node(2);
+  consumer.subscribe("NewMoon");
+  producer.publish(msg(1, "NewMoon", from_minutes(1)), from_minutes(1));
+
+  net.contact(1, 2, from_minutes(5), kHour);
+  ASSERT_EQ(net.deliveries().size(), 1u);
+  EXPECT_EQ(net.deliveries()[0].consumer, 2u);
+  EXPECT_EQ(net.deliveries()[0].key, "NewMoon");
+  EXPECT_EQ(net.deliveries()[0].at, from_minutes(5));
+}
+
+TEST(Engine, NonSubscriberGetsNothing) {
+  Network net(no_decay());
+  net.add_node(1).publish(msg(1, "NewMoon", 0), 0);
+  net.add_node(2).subscribe("Yankees");
+  net.contact(1, 2, from_minutes(5), kHour);
+  EXPECT_TRUE(net.deliveries().empty());
+}
+
+TEST(Engine, DuplicateContactsDeliverOnce) {
+  Network net(no_decay());
+  net.add_node(1).publish(msg(1, "NewMoon", 0), 0);
+  net.add_node(2).subscribe("NewMoon");
+  net.contact(1, 2, from_minutes(5), kHour);
+  net.contact(1, 2, from_minutes(10), kHour);
+  EXPECT_EQ(net.deliveries().size(), 1u);
+}
+
+TEST(Engine, ThreeHopViaBroker) {
+  Network net(no_decay());
+  BsubNode& producer = net.add_node(1);
+  BsubNode& broker = net.add_node(2);
+  BsubNode& consumer = net.add_node(3);
+  broker.set_broker(true);
+  consumer.subscribe("NewMoon");
+  producer.publish(msg(1, "NewMoon", 0), 0);
+
+  // Consumer primes the broker, broker picks up from producer, broker
+  // delivers; producer and consumer never meet.
+  net.contact(3, 2, from_minutes(1), kHour);
+  EXPECT_TRUE(broker.relay_filter().contains("NewMoon"));
+  net.contact(1, 2, from_minutes(10), kHour);
+  EXPECT_EQ(broker.carried_count(), 1u);
+  net.contact(2, 3, from_minutes(20), kHour);
+  ASSERT_EQ(net.deliveries().size(), 1u);
+  EXPECT_EQ(net.deliveries()[0].consumer, 3u);
+}
+
+TEST(Engine, NoPickupWithoutPrimedRelay) {
+  Network net(no_decay());
+  net.add_node(1).publish(msg(1, "NewMoon", 0), 0);
+  BsubNode& broker = net.add_node(2);
+  broker.set_broker(true);
+  net.contact(1, 2, from_minutes(5), kHour);
+  EXPECT_EQ(broker.carried_count(), 0u);
+}
+
+TEST(Engine, CopyLimitStopsReplication) {
+  NodeConfig cfg = no_decay();
+  cfg.copy_limit = 2;
+  Network net(cfg);
+  BsubNode& producer = net.add_node(1);
+  producer.publish(msg(1, "NewMoon", 0), 0);
+  for (NodeId b = 2; b <= 4; ++b) {
+    BsubNode& broker = net.add_node(b);
+    broker.set_broker(true);
+  }
+  BsubNode& consumer = net.add_node(5);
+  consumer.subscribe("NewMoon");
+  for (NodeId b = 2; b <= 4; ++b) net.contact(5, b, from_minutes(1), kHour);
+  for (NodeId b = 2; b <= 4; ++b) net.contact(1, b, from_minutes(10), kHour);
+  std::size_t carried = 0;
+  for (NodeId b = 2; b <= 4; ++b) carried += net.node(b).carried_count();
+  EXPECT_EQ(carried, 2u);
+  EXPECT_EQ(producer.produced_count(), 0u);  // budget exhausted, forgotten
+}
+
+TEST(Engine, DecayErasesRouteAndGatesDelivery) {
+  NodeConfig cfg;
+  cfg.df_per_minute = 1.0;  // C = 50 -> 50-minute route lifetime
+  Network net(cfg);
+  net.add_node(1).publish(msg(1, "NewMoon", 0, 10 * kHour), 0);
+  BsubNode& broker = net.add_node(2);
+  broker.set_broker(true);
+  BsubNode& consumer = net.add_node(3);
+  consumer.subscribe("NewMoon");
+
+  net.contact(3, 2, from_minutes(1), kHour);   // prime
+  net.contact(1, 2, from_minutes(10), kHour);  // pickup (route alive)
+  ASSERT_EQ(broker.carried_count(), 1u);
+  net.contact(2, 3, from_minutes(120), kHour);  // route decayed: gated
+  EXPECT_TRUE(net.deliveries().empty());
+  // Re-priming reopens the route.
+  net.contact(3, 2, from_minutes(130), kHour);
+  net.contact(2, 3, from_minutes(131), kHour);
+  EXPECT_EQ(net.deliveries().size(), 1u);
+}
+
+TEST(Engine, PreferentialTransferBetweenBrokers) {
+  Network net(no_decay());
+  net.add_node(1).publish(msg(1, "NewMoon", 0), 0);
+  BsubNode& b1 = net.add_node(2);
+  BsubNode& b2 = net.add_node(3);
+  b1.set_broker(true);
+  b2.set_broker(true);
+  BsubNode& consumer = net.add_node(4);
+  consumer.subscribe("NewMoon");
+
+  net.contact(4, 2, from_minutes(1), kHour);  // prime b1 once
+  net.contact(4, 3, from_minutes(2), kHour);  // prime b2 twice: stronger
+  net.contact(4, 3, from_minutes(3), kHour);
+  net.contact(1, 2, from_minutes(10), kHour);  // pickup at b1
+  ASSERT_EQ(b1.carried_count(), 1u);
+  net.contact(2, 3, from_minutes(20), kHour);  // moves to b2
+  EXPECT_EQ(b1.carried_count(), 0u);
+  EXPECT_EQ(b2.carried_count(), 1u);
+}
+
+TEST(Engine, BudgetExhaustionDropsFrames) {
+  Network net(no_decay());
+  BsubNode& producer = net.add_node(1);
+  BsubNode& consumer = net.add_node(2);
+  consumer.subscribe("NewMoon");
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    producer.publish(msg(i, "NewMoon", 0), 0);
+  }
+  // A very short/slow contact: only part of the exchange fits.
+  ContactReport report =
+      net.contact(1, 2, from_minutes(5), util::kSecond, 500.0);
+  EXPECT_GT(report.frames_dropped, 0u);
+  EXPECT_LT(net.deliveries().size(), 50u);
+  EXPECT_LE(report.bytes_used, 500u);
+}
+
+TEST(Engine, TtlExpiryPurgesEverywhere) {
+  Network net(no_decay());
+  net.add_node(1).publish(msg(1, "NewMoon", 0, from_minutes(30)), 0);
+  BsubNode& consumer = net.add_node(2);
+  consumer.subscribe("NewMoon");
+  net.contact(1, 2, from_minutes(60), kHour);  // expired before the meeting
+  EXPECT_TRUE(net.deliveries().empty());
+}
+
+TEST(Engine, MultiSubscriptionConsumer) {
+  Network net(no_decay());
+  BsubNode& producer = net.add_node(1);
+  producer.publish(msg(1, "NewMoon", 0), 0);
+  producer.publish(msg(2, "Yankees", 0), 0);
+  producer.publish(msg(3, "LadyGaga", 0), 0);
+  BsubNode& consumer = net.add_node(2);
+  consumer.subscribe("NewMoon");
+  consumer.subscribe("LadyGaga");
+  net.contact(1, 2, from_minutes(5), kHour);
+  EXPECT_EQ(net.deliveries().size(), 2u);
+}
+
+TEST(Engine, DuplicateNodeIdThrows) {
+  Network net;
+  net.add_node(1);
+  EXPECT_THROW(net.add_node(1), std::invalid_argument);
+  EXPECT_THROW(net.node(99), std::out_of_range);
+}
+
+TEST(Engine, GarbageFramesAreDropped) {
+  Network net(no_decay());
+  BsubNode& node = net.add_node(1);
+  std::vector<std::uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_TRUE(node.handle(garbage, from_minutes(1)).empty());
+}
+
+}  // namespace
+}  // namespace bsub::engine

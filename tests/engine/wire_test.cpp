@@ -1,0 +1,147 @@
+#include "engine/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "util/byte_io.h"
+#include "util/rng.h"
+
+namespace bsub::engine {
+namespace {
+
+ContentMessage sample_message() {
+  ContentMessage m;
+  m.id = 42;
+  m.key = "NewMoon";
+  m.body = {1, 2, 3, 4, 5};
+  m.producer = 7;
+  m.created = util::from_minutes(10);
+  m.ttl = util::kHour;
+  return m;
+}
+
+TEST(Wire, HelloRoundTrip) {
+  HelloFrame h;
+  h.sender = 99;
+  h.is_broker = true;
+  h.interest_report.insert("NewMoon");
+  h.relay_report.insert("TigerWoods");
+  h.relay_report.insert("Yankees");
+
+  Frame f = decode(encode(h));
+  ASSERT_EQ(f.type, FrameType::kHello);
+  ASSERT_TRUE(f.hello.has_value());
+  EXPECT_EQ(f.hello->sender, 99u);
+  EXPECT_TRUE(f.hello->is_broker);
+  EXPECT_EQ(f.hello->interest_report, h.interest_report);
+  EXPECT_EQ(f.hello->relay_report, h.relay_report);
+}
+
+TEST(Wire, GenuineRoundTrip) {
+  GenuineFrame g;
+  g.sender = 3;
+  g.filter = bloom::Tcbf({256, 4}, 50.0);
+  g.filter.insert("alpha");
+  g.filter.insert("beta");
+  Frame f = decode(encode(g));
+  ASSERT_EQ(f.type, FrameType::kGenuineFilter);
+  EXPECT_EQ(f.genuine->sender, 3u);
+  EXPECT_TRUE(f.genuine->filter.contains("alpha"));
+  EXPECT_TRUE(f.genuine->filter.contains("beta"));
+  // Uniform encoding preserves the (identical) counters exactly.
+  EXPECT_DOUBLE_EQ(f.genuine->filter.min_counter("alpha").value(), 50.0);
+}
+
+TEST(Wire, RelayRoundTripPreservesCountersApproximately) {
+  RelayFrame r;
+  r.sender = 8;
+  r.filter = bloom::Tcbf({256, 4}, 50.0);
+  r.filter.insert("alpha");
+  bloom::Tcbf other({256, 4}, 50.0);
+  other.insert("beta");
+  r.filter.a_merge(other);
+  r.filter.decay(7.5);
+  Frame f = decode(encode(r));
+  ASSERT_EQ(f.type, FrameType::kRelayFilter);
+  EXPECT_TRUE(f.relay->filter.contains("alpha"));
+  EXPECT_TRUE(f.relay->filter.contains("beta"));
+  EXPECT_NEAR(f.relay->filter.min_counter("alpha").value(),
+              r.filter.min_counter("alpha").value(), 50.0 / 255.0 + 1e-9);
+}
+
+TEST(Wire, DataRoundTrip) {
+  DataFrame d;
+  d.sender = 5;
+  d.message = sample_message();
+  d.custody = true;
+  Frame f = decode(encode(d));
+  ASSERT_EQ(f.type, FrameType::kData);
+  EXPECT_EQ(f.data->sender, 5u);
+  EXPECT_EQ(f.data->message, sample_message());
+  EXPECT_TRUE(f.data->custody);
+}
+
+TEST(Wire, EmptyBodyMessage) {
+  DataFrame d;
+  d.sender = 5;
+  d.message = sample_message();
+  d.message.body.clear();
+  Frame f = decode(encode(d));
+  EXPECT_TRUE(f.data->message.body.empty());
+}
+
+TEST(Wire, ChecksumDetectsCorruption) {
+  auto bytes = encode(sample_message().id == 42 ? DataFrame{5, sample_message(), false}
+                                                : DataFrame{});
+  // Flip one payload bit.
+  bytes[bytes.size() / 2] ^= 0x10;
+  EXPECT_THROW(decode(bytes), util::DecodeError);
+}
+
+TEST(Wire, TruncationRejectedAtEveryLength) {
+  HelloFrame h;
+  h.sender = 1;
+  h.interest_report.insert("k");
+  auto bytes = encode(h);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(len));
+    EXPECT_THROW(decode(cut), util::DecodeError) << len;
+  }
+}
+
+TEST(Wire, BadMagicRejected) {
+  auto bytes = encode(DataFrame{5, sample_message(), false});
+  bytes[0] = 0x00;
+  EXPECT_THROW(decode(bytes), util::DecodeError);
+}
+
+TEST(Wire, UnknownFrameTypeRejected) {
+  auto bytes = encode(DataFrame{5, sample_message(), false});
+  bytes[1] = 0x7F;
+  EXPECT_THROW(decode(bytes), util::DecodeError);
+}
+
+TEST(Wire, FuzzRandomBytesNeverCrash) {
+  util::Rng rng(0xF00D);
+  int rejected = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.next_below(128));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    try {
+      (void)decode(bytes);
+    } catch (const util::DecodeError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 4000);  // nearly everything random must be rejected
+}
+
+TEST(Wire, ExpiryHelpers) {
+  ContentMessage m = sample_message();
+  EXPECT_EQ(m.expiry(), m.created + m.ttl);
+  EXPECT_FALSE(m.expired_at(m.created));
+  EXPECT_TRUE(m.expired_at(m.expiry()));
+}
+
+}  // namespace
+}  // namespace bsub::engine

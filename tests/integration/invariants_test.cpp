@@ -1,0 +1,116 @@
+// Cross-protocol invariant suite: properties every protocol implementation
+// must satisfy on randomized scenarios, checked over a (protocol x seed)
+// parameter grid.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/bsub_protocol.h"
+#include "routing/pull.h"
+#include "routing/push.h"
+#include "routing/spray.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+#include "workload/workload.h"
+
+namespace bsub {
+namespace {
+
+std::unique_ptr<sim::Protocol> make_protocol(const std::string& name) {
+  if (name == "push") return std::make_unique<routing::PushProtocol>();
+  if (name == "pull") return std::make_unique<routing::PullProtocol>();
+  if (name == "spray") return std::make_unique<routing::SprayProtocol>(3);
+  core::BsubConfig cfg;
+  cfg.df_per_minute = 0.2;
+  return std::make_unique<core::BsubProtocol>(cfg);
+}
+
+class ProtocolInvariants
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+ protected:
+  metrics::RunResults run(util::Time ttl = 4 * util::kHour) {
+    auto [name, seed] = GetParam();
+    trace::SyntheticTraceConfig tcfg;
+    tcfg.node_count = 25;
+    tcfg.contact_count = 4000;
+    tcfg.duration = util::kDay;
+    tcfg.seed = seed;
+    trace_ = trace::generate_trace(tcfg);
+    keys_ = std::make_unique<workload::KeySet>(
+        workload::twitter_trend_keys());
+    workload::WorkloadConfig wcfg;
+    wcfg.ttl = ttl;
+    wcfg.seed = seed + 1;
+    workload_ =
+        std::make_unique<workload::Workload>(trace_, *keys_, wcfg);
+    auto protocol = make_protocol(name);
+    return sim::Simulator().run(trace_, *workload_, *protocol);
+  }
+
+  trace::ContactTrace trace_;
+  std::unique_ptr<workload::KeySet> keys_;
+  std::unique_ptr<workload::Workload> workload_;
+};
+
+TEST_P(ProtocolInvariants, DeliveriesNeverExceedExpected) {
+  auto r = run();
+  EXPECT_LE(r.interested_deliveries, r.expected_deliveries);
+  EXPECT_LE(r.delivery_ratio, 1.0 + 1e-12);
+}
+
+TEST_P(ProtocolInvariants, DelaysRespectTtl) {
+  const util::Time ttl = 4 * util::kHour;
+  auto r = run(ttl);
+  if (r.interested_deliveries > 0) {
+    EXPECT_LE(r.max_delay_minutes, util::to_minutes(ttl) + 1e-9);
+    EXPECT_GE(r.mean_delay_minutes, 0.0);
+    EXPECT_LE(r.median_delay_minutes, r.max_delay_minutes);
+  }
+}
+
+TEST_P(ProtocolInvariants, ForwardingsCoverDeliveries) {
+  // Every delivery is a transmission, so forwardings >= deliveries.
+  auto r = run();
+  EXPECT_GE(r.forwardings, r.interested_deliveries + r.false_deliveries);
+}
+
+TEST_P(ProtocolInvariants, ByteAccountingIsConsistent) {
+  auto r = run();
+  if (r.forwardings > 0) {
+    EXPECT_GT(r.message_bytes, 0u);
+    // Bodies are 1..140 bytes.
+    EXPECT_LE(r.message_bytes, r.forwardings * 140);
+    EXPECT_GE(r.message_bytes, r.forwardings * 1);
+  }
+}
+
+TEST_P(ProtocolInvariants, RunsAreDeterministic) {
+  auto r1 = run();
+  auto r2 = run();
+  EXPECT_EQ(r1.interested_deliveries, r2.interested_deliveries);
+  EXPECT_EQ(r1.false_deliveries, r2.false_deliveries);
+  EXPECT_EQ(r1.forwardings, r2.forwardings);
+  EXPECT_EQ(r1.message_bytes, r2.message_bytes);
+  EXPECT_EQ(r1.control_bytes, r2.control_bytes);
+  EXPECT_DOUBLE_EQ(r1.mean_delay_minutes, r2.mean_delay_minutes);
+}
+
+TEST_P(ProtocolInvariants, FprIsAFraction) {
+  auto r = run();
+  EXPECT_GE(r.false_positive_rate, 0.0);
+  EXPECT_LE(r.false_positive_rate, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProtocolInvariants,
+    ::testing::Combine(::testing::Values("push", "pull", "spray", "bsub"),
+                       ::testing::Values<std::uint64_t>(11, 47, 93)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace bsub

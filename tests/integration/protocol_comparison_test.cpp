@@ -1,0 +1,144 @@
+// Integration tests: the paper's qualitative results (section VII) must
+// hold end-to-end on a reduced-scale synthetic scenario —
+//   delivery ratio: PUSH >= B-SUB > PULL (B-SUB close to PUSH)
+//   delay:          PUSH <= B-SUB << PULL
+//   overhead:       PUSH >> B-SUB, PULL lowest
+#include <gtest/gtest.h>
+
+#include "core/bsub_protocol.h"
+#include "core/df_tuning.h"
+#include "routing/pull.h"
+#include "routing/push.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+#include "workload/workload.h"
+
+namespace bsub {
+namespace {
+
+struct ComparisonResults {
+  metrics::RunResults push;
+  metrics::RunResults bsub;
+  metrics::RunResults pull;
+};
+
+ComparisonResults run_comparison(util::Time ttl, std::uint64_t seed) {
+  trace::SyntheticTraceConfig tcfg;
+  tcfg.node_count = 40;
+  tcfg.contact_count = 12000;
+  tcfg.duration = util::kDay;
+  tcfg.seed = seed;
+  auto t = trace::generate_trace(tcfg);
+  auto keys = workload::twitter_trend_keys();
+  workload::WorkloadConfig wcfg;
+  wcfg.ttl = ttl;
+  wcfg.seed = seed + 1;
+  workload::Workload w(t, keys, wcfg);
+
+  ComparisonResults out;
+  {
+    routing::PushProtocol proto;
+    out.push = sim::Simulator().run(t, w, proto);
+  }
+  {
+    core::BsubConfig cfg;
+    cfg.df_per_minute =
+        core::compute_df(t, ttl, cfg.filter_params, cfg.initial_counter)
+            .df_per_minute;
+    core::BsubProtocol proto(cfg);
+    out.bsub = sim::Simulator().run(t, w, proto);
+  }
+  {
+    routing::PullProtocol proto;
+    out.pull = sim::Simulator().run(t, w, proto);
+  }
+  return out;
+}
+
+class ProtocolComparison : public ::testing::Test {
+ protected:
+  static const ComparisonResults& results() {
+    static const ComparisonResults r =
+        run_comparison(8 * util::kHour, /*seed=*/123);
+    return r;
+  }
+};
+
+TEST_F(ProtocolComparison, PushDeliversTheMost) {
+  EXPECT_GE(results().push.delivery_ratio, results().bsub.delivery_ratio);
+  EXPECT_GE(results().push.delivery_ratio, results().pull.delivery_ratio);
+}
+
+TEST_F(ProtocolComparison, BsubBeatsPullOnDeliveryRatio) {
+  EXPECT_GT(results().bsub.delivery_ratio, results().pull.delivery_ratio);
+}
+
+TEST_F(ProtocolComparison, AllProtocolsDeliverSomething) {
+  EXPECT_GT(results().push.interested_deliveries, 0u);
+  EXPECT_GT(results().bsub.interested_deliveries, 0u);
+  EXPECT_GT(results().pull.interested_deliveries, 0u);
+}
+
+TEST_F(ProtocolComparison, PullHasWorstDelay) {
+  EXPECT_GT(results().pull.mean_delay_minutes,
+            results().bsub.mean_delay_minutes);
+  EXPECT_GT(results().pull.mean_delay_minutes,
+            results().push.mean_delay_minutes);
+}
+
+TEST_F(ProtocolComparison, PushHasHighestOverhead) {
+  EXPECT_GT(results().push.forwardings_per_delivery,
+            results().bsub.forwardings_per_delivery);
+  EXPECT_GT(results().push.forwardings_per_delivery,
+            results().pull.forwardings_per_delivery);
+}
+
+TEST_F(ProtocolComparison, PullForwardingsPerDeliveryIsOne) {
+  EXPECT_DOUBLE_EQ(results().pull.forwardings_per_delivery, 1.0);
+}
+
+TEST_F(ProtocolComparison, OnlyBsubCanFalseDeliver) {
+  EXPECT_EQ(results().push.false_deliveries, 0u);
+  EXPECT_EQ(results().pull.false_deliveries, 0u);
+  // B-SUB's false deliveries are bounded by the theoretical worst case
+  // (plus slack for the skewed key distribution, as the paper observes).
+  EXPECT_LT(results().bsub.false_positive_rate, 0.15);
+}
+
+TEST(ProtocolTrends, LongerTtlImprovesDeliveryRatio) {
+  // On a dense synthetic day, a multi-hour TTL already saturates flooding;
+  // a 15-minute TTL is where the Fig. 7(a) slope lives.
+  auto short_ttl = run_comparison(15 * util::kMinute, 55);
+  auto long_ttl = run_comparison(8 * util::kHour, 55);
+  EXPECT_GT(long_ttl.push.delivery_ratio, short_ttl.push.delivery_ratio);
+  EXPECT_GT(long_ttl.bsub.delivery_ratio, short_ttl.bsub.delivery_ratio);
+}
+
+TEST(ProtocolTrends, HigherDfReducesForwardingsAndDelivery) {
+  // Fig. 9 dynamics: raising DF shrinks the interest-propagation scope,
+  // cutting both overhead and delivery ratio.
+  trace::SyntheticTraceConfig tcfg;
+  tcfg.node_count = 40;
+  tcfg.contact_count = 12000;
+  tcfg.duration = util::kDay;
+  tcfg.seed = 321;
+  auto t = trace::generate_trace(tcfg);
+  auto keys = workload::twitter_trend_keys();
+  workload::WorkloadConfig wcfg;
+  wcfg.ttl = 12 * util::kHour;
+  workload::Workload w(t, keys, wcfg);
+
+  auto run_with_df = [&](double df) {
+    core::BsubConfig cfg;
+    cfg.df_per_minute = df;
+    core::BsubProtocol proto(cfg);
+    return sim::Simulator().run(t, w, proto);
+  };
+  auto no_decay = run_with_df(0.0);
+  auto heavy_decay = run_with_df(2.0);
+  EXPECT_GE(no_decay.delivery_ratio, heavy_decay.delivery_ratio);
+  EXPECT_GT(no_decay.interested_deliveries, heavy_decay.interested_deliveries);
+}
+
+}  // namespace
+}  // namespace bsub

@@ -1,0 +1,134 @@
+#include "metrics/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace bsub::metrics {
+namespace {
+
+workload::Message msg(workload::MessageId id, util::Time created = 0) {
+  workload::Message m;
+  m.id = id;
+  m.key = 0;
+  m.producer = 0;
+  m.size_bytes = 100;
+  m.created = created;
+  m.ttl = util::kHour;
+  return m;
+}
+
+TEST(Collector, EmptyResults) {
+  Collector c;
+  RunResults r = c.results();
+  EXPECT_EQ(r.interested_deliveries, 0u);
+  EXPECT_DOUBLE_EQ(r.delivery_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(r.false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(r.forwardings_per_delivery, 0.0);
+}
+
+TEST(Collector, DeliveryRatio) {
+  Collector c;
+  c.set_expected(10, 4);
+  c.record_delivery(msg(1), 1, util::kMinute, true);
+  c.record_delivery(msg(2), 2, util::kMinute, true);
+  RunResults r = c.results();
+  EXPECT_EQ(r.interested_deliveries, 2u);
+  EXPECT_DOUBLE_EQ(r.delivery_ratio, 0.5);
+}
+
+TEST(Collector, DuplicateDeliveriesIgnored) {
+  Collector c;
+  c.set_expected(10, 4);
+  c.record_delivery(msg(1), 1, util::kMinute, true);
+  c.record_delivery(msg(1), 1, 2 * util::kMinute, true);
+  EXPECT_EQ(c.results().interested_deliveries, 1u);
+}
+
+TEST(Collector, SameMessageDifferentNodesBothCount) {
+  Collector c;
+  c.set_expected(10, 4);
+  c.record_delivery(msg(1), 1, util::kMinute, true);
+  c.record_delivery(msg(1), 2, util::kMinute, true);
+  EXPECT_EQ(c.results().interested_deliveries, 2u);
+}
+
+TEST(Collector, DelayStatistics) {
+  Collector c;
+  c.set_expected(10, 10);
+  c.record_delivery(msg(1, 0), 1, 10 * util::kMinute, true);
+  c.record_delivery(msg(2, 0), 2, 30 * util::kMinute, true);
+  RunResults r = c.results();
+  EXPECT_DOUBLE_EQ(r.mean_delay_minutes, 20.0);
+  EXPECT_DOUBLE_EQ(r.median_delay_minutes, 20.0);
+}
+
+TEST(Collector, UninterestedDeliveryCountsAsFalse) {
+  Collector c;
+  c.set_expected(10, 10);
+  c.record_delivery(msg(1), 1, util::kMinute, true);
+  c.record_delivery(msg(2), 2, util::kMinute, false);
+  RunResults r = c.results();
+  EXPECT_EQ(r.false_deliveries, 1u);
+  EXPECT_DOUBLE_EQ(r.false_positive_rate, 0.5);
+}
+
+TEST(Collector, FalselyInjectedInterestedDeliveryCountsBothWays) {
+  // Delivered to an interested consumer, but via a false-positive pickup:
+  // counts toward delivery ratio AND toward the FPR numerator.
+  Collector c;
+  c.set_expected(10, 10);
+  c.record_delivery(msg(1), 1, util::kMinute, true, /*falsely_injected=*/true);
+  RunResults r = c.results();
+  EXPECT_EQ(r.interested_deliveries, 1u);
+  EXPECT_EQ(r.false_deliveries, 1u);
+  EXPECT_DOUBLE_EQ(r.false_positive_rate, 1.0);
+}
+
+TEST(Collector, FalseDeliveriesExcludedFromDelay) {
+  Collector c;
+  c.set_expected(10, 10);
+  c.record_delivery(msg(1, 0), 1, 10 * util::kMinute, true);
+  c.record_delivery(msg(2, 0), 2, 1000 * util::kMinute, false);
+  EXPECT_DOUBLE_EQ(c.results().mean_delay_minutes, 10.0);
+}
+
+TEST(Collector, ForwardingsPerDelivery) {
+  Collector c;
+  c.set_expected(10, 10);
+  c.record_forwarding(msg(1));
+  c.record_forwarding(msg(1));
+  c.record_forwarding(msg(2));
+  c.record_delivery(msg(1), 1, util::kMinute, true);
+  RunResults r = c.results();
+  EXPECT_EQ(r.forwardings, 3u);
+  EXPECT_DOUBLE_EQ(r.forwardings_per_delivery, 3.0);
+}
+
+TEST(Collector, ByteAccounting) {
+  Collector c;
+  c.record_forwarding(msg(1));  // 100 bytes
+  c.record_control_bytes(42);
+  RunResults r = c.results();
+  EXPECT_EQ(r.message_bytes, 100u);
+  EXPECT_EQ(r.control_bytes, 42u);
+}
+
+TEST(Collector, DeliveredLookup) {
+  Collector c;
+  c.record_delivery(msg(5), 3, util::kMinute, true);
+  EXPECT_TRUE(c.delivered(5, 3));
+  EXPECT_FALSE(c.delivered(5, 4));
+  EXPECT_FALSE(c.delivered(6, 3));
+}
+
+TEST(Collector, FalseDeliveryAlsoDedupes) {
+  Collector c;
+  c.set_expected(10, 10);
+  c.record_delivery(msg(1), 1, util::kMinute, false);
+  c.record_delivery(msg(1), 1, util::kMinute, true);  // ignored: already seen
+  RunResults r = c.results();
+  EXPECT_EQ(r.interested_deliveries, 0u);
+  EXPECT_EQ(r.false_deliveries, 1u);
+}
+
+}  // namespace
+}  // namespace bsub::metrics

@@ -1,0 +1,131 @@
+#include "routing/push.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "testing/scenario.h"
+#include "trace/synthetic.h"
+
+namespace bsub::routing {
+namespace {
+
+using bsub::testing::contact;
+using bsub::testing::make_message;
+using bsub::testing::two_keys;
+
+TEST(Push, DirectDeliveryToInterestedNeighbor) {
+  // 0 produces a key-0 message; 1 subscribes to key 0; they meet once.
+  auto keys = two_keys();
+  trace::ContactTrace t(2, {contact(0, 1, 10)});
+  workload::Workload w(keys, 2, {1, 0}, {make_message(0, 0, 0)});
+  PushProtocol push;
+  sim::Simulator sim;
+  auto r = sim.run(t, w, push);
+  EXPECT_EQ(r.interested_deliveries, 1u);
+  EXPECT_DOUBLE_EQ(r.delivery_ratio, 1.0);
+  EXPECT_EQ(r.forwardings, 1u);
+  EXPECT_NEAR(r.mean_delay_minutes, 10.0, 1e-9);
+}
+
+TEST(Push, FloodsThroughRelays) {
+  // Chain 0-1-2: message reaches node 2 only via epidemic relay through 1.
+  auto keys = two_keys();
+  trace::ContactTrace t(3, {contact(0, 1, 10), contact(1, 2, 20)});
+  workload::Workload w(keys, 3, {1, 1, 0}, {make_message(0, 0, 0)});
+  PushProtocol push;
+  sim::Simulator sim;
+  auto r = sim.run(t, w, push);
+  EXPECT_EQ(r.interested_deliveries, 1u);  // node 2
+  EXPECT_EQ(r.forwardings, 2u);            // 0->1, 1->2
+  EXPECT_NEAR(r.mean_delay_minutes, 20.0, 1e-9);
+}
+
+TEST(Push, ReplicatesToUninterestedNodesToo) {
+  // Epidemic: the copy to an uninterested node is a forwarding but not a
+  // delivery.
+  auto keys = two_keys();
+  trace::ContactTrace t(2, {contact(0, 1, 10)});
+  workload::Workload w(keys, 2, {1, 1}, {make_message(0, 0, 0)});
+  PushProtocol push;
+  sim::Simulator sim;
+  auto r = sim.run(t, w, push);
+  EXPECT_EQ(r.interested_deliveries, 0u);
+  EXPECT_EQ(r.forwardings, 1u);
+}
+
+TEST(Push, NoDuplicateCopies) {
+  // Repeated meetings do not re-send.
+  auto keys = two_keys();
+  trace::ContactTrace t(2, {contact(0, 1, 10), contact(0, 1, 20),
+                            contact(0, 1, 30)});
+  workload::Workload w(keys, 2, {1, 0}, {make_message(0, 0, 0)});
+  PushProtocol push;
+  sim::Simulator sim;
+  auto r = sim.run(t, w, push);
+  EXPECT_EQ(r.forwardings, 1u);
+}
+
+TEST(Push, TtlExpiredMessagesAreNotForwarded) {
+  auto keys = two_keys();
+  trace::ContactTrace t(2, {contact(0, 1, 30)});
+  workload::Workload w(keys, 2, {1, 0},
+                       {make_message(0, 0, 0, util::from_minutes(20))});
+  PushProtocol push;
+  sim::Simulator sim;
+  auto r = sim.run(t, w, push);
+  EXPECT_EQ(r.interested_deliveries, 0u);
+  EXPECT_EQ(r.forwardings, 0u);
+}
+
+TEST(Push, BandwidthLimitsTransfersPerContact) {
+  // A 1-second contact at 100 B/s moves at most 100 bytes: one 100-byte
+  // message, not two.
+  auto keys = two_keys();
+  trace::Contact c;
+  c.a = 0;
+  c.b = 1;
+  c.start = util::from_minutes(10);
+  c.end = c.start + util::kSecond;
+  trace::ContactTrace t(2, {c});
+  workload::Workload w(keys, 2, {1, 0},
+                       {make_message(0, 0, 0), make_message(0, 0, 0)});
+  PushProtocol push;
+  sim::SimulatorConfig cfg;
+  cfg.bandwidth_bytes_per_second = 100.0;
+  sim::Simulator sim(cfg);
+  auto r = sim.run(t, w, push);
+  EXPECT_EQ(r.forwardings, 1u);
+  EXPECT_EQ(r.interested_deliveries, 1u);
+}
+
+TEST(Push, DeliveryRatioIsUpperBoundOnLargerScenario) {
+  trace::SyntheticTraceConfig cfg;
+  cfg.node_count = 15;
+  cfg.contact_count = 3000;
+  cfg.duration = util::kDay;
+  cfg.seed = 21;
+  auto t = trace::generate_trace(cfg);
+  auto keys = workload::twitter_trend_keys();
+  workload::WorkloadConfig wcfg;
+  wcfg.ttl = 6 * util::kHour;
+  workload::Workload w(t, keys, wcfg);
+  PushProtocol push;
+  sim::Simulator sim;
+  auto r = sim.run(t, w, push);
+  EXPECT_GT(r.delivery_ratio, 0.5);  // flooding a dense 1-day trace
+  EXPECT_EQ(r.false_deliveries, 0u);  // PUSH has no Bloom filters
+}
+
+TEST(Push, MessageCreatedAfterContactIsNotTimeTravelled) {
+  auto keys = two_keys();
+  trace::ContactTrace t(2, {contact(0, 1, 10)});
+  workload::Workload w(keys, 2, {1, 0},
+                       {make_message(0, 0, util::from_minutes(15))});
+  PushProtocol push;
+  sim::Simulator sim;
+  auto r = sim.run(t, w, push);
+  EXPECT_EQ(r.interested_deliveries, 0u);
+}
+
+}  // namespace
+}  // namespace bsub::routing

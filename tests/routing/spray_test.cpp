@@ -1,0 +1,106 @@
+#include "routing/spray.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "testing/scenario.h"
+#include "trace/synthetic.h"
+
+namespace bsub::routing {
+namespace {
+
+using bsub::testing::contact;
+using bsub::testing::make_message;
+using bsub::testing::two_keys;
+
+TEST(Spray, SpraysToFirstEncounteredNodes) {
+  auto keys = two_keys();
+  // Producer 0 meets 1, 2, 3 in order with a 2-copy budget.
+  trace::ContactTrace t(4, {contact(0, 1, 10), contact(0, 2, 20),
+                            contact(0, 3, 30)});
+  workload::Workload w(keys, 4, {1, 1, 1, 1}, {make_message(0, 0, 0)});
+  SprayProtocol spray(2);
+  sim::Simulator sim;
+  auto r = sim.run(t, w, spray);
+  EXPECT_EQ(r.forwardings, 2u);  // only the first two meetings get copies
+}
+
+TEST(Spray, RelayDeliversToMatchingConsumer) {
+  auto keys = two_keys();
+  // 0 -> 1 (relay, uninterested) -> 2 (consumer); 0 never meets 2.
+  trace::ContactTrace t(3, {contact(0, 1, 10), contact(1, 2, 20)});
+  workload::Workload w(keys, 3, {1, 1, 0}, {make_message(0, 0, 0)});
+  SprayProtocol spray(3);
+  sim::Simulator sim;
+  auto r = sim.run(t, w, spray);
+  EXPECT_EQ(r.interested_deliveries, 1u);
+  EXPECT_NEAR(r.mean_delay_minutes, 20.0, 1e-9);
+}
+
+TEST(Spray, RelaysDoNotReSpray) {
+  auto keys = two_keys();
+  // Relay 1 meets 2 and 3 (both uninterested): the copy must not multiply.
+  trace::ContactTrace t(4, {contact(0, 1, 10), contact(1, 2, 20),
+                            contact(1, 3, 30)});
+  workload::Workload w(keys, 4, {1, 1, 1, 1}, {make_message(0, 0, 0)});
+  SprayProtocol spray(1);
+  sim::Simulator sim;
+  auto r = sim.run(t, w, spray);
+  EXPECT_EQ(r.forwardings, 1u);  // the single spray; no relay-to-relay copies
+}
+
+TEST(Spray, ProducerStopsSprayingAtBudgetButConsumersStillDeliverable) {
+  auto keys = two_keys();
+  trace::ContactTrace t(4, {contact(0, 1, 10), contact(0, 2, 20),
+                            contact(0, 3, 30)});
+  // Node 3 is an interested consumer the producer meets after the budget
+  // ran out; the message left the producer's buffer, so no delivery.
+  workload::Workload w(keys, 4, {1, 1, 1, 0}, {make_message(0, 0, 0)});
+  SprayProtocol spray(2);
+  sim::Simulator sim;
+  auto r = sim.run(t, w, spray);
+  EXPECT_EQ(r.interested_deliveries, 0u);
+}
+
+TEST(Spray, SprayLandingOnConsumerCountsAsDelivery) {
+  auto keys = two_keys();
+  trace::ContactTrace t(2, {contact(0, 1, 10)});
+  workload::Workload w(keys, 2, {1, 0}, {make_message(0, 0, 0)});
+  SprayProtocol spray(3);
+  sim::Simulator sim;
+  auto r = sim.run(t, w, spray);
+  EXPECT_EQ(r.interested_deliveries, 1u);
+}
+
+TEST(Spray, ExpiredMessagesPurged) {
+  auto keys = two_keys();
+  trace::ContactTrace t(3, {contact(0, 1, 5), contact(1, 2, 40)});
+  workload::Workload w(keys, 3, {1, 1, 0},
+                       {make_message(0, 0, 0, util::from_minutes(20))});
+  SprayProtocol spray(3);
+  sim::Simulator sim;
+  auto r = sim.run(t, w, spray);
+  EXPECT_EQ(r.interested_deliveries, 0u);  // relay copy expired before t=40
+}
+
+TEST(Spray, SitsBetweenPullAndPushOnDeliveryRatio) {
+  trace::SyntheticTraceConfig cfg;
+  cfg.node_count = 30;
+  cfg.contact_count = 6000;
+  cfg.duration = util::kDay;
+  cfg.seed = 61;
+  auto t = trace::generate_trace(cfg);
+  auto keys = workload::twitter_trend_keys();
+  workload::WorkloadConfig wcfg;
+  wcfg.ttl = 8 * util::kHour;
+  workload::Workload w(t, keys, wcfg);
+  SprayProtocol spray(3);
+  sim::Simulator sim;
+  auto r = sim.run(t, w, spray);
+  EXPECT_GT(r.delivery_ratio, 0.05);
+  EXPECT_LT(r.delivery_ratio, 0.99);
+  EXPECT_EQ(r.false_deliveries, 0u);  // exact matching, no filters
+}
+
+}  // namespace
+}  // namespace bsub::routing

@@ -1,0 +1,53 @@
+#include "sim/link.h"
+
+#include <gtest/gtest.h>
+
+namespace bsub::sim {
+namespace {
+
+TEST(Link, BudgetIsDurationTimesRate) {
+  Link link(10 * util::kSecond, 1000.0);  // 10 s at 1000 B/s
+  EXPECT_EQ(link.budget_bytes(), 10000u);
+  EXPECT_EQ(link.remaining_bytes(), 10000u);
+  EXPECT_EQ(link.used_bytes(), 0u);
+}
+
+TEST(Link, TrySendConsumesBudget) {
+  Link link(util::kSecond, 1000.0);
+  EXPECT_TRUE(link.try_send(400));
+  EXPECT_EQ(link.used_bytes(), 400u);
+  EXPECT_EQ(link.remaining_bytes(), 600u);
+}
+
+TEST(Link, TrySendFailsWithoutConsumingWhenTooBig) {
+  Link link(util::kSecond, 1000.0);
+  EXPECT_FALSE(link.try_send(1001));
+  EXPECT_EQ(link.used_bytes(), 0u);
+  EXPECT_TRUE(link.try_send(1000));  // exact fit still works
+}
+
+TEST(Link, ExhaustedLinkRejectsEverything) {
+  Link link(util::kSecond, 100.0);
+  EXPECT_TRUE(link.try_send(100));
+  EXPECT_FALSE(link.try_send(1));
+}
+
+TEST(Link, ZeroByteSendAlwaysSucceeds) {
+  Link link(0, 1000.0);
+  EXPECT_TRUE(link.try_send(0));
+}
+
+TEST(Link, DefaultBandwidthIsPaperValue) {
+  // 250 Kbps = 31250 B/s (paper section VII-A).
+  EXPECT_DOUBLE_EQ(kDefaultBandwidthBytesPerSecond, 31250.0);
+  Link link(2 * util::kMinute, kDefaultBandwidthBytesPerSecond);
+  EXPECT_EQ(link.budget_bytes(), 120u * 31250u);
+}
+
+TEST(Link, SubSecondDurationRoundsDown) {
+  Link link(1500, 1000.0);  // 1.5 s
+  EXPECT_EQ(link.budget_bytes(), 1500u);
+}
+
+}  // namespace
+}  // namespace bsub::sim

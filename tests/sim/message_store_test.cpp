@@ -1,0 +1,87 @@
+#include "sim/message_store.h"
+
+#include <gtest/gtest.h>
+
+namespace bsub::sim {
+namespace {
+
+workload::Message msg(workload::MessageId id, util::Time created = 0,
+                      util::Time ttl = util::kHour) {
+  workload::Message m;
+  m.id = id;
+  m.key = 0;
+  m.producer = 0;
+  m.size_bytes = 100;
+  m.created = created;
+  m.ttl = ttl;
+  return m;
+}
+
+TEST(MessageStore, AddAndContains) {
+  MessageStore s;
+  EXPECT_TRUE(s.add(msg(1)));
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(MessageStore, DuplicateAddRejected) {
+  MessageStore s;
+  EXPECT_TRUE(s.add(msg(1)));
+  EXPECT_FALSE(s.add(msg(1)));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(MessageStore, RemoveWorks) {
+  MessageStore s;
+  s.add(msg(1));
+  EXPECT_TRUE(s.remove(1));
+  EXPECT_FALSE(s.remove(1));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(MessageStore, FindReturnsStoredMessage) {
+  MessageStore s;
+  s.add(msg(7, 123));
+  const workload::Message* m = s.find(7);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->created, 123);
+  EXPECT_EQ(s.find(8), nullptr);
+}
+
+TEST(MessageStore, PurgeExpiredDropsOnlyExpired) {
+  MessageStore s;
+  s.add(msg(1, 0, util::kMinute));        // expires at 1 min
+  s.add(msg(2, 0, 10 * util::kMinute));   // expires at 10 min
+  s.purge_expired(5 * util::kMinute);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+}
+
+TEST(MessageStore, ExpiryIsInclusiveAtDeadline) {
+  MessageStore s;
+  s.add(msg(1, 0, util::kMinute));
+  s.purge_expired(util::kMinute);  // exactly at expiry: gone
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(MessageStore, IterationIsIdOrdered) {
+  MessageStore s;
+  s.add(msg(5));
+  s.add(msg(1));
+  s.add(msg(3));
+  std::vector<workload::MessageId> order;
+  for (const auto& [id, m] : s) order.push_back(id);
+  EXPECT_EQ(order, (std::vector<workload::MessageId>{1, 3, 5}));
+}
+
+TEST(MessageStore, ClearEmpties) {
+  MessageStore s;
+  s.add(msg(1));
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+}  // namespace
+}  // namespace bsub::sim

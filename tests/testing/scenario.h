@@ -1,0 +1,45 @@
+// Shared helpers for protocol tests: hand-built traces and workloads with
+// exact control over contacts, interests, and messages.
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "workload/keys.h"
+#include "workload/workload.h"
+
+namespace bsub::testing {
+
+/// A tiny two-key universe: key 0 "alpha", key 1 "beta".
+inline workload::KeySet two_keys() {
+  return workload::KeySet({{"alpha", 0.5}, {"beta", 0.5}});
+}
+
+/// Builds a message; id is provisional (Workload re-numbers in time order).
+inline workload::Message make_message(trace::NodeId producer,
+                                      workload::KeyId key, util::Time created,
+                                      util::Time ttl = util::kDay,
+                                      std::uint32_t size = 100) {
+  workload::Message m;
+  m.id = 0;
+  m.key = key;
+  m.producer = producer;
+  m.size_bytes = size;
+  m.created = created;
+  m.ttl = ttl;
+  return m;
+}
+
+/// One contact, minute-resolution convenience.
+inline trace::Contact contact(trace::NodeId a, trace::NodeId b,
+                              double start_min, double duration_min = 5.0) {
+  trace::Contact c;
+  c.a = a;
+  c.b = b;
+  c.start = util::from_minutes(start_min);
+  c.end = util::from_minutes(start_min + duration_min);
+  return c;
+}
+
+}  // namespace bsub::testing

@@ -1,0 +1,93 @@
+#include "trace/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.h"
+#include "util/stats.h"
+
+namespace bsub::trace {
+namespace {
+
+using util::kMinute;
+
+ContactTrace small_trace() {
+  std::vector<Contact> contacts = {
+      {0, 1, 0, kMinute},
+      {0, 1, 10 * kMinute, 11 * kMinute},
+      {0, 1, 40 * kMinute, 41 * kMinute},
+      {1, 2, 5 * kMinute, 6 * kMinute},
+  };
+  return ContactTrace(4, std::move(contacts));
+}
+
+TEST(PairStats, CountsPairsAndContacts) {
+  PairStats s = pair_stats(small_trace());
+  EXPECT_EQ(s.pairs_meeting, 2u);            // (0,1) and (1,2)
+  EXPECT_DOUBLE_EQ(s.mean_contacts_per_pair, 2.0);
+  EXPECT_EQ(s.max_contacts_per_pair, 3u);
+  EXPECT_DOUBLE_EQ(s.pair_coverage, 2.0 / 6.0);  // 4 nodes -> 6 pairs
+}
+
+TEST(PairStats, EmptyTrace) {
+  PairStats s = pair_stats(ContactTrace(3, {}));
+  EXPECT_EQ(s.pairs_meeting, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_contacts_per_pair, 0.0);
+  EXPECT_DOUBLE_EQ(s.pair_coverage, 0.0);
+}
+
+TEST(PairInterContactTimes, GapsBetweenSamePairOnly) {
+  auto gaps = pair_inter_contact_times_s(small_trace());
+  // Pair (0,1) has gaps 10 min and 30 min; pair (1,2) has none.
+  ASSERT_EQ(gaps.size(), 2u);
+  std::sort(gaps.begin(), gaps.end());
+  EXPECT_DOUBLE_EQ(gaps[0], 600.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 1800.0);
+}
+
+TEST(NodeInterContactTimes, PoolsAcrossPeers) {
+  auto gaps = node_inter_contact_times_s(small_trace());
+  // Node 0: starts 0, 10, 40 -> gaps 10, 30. Node 1: 0, 5, 10, 40 ->
+  // gaps 5, 5, 30. Node 2: single contact -> none. Total 5 gaps.
+  EXPECT_EQ(gaps.size(), 5u);
+}
+
+TEST(ContactDurations, MatchesContacts) {
+  auto d = contact_durations_s(small_trace());
+  ASSERT_EQ(d.size(), 4u);
+  for (double v : d) EXPECT_DOUBLE_EQ(v, 60.0);
+}
+
+TEST(FractionAbove, Basics) {
+  std::vector<double> s = {1.0, 5.0, 10.0, 20.0};
+  EXPECT_DOUBLE_EQ(fraction_above(s, 4.0), 0.75);
+  EXPECT_DOUBLE_EQ(fraction_above(s, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_above({}, 1.0), 0.0);
+}
+
+TEST(SyntheticTraceAnalysis, SessionStructureShowsBurstyGaps) {
+  // The session generator must produce a bimodal-ish pair-gap distribution:
+  // plenty of short within-session gaps AND a heavy tail of hours-long
+  // silences (which real human traces exhibit and interest decay relies on).
+  ContactTrace t = generate_trace(haggle_infocom06_config(99));
+  auto gaps = pair_inter_contact_times_s(t);
+  ASSERT_GT(gaps.size(), 1000u);
+  EXPECT_GT(fraction_above(gaps, 3600.0), 0.05);  // long silences exist
+  double short_frac = 1.0 - fraction_above(gaps, 1800.0);
+  EXPECT_GT(short_frac, 0.3);                     // session revisits exist
+}
+
+TEST(SyntheticTraceAnalysis, MostPairsEventuallyMeetAtAConference) {
+  ContactTrace t = generate_trace(haggle_infocom06_config(99));
+  PairStats s = pair_stats(t);
+  EXPECT_GT(s.pair_coverage, 0.5);
+  EXPECT_GT(s.max_contacts_per_pair, 10u);  // hub pairs meet a lot
+}
+
+TEST(SyntheticTraceAnalysis, CampusTraceIsMoreCliquish) {
+  PairStats conf = pair_stats(generate_trace(haggle_infocom06_config(5)));
+  PairStats campus = pair_stats(generate_trace(mit_reality_config(5)));
+  EXPECT_LT(campus.pair_coverage, conf.pair_coverage);
+}
+
+}  // namespace
+}  // namespace bsub::trace

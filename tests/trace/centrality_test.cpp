@@ -1,0 +1,74 @@
+#include "trace/centrality.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bsub::trace {
+namespace {
+
+using util::kMinute;
+
+ContactTrace star_trace() {
+  // Node 0 is the hub meeting everyone; leaves meet only the hub.
+  std::vector<Contact> contacts;
+  for (NodeId leaf = 1; leaf < 5; ++leaf) {
+    contacts.push_back({0, leaf, leaf * kMinute, (leaf + 1) * kMinute});
+  }
+  return ContactTrace(5, std::move(contacts));
+}
+
+TEST(DegreeCentrality, HubScoresHighest) {
+  auto c = degree_centrality(star_trace());
+  EXPECT_DOUBLE_EQ(c[0], 1.0);  // meets all 4 others
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_DOUBLE_EQ(c[i], 0.25);
+}
+
+TEST(DegreeCentrality, IsolatedNodeScoresZero) {
+  std::vector<Contact> contacts = {{0, 1, 0, kMinute}};
+  ContactTrace t(3, std::move(contacts));
+  auto c = degree_centrality(t);
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+}
+
+TEST(DegreeCentrality, SingleNodeTraceIsAllZero) {
+  ContactTrace t(1, {});
+  auto c = degree_centrality(t);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+}
+
+TEST(ContactCentrality, SharesSumToOne) {
+  auto c = contact_centrality(star_trace());
+  double sum = 0.0;
+  for (double v : c) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ContactCentrality, HubDominates) {
+  auto c = contact_centrality(star_trace());
+  EXPECT_DOUBLE_EQ(c[0], 0.5);  // participates in all 4 of 8 endpoints
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_DOUBLE_EQ(c[i], 0.125);
+}
+
+TEST(ContactCentrality, EmptyTraceIsAllZero) {
+  ContactTrace t(3, {});
+  auto c = contact_centrality(t);
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CentralityRange, FindsExtremes) {
+  std::vector<double> c = {0.2, 0.8, 0.5};
+  auto [mn, mx] = centrality_range(c);
+  EXPECT_DOUBLE_EQ(mn, 0.2);
+  EXPECT_DOUBLE_EQ(mx, 0.8);
+}
+
+TEST(CentralityRange, EmptyVector) {
+  auto [mn, mx] = centrality_range({});
+  EXPECT_DOUBLE_EQ(mn, 0.0);
+  EXPECT_DOUBLE_EQ(mx, 0.0);
+}
+
+}  // namespace
+}  // namespace bsub::trace

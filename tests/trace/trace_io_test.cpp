@@ -1,0 +1,104 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "trace/synthetic.h"
+
+namespace bsub::trace {
+namespace {
+
+TEST(TraceIo, ParsesSimpleFormat) {
+  std::istringstream in("# nodes 3\n0 1 0 60\n1 2 120 180.5\n");
+  ContactTrace t = read_trace(in);
+  EXPECT_EQ(t.node_count(), 3u);
+  ASSERT_EQ(t.contacts().size(), 2u);
+  EXPECT_EQ(t.contacts()[0].a, 0u);
+  EXPECT_EQ(t.contacts()[0].b, 1u);
+  EXPECT_EQ(t.contacts()[0].start, util::from_seconds(0));
+  EXPECT_EQ(t.contacts()[0].end, util::from_seconds(60));
+  EXPECT_EQ(t.contacts()[1].end, util::from_seconds(180.5));
+}
+
+TEST(TraceIo, InfersNodeCountWithoutHeader) {
+  std::istringstream in("0 5 0 10\n");
+  ContactTrace t = read_trace(in);
+  EXPECT_EQ(t.node_count(), 6u);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# a comment\n\n0 1 0 10\n# trailing\n");
+  ContactTrace t = read_trace(in);
+  EXPECT_EQ(t.contacts().size(), 1u);
+}
+
+TEST(TraceIo, MalformedLineThrows) {
+  std::istringstream in("0 1 zero 10\n");
+  EXPECT_THROW(read_trace(in), std::runtime_error);
+}
+
+TEST(TraceIo, EmptyInputGivesEmptyTrace) {
+  std::istringstream in("");
+  ContactTrace t = read_trace(in);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.node_count(), 0u);
+}
+
+TEST(TraceIo, WriteReadRoundTrip) {
+  std::vector<Contact> contacts = {
+      {0, 1, util::from_seconds(0), util::from_seconds(60)},
+      {1, 2, util::from_seconds(120), util::from_seconds(300)},
+  };
+  ContactTrace original(5, std::move(contacts), "rt");
+  std::ostringstream out;
+  write_trace(out, original);
+  std::istringstream in(out.str());
+  ContactTrace parsed = read_trace(in);
+  EXPECT_EQ(parsed.node_count(), original.node_count());
+  EXPECT_EQ(parsed.contacts(), original.contacts());
+}
+
+TEST(TraceIo, SyntheticTraceSurvivesRoundTrip) {
+  SyntheticTraceConfig cfg;
+  cfg.node_count = 10;
+  cfg.contact_count = 200;
+  cfg.duration = util::kDay;
+  ContactTrace original = generate_trace(cfg);
+  std::ostringstream out;
+  write_trace(out, original);
+  std::istringstream in(out.str());
+  ContactTrace parsed = read_trace(in);
+  EXPECT_EQ(parsed.node_count(), original.node_count());
+  ASSERT_EQ(parsed.contacts().size(), original.contacts().size());
+  // Millisecond times survive the seconds-resolution text format to within
+  // printing precision.
+  for (std::size_t i = 0; i < parsed.contacts().size(); ++i) {
+    EXPECT_EQ(parsed.contacts()[i].a, original.contacts()[i].a);
+    EXPECT_EQ(parsed.contacts()[i].b, original.contacts()[i].b);
+    EXPECT_NEAR(static_cast<double>(parsed.contacts()[i].start),
+                static_cast<double>(original.contacts()[i].start), 1000.0);
+  }
+}
+
+TEST(TraceIo, FileSaveLoadRoundTrip) {
+  std::vector<Contact> contacts = {
+      {0, 1, util::from_seconds(5), util::from_seconds(15)}};
+  ContactTrace original(2, std::move(contacts));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bsub_trace_io_test.txt")
+          .string();
+  save_trace(path, original);
+  ContactTrace loaded = load_trace(path);
+  EXPECT_EQ(loaded.contacts(), original.contacts());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/path/trace.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bsub::trace

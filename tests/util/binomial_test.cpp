@@ -1,0 +1,117 @@
+#include "util/binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace bsub::util {
+namespace {
+
+TEST(LogBinomialCoefficient, SmallValues) {
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(52, 5)), 2598960.0, 1.0);
+}
+
+TEST(LogBinomialCoefficient, KGreaterThanNIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(log_binomial_coefficient(3, 4)));
+  EXPECT_LT(log_binomial_coefficient(3, 4), 0.0);
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  double total = 0.0;
+  for (std::uint64_t x = 0; x <= 20; ++x) total += binomial_pmf(x, 20, 0.3);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(BinomialPmf, KnownValue) {
+  // P[X=2] for Bin(4, 0.5) = 6/16.
+  EXPECT_NEAR(binomial_pmf(2, 4, 0.5), 0.375, 1e-12);
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(0, 10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(1, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(9, 10, 1.0), 0.0);
+}
+
+TEST(BinomialPmf, XBeyondNIsZero) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(11, 10, 0.5), 0.0);
+}
+
+TEST(BinomialCdf, MonotoneAndBounded) {
+  double prev = -1.0;
+  for (std::uint64_t x = 0; x <= 30; ++x) {
+    double c = binomial_cdf(x, 30, 0.4);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(binomial_cdf(30, 30, 0.4), 1.0, 1e-12);
+}
+
+TEST(BinomialCdf, MedianOfSymmetricCase) {
+  // Bin(10, 0.5): CDF(4) < 0.5 <= CDF(5).
+  EXPECT_LT(binomial_cdf(4, 10, 0.5), 0.5);
+  EXPECT_GE(binomial_cdf(5, 10, 0.5), 0.5);
+}
+
+TEST(ExpectedMinBinomial, SingleVariableIsPlainMean) {
+  // k = 1: E[min] = E[X] = n*p.
+  EXPECT_NEAR(expected_min_binomial(100, 0.1, 1), 10.0, 1e-6);
+}
+
+TEST(ExpectedMinBinomial, ZeroCases) {
+  EXPECT_DOUBLE_EQ(expected_min_binomial(0, 0.5, 4), 0.0);
+  EXPECT_DOUBLE_EQ(expected_min_binomial(100, 0.0, 4), 0.0);
+}
+
+TEST(ExpectedMinBinomial, DecreasesWithK) {
+  double prev = 1e18;
+  for (std::uint32_t k = 1; k <= 6; ++k) {
+    double e = expected_min_binomial(60, 4.0 / 256.0, k);
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(ExpectedMinBinomial, IncreasesWithN) {
+  EXPECT_LT(expected_min_binomial(20, 4.0 / 256.0, 4),
+            expected_min_binomial(200, 4.0 / 256.0, 4));
+}
+
+TEST(ExpectedMinBinomial, BoundedByMeanOfOne) {
+  // min of k iid variables cannot exceed any single one in expectation.
+  double e = expected_min_binomial(60, 4.0 / 256.0, 4);
+  EXPECT_LE(e, 60 * 4.0 / 256.0 + 1e-9);
+  EXPECT_GE(e, 0.0);
+}
+
+TEST(ExpectedMinBinomial, MatchesMonteCarlo) {
+  // Eq. 4 against direct simulation of min of k binomials.
+  const std::uint64_t n = 60;
+  const double p = 4.0 / 256.0;
+  const std::uint32_t k = 4;
+  Rng rng(12345);
+  double sum = 0.0;
+  constexpr int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::uint64_t mn = n + 1;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      std::uint64_t x = 0;
+      for (std::uint64_t i = 0; i < n; ++i) x += rng.next_bool(p);
+      mn = std::min(mn, x);
+    }
+    sum += static_cast<double>(mn);
+  }
+  const double mc = sum / kTrials;
+  const double analytic = expected_min_binomial(n, p, k);
+  EXPECT_NEAR(analytic, mc, 0.03);
+}
+
+}  // namespace
+}  // namespace bsub::util

@@ -1,0 +1,156 @@
+#include "util/byte_io.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace bsub::util {
+namespace {
+
+TEST(ByteIo, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0x1234);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u16(), 0x1234);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteIo, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,       1,       127,        128,
+                                  16383,   16384,   0xFFFFFFFF, 1ULL << 56,
+                                  UINT64_MAX};
+  ByteWriter w;
+  for (auto v : values) w.put_varint(v);
+  ByteReader r(w.bytes());
+  for (auto v : values) EXPECT_EQ(r.get_varint(), v);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteIo, VarintIsCompactForSmallValues) {
+  ByteWriter w;
+  w.put_varint(100);
+  EXPECT_EQ(w.size(), 1u);
+  ByteWriter w2;
+  w2.put_varint(300);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(ByteIo, DoubleRoundTrip) {
+  const double values[] = {0.0, -1.5, 3.14159265358979,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::denorm_min()};
+  ByteWriter w;
+  for (double v : values) w.put_double(v);
+  ByteReader r(w.bytes());
+  for (double v : values) EXPECT_EQ(r.get_double(), v);
+}
+
+TEST(ByteIo, StringRoundTrip) {
+  ByteWriter w;
+  w.put_string("hello");
+  w.put_string("");
+  w.put_string(std::string(1000, 'x'));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), std::string(1000, 'x'));
+}
+
+TEST(ByteIo, UnderflowThrows) {
+  ByteWriter w;
+  w.put_u8(1);
+  ByteReader r(w.bytes());
+  r.get_u8();
+  EXPECT_THROW(r.get_u8(), DecodeError);
+}
+
+TEST(ByteIo, TruncatedStringThrows) {
+  ByteWriter w;
+  w.put_varint(100);  // claims 100 bytes, provides none
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_string(), DecodeError);
+}
+
+TEST(ByteIo, OverlongVarintThrows) {
+  std::vector<std::uint8_t> bad(11, 0x80);  // never terminates
+  ByteReader r(bad);
+  EXPECT_THROW(r.get_varint(), DecodeError);
+}
+
+TEST(ByteIo, BitPackingRoundTrip) {
+  ByteWriter w;
+  w.put_bits(0b101, 3);
+  w.put_bits(0xFF, 8);
+  w.put_bits(0, 1);
+  w.put_bits(0x1234, 13);
+  w.flush_bits();
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_bits(3), 0b101u);
+  EXPECT_EQ(r.get_bits(8), 0xFFu);
+  EXPECT_EQ(r.get_bits(1), 0u);
+  EXPECT_EQ(r.get_bits(13), 0x1234u);
+}
+
+TEST(ByteIo, BitPackingUsesMinimalBytes) {
+  ByteWriter w;
+  for (int i = 0; i < 8; ++i) w.put_bits(1, 9);  // 72 bits
+  w.flush_bits();
+  EXPECT_EQ(w.size(), 9u);  // ceil(72/8)
+}
+
+TEST(ByteIo, BitsThenBytesWithFlush) {
+  ByteWriter w;
+  w.put_bits(0b11, 2);
+  w.flush_bits();
+  w.put_u8(0x42);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_bits(2), 0b11u);
+  r.align_bits();
+  EXPECT_EQ(r.get_u8(), 0x42);
+}
+
+TEST(ByteIo, SixtyFourBitBitField) {
+  ByteWriter w;
+  w.put_bits(UINT64_MAX, 64);
+  w.flush_bits();
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_bits(64), UINT64_MAX);
+}
+
+TEST(ByteIo, PutBitsMasksHighBits) {
+  ByteWriter w;
+  w.put_bits(0xFF, 4);  // only low 4 bits should be kept
+  w.flush_bits();
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_bits(4), 0xFu);
+}
+
+TEST(BitsFor, ComputesCeilLog2) {
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 1u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(4), 2u);
+  EXPECT_EQ(bits_for(5), 3u);
+  EXPECT_EQ(bits_for(256), 8u);
+  EXPECT_EQ(bits_for(257), 9u);
+  EXPECT_EQ(bits_for(1ULL << 32), 32u);
+}
+
+TEST(ByteIo, PutBytesRoundTrip) {
+  std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  ByteWriter w;
+  w.put_bytes(payload);
+  ByteReader r(w.bytes());
+  for (auto b : payload) EXPECT_EQ(r.get_u8(), b);
+}
+
+}  // namespace
+}  // namespace bsub::util

@@ -1,0 +1,88 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bsub::util {
+namespace {
+
+TEST(Fnv1a64, KnownVectors) {
+  // Reference values for FNV-1a 64-bit.
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171F73967E8ULL);
+}
+
+TEST(Fnv1a64, IsDeterministic) {
+  EXPECT_EQ(fnv1a64("NewMoon"), fnv1a64("NewMoon"));
+}
+
+TEST(Fnv1a64, DistinguishesNearbyStrings) {
+  EXPECT_NE(fnv1a64("key1"), fnv1a64("key2"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("acb"));
+}
+
+TEST(Mix64, IsBijectiveOnSamples) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64, ZeroMapsToZero) {
+  // The murmur3 finalizer maps 0 to 0 (known property).
+  EXPECT_EQ(mix64(0), 0u);
+}
+
+TEST(Hash64, SeedChangesResult) {
+  EXPECT_NE(hash64("key", 1), hash64("key", 2));
+}
+
+TEST(HashPair, ComponentsDiffer) {
+  HashPair hp = hash_pair("some-key");
+  EXPECT_NE(hp.h1, hp.h2);
+}
+
+TEST(KmIndex, StaysInRange) {
+  HashPair hp = hash_pair("test");
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_LT(km_index(hp, i, 256), 256u);
+    EXPECT_LT(km_index(hp, i, 7), 7u);
+  }
+}
+
+TEST(KmIndex, OddStepCoversPowerOfTwoTable) {
+  // With h2 forced odd and m a power of two, the probe sequence visits all
+  // slots before repeating.
+  HashPair hp{12345, 2468};  // even h2 on purpose; km_index must fix it
+  std::set<std::size_t> seen;
+  for (std::uint32_t i = 0; i < 64; ++i) seen.insert(km_index(hp, i, 64));
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(BloomIndices, ReturnsKPositions) {
+  auto idx = bloom_indices("key", 4, 256);
+  EXPECT_EQ(idx.size(), 4u);
+  for (std::size_t i : idx) EXPECT_LT(i, 256u);
+}
+
+TEST(BloomIndices, DeterministicPerKey) {
+  EXPECT_EQ(bloom_indices("key", 4, 256), bloom_indices("key", 4, 256));
+  EXPECT_NE(bloom_indices("key", 4, 256), bloom_indices("yek", 4, 256));
+}
+
+TEST(BloomIndices, PositionsSpreadAcrossTable) {
+  // Over many keys the bit positions should hit most of a 256-slot table.
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    for (std::size_t p : bloom_indices("key" + std::to_string(i), 4, 256)) {
+      seen.insert(p);
+    }
+  }
+  EXPECT_GT(seen.size(), 250u);
+}
+
+}  // namespace
+}  // namespace bsub::util

@@ -1,0 +1,51 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace bsub::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarn) {
+  // The suite may have changed it; assert the documented default contractually
+  // by resetting first.
+  set_log_level(LogLevel::Warn);
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  for (LogLevel level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                         LogLevel::Error, LogLevel::Off}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LoggingTest, MessagesBelowLevelAreCheapNoops) {
+  set_log_level(LogLevel::Off);
+  // No observable output check without capturing stderr; assert the calls
+  // are safe at every level and with mixed argument types.
+  log_debug("debug ", 1, " x");
+  log_info("info ", 2.5);
+  log_warn("warn ", std::string("s"));
+  log_error("error ", 'c');
+}
+
+TEST_F(LoggingTest, LevelOrdering) {
+  EXPECT_LT(static_cast<int>(LogLevel::Debug),
+            static_cast<int>(LogLevel::Info));
+  EXPECT_LT(static_cast<int>(LogLevel::Info), static_cast<int>(LogLevel::Warn));
+  EXPECT_LT(static_cast<int>(LogLevel::Warn),
+            static_cast<int>(LogLevel::Error));
+  EXPECT_LT(static_cast<int>(LogLevel::Error),
+            static_cast<int>(LogLevel::Off));
+}
+
+}  // namespace
+}  // namespace bsub::util

@@ -1,0 +1,242 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace bsub::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng base(99);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (s1() == s2());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(7), b(7);
+  Rng sa = a.split(3), sb = b.split(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sa(), sb());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, NextIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsHalf) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NextBoolRespectsEdges) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NextBoolFrequencyMatchesP) {
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(37);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.next_exponential(1.0), 0.0);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(43);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.next_pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ParetoMeanMatchesTheory) {
+  // E[X] = alpha*xm/(alpha-1) for alpha > 1. Use alpha = 3 so the variance
+  // is finite and the sample mean converges.
+  Rng rng(47);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_pareto(1.0, 3.0);
+  EXPECT_NEAR(sum / kN, 1.5, 0.05);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(53);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(59);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.next_poisson(3.5));
+  EXPECT_NEAR(sum / kN, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(61);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(rng.next_poisson(200.0));
+  }
+  EXPECT_NEAR(sum / kN, 200.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(67);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_poisson(0.0), 0u);
+}
+
+TEST(Rng, WeightedSelectionMatchesWeights) {
+  Rng rng(71);
+  std::vector<double> weights = {1.0, 2.0, 7.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.next_weighted(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.7, 0.01);
+}
+
+TEST(Rng, WeightedSingleElement) {
+  Rng rng(73);
+  std::vector<double> weights = {42.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_weighted(weights), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(79);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), original.begin()));
+  EXPECT_NE(v, original);  // 1/100! chance of false failure
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t s = 1;
+  std::uint64_t a = splitmix64(s);
+  std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(ZipfDistribution, PmfSumsToOne) {
+  ZipfDistribution z(50, 1.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < z.size(); ++r) total += z.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfDistribution, PmfIsMonotoneDecreasing) {
+  ZipfDistribution z(30, 0.8);
+  for (std::size_t r = 1; r < z.size(); ++r) {
+    EXPECT_GT(z.pmf(r - 1), z.pmf(r));
+  }
+}
+
+TEST(ZipfDistribution, SampleFrequenciesMatchPmf) {
+  ZipfDistribution z(10, 1.0);
+  Rng rng(83);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(kN), z.pmf(r), 0.01);
+  }
+}
+
+TEST(ZipfDistribution, SingleElement) {
+  ZipfDistribution z(1, 2.0);
+  Rng rng(89);
+  EXPECT_EQ(z.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(z.pmf(0), 1.0);
+}
+
+}  // namespace
+}  // namespace bsub::util

@@ -1,0 +1,155 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bsub::util {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 50; ++i) {
+    double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i < 20 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs: unchanged
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  b.merge(a_copy);  // empty lhs: adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(PercentileTracker, MedianOfOddCount) {
+  PercentileTracker p;
+  for (double x : {3.0, 1.0, 2.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.median(), 2.0);
+}
+
+TEST(PercentileTracker, InterpolatesBetweenSamples) {
+  PercentileTracker p;
+  for (double x : {0.0, 10.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.percentile(25.0), 2.5);
+}
+
+TEST(PercentileTracker, ExtremesAreMinMax) {
+  PercentileTracker p;
+  for (double x : {5.0, 1.0, 9.0, 3.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100.0), 9.0);
+}
+
+TEST(PercentileTracker, SingleSample) {
+  PercentileTracker p;
+  p.add(7.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.percentile(50.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100.0), 7.0);
+}
+
+TEST(PercentileTracker, QueriesInterleavedWithAdds) {
+  PercentileTracker p;
+  p.add(1.0);
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.median(), 2.0);
+  p.add(100.0);  // re-sorts lazily
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(PercentileTracker, MeanMatches) {
+  PercentileTracker p;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.mean(), 2.5);
+}
+
+TEST(Histogram, BucketsCountCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(3.0);   // bucket 1
+  h.add(9.99);  // bucket 4
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(12.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(Histogram, ValueOnBucketEdgeGoesRight) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(2.0);  // exactly on 0/1 boundary -> bucket 1
+  EXPECT_EQ(h.bucket(0), 0u);
+  EXPECT_EQ(h.bucket(1), 1u);
+}
+
+}  // namespace
+}  // namespace bsub::util

@@ -1,0 +1,43 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace bsub::util {
+namespace {
+
+TEST(Time, UnitRelations) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+}
+
+TEST(Time, ConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(to_minutes(from_minutes(7.25)), 7.25);
+  EXPECT_DOUBLE_EQ(to_hours(from_hours(3.5)), 3.5);
+}
+
+TEST(Time, CrossUnitConsistency) {
+  EXPECT_DOUBLE_EQ(to_minutes(kHour), 60.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
+  EXPECT_DOUBLE_EQ(to_hours(kDay), 24.0);
+  EXPECT_EQ(from_minutes(90), kHour + 30 * kMinute);
+}
+
+TEST(Time, FractionalConversionsTruncateToMilliseconds) {
+  // 0.1234 s = 123.4 ms -> 123 ms.
+  EXPECT_EQ(from_seconds(0.1234), 123);
+}
+
+TEST(Time, NegativeDurations) {
+  EXPECT_DOUBLE_EQ(to_minutes(-kHour), -60.0);
+  EXPECT_EQ(from_minutes(-5), -5 * kMinute);
+}
+
+TEST(Time, MaxIsSentinel) {
+  EXPECT_GT(kTimeMax, 1000000 * kDay);
+}
+
+}  // namespace
+}  // namespace bsub::util

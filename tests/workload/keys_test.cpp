@@ -1,0 +1,98 @@
+#include "workload/keys.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace bsub::workload {
+namespace {
+
+TEST(KeySet, RejectsInvalidInput) {
+  EXPECT_THROW(KeySet({}), std::invalid_argument);
+  EXPECT_THROW(KeySet({{"a", -1.0}}), std::invalid_argument);
+  EXPECT_THROW(KeySet({{"a", 0.0}, {"b", 0.0}}), std::invalid_argument);
+}
+
+TEST(KeySet, AccessorsWork) {
+  KeySet ks({{"alpha", 0.7}, {"beta", 0.3}});
+  EXPECT_EQ(ks.size(), 2u);
+  EXPECT_EQ(ks.name(0), "alpha");
+  EXPECT_DOUBLE_EQ(ks.weight(1), 0.3);
+  EXPECT_EQ(ks[0].name, "alpha");
+}
+
+TEST(KeySet, SampleMatchesWeights) {
+  KeySet ks({{"hot", 0.8}, {"cold", 0.2}});
+  util::Rng rng(5);
+  int hot = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) hot += (ks.sample(rng) == 0);
+  EXPECT_NEAR(hot / static_cast<double>(kN), 0.8, 0.01);
+}
+
+TEST(KeySet, AverageKeyLength) {
+  KeySet ks({{"ab", 1.0}, {"abcd", 1.0}});
+  EXPECT_DOUBLE_EQ(ks.average_key_length(), 3.0);
+  EXPECT_EQ(ks.total_key_bytes(), 6u);
+}
+
+TEST(TwitterTrendKeys, HasThirtyEightKeys) {
+  KeySet ks = twitter_trend_keys();
+  EXPECT_EQ(ks.size(), 38u);
+}
+
+TEST(TwitterTrendKeys, TableTwoTopFourPublishedWeights) {
+  KeySet ks = twitter_trend_keys();
+  EXPECT_EQ(ks.name(0), "NewMoon");
+  EXPECT_DOUBLE_EQ(ks.weight(0), 0.132);
+  EXPECT_EQ(ks.name(1), "Twitter'sNew");
+  EXPECT_DOUBLE_EQ(ks.weight(1), 0.103);
+  EXPECT_EQ(ks.name(2), "funnybutnotcool");
+  EXPECT_DOUBLE_EQ(ks.weight(2), 0.0887);
+  EXPECT_EQ(ks.name(3), "openwebawards");
+  EXPECT_DOUBLE_EQ(ks.weight(3), 0.0739);
+}
+
+TEST(TwitterTrendKeys, WeightsSumToOne) {
+  KeySet ks = twitter_trend_keys();
+  double total = 0.0;
+  for (const KeyInfo& k : ks) total += k.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TwitterTrendKeys, WeightsAreMonotoneDecreasing) {
+  KeySet ks = twitter_trend_keys();
+  for (KeyId i = 1; i < ks.size(); ++i) {
+    EXPECT_GE(ks.weight(i - 1), ks.weight(i)) << i;
+  }
+}
+
+TEST(TwitterTrendKeys, AverageLengthNearPaperValue) {
+  // Paper section VII-A: "The average length of the keys is 11.5 bytes."
+  KeySet ks = twitter_trend_keys();
+  EXPECT_NEAR(ks.average_key_length(), 11.5, 1.0);
+}
+
+TEST(TwitterTrendKeys, NamesAreUniqueAndSpaceFree) {
+  KeySet ks = twitter_trend_keys();
+  std::set<std::string> names;
+  for (const KeyInfo& k : ks) {
+    EXPECT_TRUE(names.insert(k.name).second) << k.name;
+    EXPECT_EQ(k.name.find(' '), std::string::npos) << k.name;
+    EXPECT_FALSE(k.name.empty());
+  }
+}
+
+TEST(TwitterTrendKeys, SamplingHitsHeadHeavily) {
+  KeySet ks = twitter_trend_keys();
+  util::Rng rng(9);
+  int top4 = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) top4 += (ks.sample(rng) < 4);
+  // Top-4 mass = 0.132+0.103+0.0887+0.0739 = 0.3976.
+  EXPECT_NEAR(top4 / static_cast<double>(kN), 0.3976, 0.01);
+}
+
+}  // namespace
+}  // namespace bsub::workload

@@ -1,0 +1,109 @@
+// Multi-interest workload construction (the section V-A extension).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/synthetic.h"
+#include "workload/workload.h"
+
+namespace bsub::workload {
+namespace {
+
+trace::ContactTrace small_trace() {
+  trace::SyntheticTraceConfig cfg;
+  cfg.node_count = 20;
+  cfg.contact_count = 1500;
+  cfg.duration = util::kDay;
+  cfg.seed = 14;
+  return trace::generate_trace(cfg);
+}
+
+TEST(MultiKeyWorkload, EachNodeGetsRequestedInterestCount) {
+  auto t = small_trace();
+  KeySet keys = twitter_trend_keys();
+  WorkloadConfig cfg;
+  cfg.interests_per_node = 3;
+  Workload w(t, keys, cfg);
+  for (trace::NodeId n = 0; n < 20; ++n) {
+    EXPECT_EQ(w.interests_of(n).size(), 3u);
+  }
+}
+
+TEST(MultiKeyWorkload, InterestsAreDistinctPerNode) {
+  auto t = small_trace();
+  KeySet keys = twitter_trend_keys();
+  WorkloadConfig cfg;
+  cfg.interests_per_node = 5;
+  Workload w(t, keys, cfg);
+  for (trace::NodeId n = 0; n < 20; ++n) {
+    std::set<KeyId> distinct(w.interests_of(n).begin(),
+                             w.interests_of(n).end());
+    EXPECT_EQ(distinct.size(), 5u);
+  }
+}
+
+TEST(MultiKeyWorkload, RequestCappedByUniverse) {
+  auto t = small_trace();
+  KeySet keys({{"a", 0.5}, {"b", 0.3}, {"c", 0.2}});
+  WorkloadConfig cfg;
+  cfg.interests_per_node = 10;  // only 3 keys exist
+  Workload w(t, keys, cfg);
+  for (trace::NodeId n = 0; n < 20; ++n) {
+    EXPECT_EQ(w.interests_of(n).size(), 3u);
+  }
+}
+
+TEST(MultiKeyWorkload, IsInterestedMatchesAnyOfTheKeys) {
+  auto t = small_trace();
+  KeySet keys = twitter_trend_keys();
+  WorkloadConfig cfg;
+  cfg.interests_per_node = 4;
+  Workload w(t, keys, cfg);
+  for (trace::NodeId n = 0; n < 20; ++n) {
+    for (KeyId k : w.interests_of(n)) EXPECT_TRUE(w.is_interested(n, k));
+    std::size_t interested = 0;
+    for (KeyId k = 0; k < keys.size(); ++k) interested += w.is_interested(n, k);
+    EXPECT_EQ(interested, 4u);
+  }
+}
+
+TEST(MultiKeyWorkload, SubscribersIndexCoversAllInterests) {
+  auto t = small_trace();
+  KeySet keys = twitter_trend_keys();
+  WorkloadConfig cfg;
+  cfg.interests_per_node = 2;
+  Workload w(t, keys, cfg);
+  std::size_t total = 0;
+  for (KeyId k = 0; k < keys.size(); ++k) {
+    for (trace::NodeId n : w.subscribers_of(k)) {
+      EXPECT_TRUE(w.is_interested(n, k));
+    }
+    total += w.subscribers_of(k).size();
+  }
+  EXPECT_EQ(total, 40u);  // 20 nodes x 2 interests
+}
+
+TEST(MultiKeyWorkload, ExpectedDeliveriesScaleWithInterests) {
+  auto t = small_trace();
+  KeySet keys = twitter_trend_keys();
+  WorkloadConfig one;
+  one.interests_per_node = 1;
+  WorkloadConfig four;
+  four.interests_per_node = 4;
+  Workload w1(t, keys, one);
+  Workload w4(t, keys, four);
+  EXPECT_GT(w4.expected_deliveries(), 2 * w1.expected_deliveries());
+}
+
+TEST(MultiKeyWorkload, ExplicitMultiInterestConstructor) {
+  KeySet keys({{"a", 0.5}, {"b", 0.3}, {"c", 0.2}});
+  Workload w(keys, 2, std::vector<std::vector<KeyId>>{{0, 2}, {1}}, {});
+  EXPECT_TRUE(w.is_interested(0, 0));
+  EXPECT_FALSE(w.is_interested(0, 1));
+  EXPECT_TRUE(w.is_interested(0, 2));
+  EXPECT_TRUE(w.is_interested(1, 1));
+  EXPECT_EQ(w.interest_of(0), 0u);  // primary = first listed
+}
+
+}  // namespace
+}  // namespace bsub::workload
