@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_df.dir/ablation_adaptive_df.cpp.o"
+  "CMakeFiles/ablation_adaptive_df.dir/ablation_adaptive_df.cpp.o.d"
+  "ablation_adaptive_df"
+  "ablation_adaptive_df.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_df.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_brokers.dir/ablation_brokers.cpp.o"
+  "CMakeFiles/ablation_brokers.dir/ablation_brokers.cpp.o.d"
+  "ablation_brokers"
+  "ablation_brokers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_brokers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_copies.dir/ablation_copies.cpp.o"
+  "CMakeFiles/ablation_copies.dir/ablation_copies.cpp.o.d"
+  "ablation_copies"
+  "ablation_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

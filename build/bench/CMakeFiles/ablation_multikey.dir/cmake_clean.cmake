@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multikey.dir/ablation_multikey.cpp.o"
+  "CMakeFiles/ablation_multikey.dir/ablation_multikey.cpp.o.d"
+  "ablation_multikey"
+  "ablation_multikey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multikey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcbf_ops.dir/bench_tcbf_ops.cpp.o"
+  "CMakeFiles/bench_tcbf_ops.dir/bench_tcbf_ops.cpp.o.d"
+  "bench_tcbf_ops"
+  "bench_tcbf_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcbf_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

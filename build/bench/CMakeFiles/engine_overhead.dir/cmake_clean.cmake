@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_overhead.dir/engine_overhead.cpp.o"
+  "CMakeFiles/engine_overhead.dir/engine_overhead.cpp.o.d"
+  "engine_overhead"
+  "engine_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

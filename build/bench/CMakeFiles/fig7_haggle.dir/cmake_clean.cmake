@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_haggle.dir/fig7_haggle.cpp.o"
+  "CMakeFiles/fig7_haggle.dir/fig7_haggle.cpp.o.d"
+  "fig7_haggle"
+  "fig7_haggle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_haggle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

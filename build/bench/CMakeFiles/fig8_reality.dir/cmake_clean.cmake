@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_reality.dir/fig8_reality.cpp.o"
+  "CMakeFiles/fig8_reality.dir/fig8_reality.cpp.o.d"
+  "fig8_reality"
+  "fig8_reality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_reality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

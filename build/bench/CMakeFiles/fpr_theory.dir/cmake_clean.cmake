@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_theory.dir/fpr_theory.cpp.o"
+  "CMakeFiles/fpr_theory.dir/fpr_theory.cpp.o.d"
+  "fpr_theory"
+  "fpr_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/memory_comparison.cpp" "bench/CMakeFiles/memory_comparison.dir/memory_comparison.cpp.o" "gcc" "bench/CMakeFiles/memory_comparison.dir/memory_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/bsub_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/bsub_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsub_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/bsub_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bsub_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bsub_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bsub_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

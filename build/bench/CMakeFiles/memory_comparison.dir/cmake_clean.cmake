@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_comparison.dir/memory_comparison.cpp.o"
+  "CMakeFiles/memory_comparison.dir/memory_comparison.cpp.o.d"
+  "memory_comparison"
+  "memory_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

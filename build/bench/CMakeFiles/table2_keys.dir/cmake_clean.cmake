@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_keys.dir/table2_keys.cpp.o"
+  "CMakeFiles/table2_keys.dir/table2_keys.cpp.o.d"
+  "table2_keys"
+  "table2_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

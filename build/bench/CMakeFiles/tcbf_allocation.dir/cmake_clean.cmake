@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcbf_allocation.dir/tcbf_allocation.cpp.o"
+  "CMakeFiles/tcbf_allocation.dir/tcbf_allocation.cpp.o.d"
+  "tcbf_allocation"
+  "tcbf_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcbf_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

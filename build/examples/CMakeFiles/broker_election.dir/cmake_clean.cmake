@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_election.dir/broker_election.cpp.o"
+  "CMakeFiles/broker_election.dir/broker_election.cpp.o.d"
+  "broker_election"
+  "broker_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsub_sim_cli.dir/bsub_sim_cli.cpp.o"
+  "CMakeFiles/bsub_sim_cli.dir/bsub_sim_cli.cpp.o.d"
+  "bsub_sim_cli"
+  "bsub_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsub_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_mesh.dir/live_mesh.cpp.o"
+  "CMakeFiles/live_mesh.dir/live_mesh.cpp.o.d"
+  "live_mesh"
+  "live_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

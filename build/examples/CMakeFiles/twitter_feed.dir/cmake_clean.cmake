@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_feed.dir/twitter_feed.cpp.o"
+  "CMakeFiles/twitter_feed.dir/twitter_feed.cpp.o.d"
+  "twitter_feed"
+  "twitter_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/allocation.cpp" "src/bloom/CMakeFiles/bsub_bloom.dir/allocation.cpp.o" "gcc" "src/bloom/CMakeFiles/bsub_bloom.dir/allocation.cpp.o.d"
+  "/root/repo/src/bloom/bloom_filter.cpp" "src/bloom/CMakeFiles/bsub_bloom.dir/bloom_filter.cpp.o" "gcc" "src/bloom/CMakeFiles/bsub_bloom.dir/bloom_filter.cpp.o.d"
+  "/root/repo/src/bloom/counting_bloom_filter.cpp" "src/bloom/CMakeFiles/bsub_bloom.dir/counting_bloom_filter.cpp.o" "gcc" "src/bloom/CMakeFiles/bsub_bloom.dir/counting_bloom_filter.cpp.o.d"
+  "/root/repo/src/bloom/fpr.cpp" "src/bloom/CMakeFiles/bsub_bloom.dir/fpr.cpp.o" "gcc" "src/bloom/CMakeFiles/bsub_bloom.dir/fpr.cpp.o.d"
+  "/root/repo/src/bloom/tcbf.cpp" "src/bloom/CMakeFiles/bsub_bloom.dir/tcbf.cpp.o" "gcc" "src/bloom/CMakeFiles/bsub_bloom.dir/tcbf.cpp.o.d"
+  "/root/repo/src/bloom/tcbf_codec.cpp" "src/bloom/CMakeFiles/bsub_bloom.dir/tcbf_codec.cpp.o" "gcc" "src/bloom/CMakeFiles/bsub_bloom.dir/tcbf_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bsub_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsub_bloom.dir/allocation.cpp.o"
+  "CMakeFiles/bsub_bloom.dir/allocation.cpp.o.d"
+  "CMakeFiles/bsub_bloom.dir/bloom_filter.cpp.o"
+  "CMakeFiles/bsub_bloom.dir/bloom_filter.cpp.o.d"
+  "CMakeFiles/bsub_bloom.dir/counting_bloom_filter.cpp.o"
+  "CMakeFiles/bsub_bloom.dir/counting_bloom_filter.cpp.o.d"
+  "CMakeFiles/bsub_bloom.dir/fpr.cpp.o"
+  "CMakeFiles/bsub_bloom.dir/fpr.cpp.o.d"
+  "CMakeFiles/bsub_bloom.dir/tcbf.cpp.o"
+  "CMakeFiles/bsub_bloom.dir/tcbf.cpp.o.d"
+  "CMakeFiles/bsub_bloom.dir/tcbf_codec.cpp.o"
+  "CMakeFiles/bsub_bloom.dir/tcbf_codec.cpp.o.d"
+  "libbsub_bloom.a"
+  "libbsub_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsub_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

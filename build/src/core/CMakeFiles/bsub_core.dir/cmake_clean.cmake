@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsub_core.dir/broker_allocation.cpp.o"
+  "CMakeFiles/bsub_core.dir/broker_allocation.cpp.o.d"
+  "CMakeFiles/bsub_core.dir/bsub_protocol.cpp.o"
+  "CMakeFiles/bsub_core.dir/bsub_protocol.cpp.o.d"
+  "CMakeFiles/bsub_core.dir/df_tuning.cpp.o"
+  "CMakeFiles/bsub_core.dir/df_tuning.cpp.o.d"
+  "CMakeFiles/bsub_core.dir/interest_manager.cpp.o"
+  "CMakeFiles/bsub_core.dir/interest_manager.cpp.o.d"
+  "libbsub_core.a"
+  "libbsub_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsub_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

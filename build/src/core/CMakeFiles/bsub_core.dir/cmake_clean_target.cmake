@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsub_core.a"
+)

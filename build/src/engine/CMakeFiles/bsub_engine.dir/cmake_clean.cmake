@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsub_engine.dir/network.cpp.o"
+  "CMakeFiles/bsub_engine.dir/network.cpp.o.d"
+  "CMakeFiles/bsub_engine.dir/node.cpp.o"
+  "CMakeFiles/bsub_engine.dir/node.cpp.o.d"
+  "CMakeFiles/bsub_engine.dir/trace_runner.cpp.o"
+  "CMakeFiles/bsub_engine.dir/trace_runner.cpp.o.d"
+  "CMakeFiles/bsub_engine.dir/wire.cpp.o"
+  "CMakeFiles/bsub_engine.dir/wire.cpp.o.d"
+  "libbsub_engine.a"
+  "libbsub_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsub_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

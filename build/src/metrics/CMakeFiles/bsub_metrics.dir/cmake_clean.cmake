@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsub_metrics.dir/collector.cpp.o"
+  "CMakeFiles/bsub_metrics.dir/collector.cpp.o.d"
+  "libbsub_metrics.a"
+  "libbsub_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsub_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsub_routing.dir/pull.cpp.o"
+  "CMakeFiles/bsub_routing.dir/pull.cpp.o.d"
+  "CMakeFiles/bsub_routing.dir/push.cpp.o"
+  "CMakeFiles/bsub_routing.dir/push.cpp.o.d"
+  "CMakeFiles/bsub_routing.dir/spray.cpp.o"
+  "CMakeFiles/bsub_routing.dir/spray.cpp.o.d"
+  "libbsub_routing.a"
+  "libbsub_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsub_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

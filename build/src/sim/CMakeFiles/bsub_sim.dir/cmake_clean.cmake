@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsub_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bsub_sim.dir/simulator.cpp.o.d"
+  "libbsub_sim.a"
+  "libbsub_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsub_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

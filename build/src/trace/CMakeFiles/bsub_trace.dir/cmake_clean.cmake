@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsub_trace.dir/analysis.cpp.o"
+  "CMakeFiles/bsub_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/bsub_trace.dir/centrality.cpp.o"
+  "CMakeFiles/bsub_trace.dir/centrality.cpp.o.d"
+  "CMakeFiles/bsub_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/bsub_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/bsub_trace.dir/trace.cpp.o"
+  "CMakeFiles/bsub_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/bsub_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/bsub_trace.dir/trace_io.cpp.o.d"
+  "libbsub_trace.a"
+  "libbsub_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsub_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

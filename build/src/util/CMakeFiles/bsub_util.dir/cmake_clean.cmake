@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsub_util.dir/binomial.cpp.o"
+  "CMakeFiles/bsub_util.dir/binomial.cpp.o.d"
+  "CMakeFiles/bsub_util.dir/byte_io.cpp.o"
+  "CMakeFiles/bsub_util.dir/byte_io.cpp.o.d"
+  "CMakeFiles/bsub_util.dir/hash.cpp.o"
+  "CMakeFiles/bsub_util.dir/hash.cpp.o.d"
+  "CMakeFiles/bsub_util.dir/logging.cpp.o"
+  "CMakeFiles/bsub_util.dir/logging.cpp.o.d"
+  "CMakeFiles/bsub_util.dir/rng.cpp.o"
+  "CMakeFiles/bsub_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bsub_util.dir/stats.cpp.o"
+  "CMakeFiles/bsub_util.dir/stats.cpp.o.d"
+  "libbsub_util.a"
+  "libbsub_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsub_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsub_workload.dir/keys.cpp.o"
+  "CMakeFiles/bsub_workload.dir/keys.cpp.o.d"
+  "CMakeFiles/bsub_workload.dir/workload.cpp.o"
+  "CMakeFiles/bsub_workload.dir/workload.cpp.o.d"
+  "libbsub_workload.a"
+  "libbsub_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsub_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

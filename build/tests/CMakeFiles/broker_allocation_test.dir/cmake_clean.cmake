@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_allocation_test.dir/core/broker_allocation_test.cpp.o"
+  "CMakeFiles/broker_allocation_test.dir/core/broker_allocation_test.cpp.o.d"
+  "broker_allocation_test"
+  "broker_allocation_test.pdb"
+  "broker_allocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

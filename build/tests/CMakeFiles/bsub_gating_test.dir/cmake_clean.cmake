@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsub_gating_test.dir/core/bsub_gating_test.cpp.o"
+  "CMakeFiles/bsub_gating_test.dir/core/bsub_gating_test.cpp.o.d"
+  "bsub_gating_test"
+  "bsub_gating_test.pdb"
+  "bsub_gating_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsub_gating_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsub_multikey_test.dir/core/bsub_multikey_test.cpp.o"
+  "CMakeFiles/bsub_multikey_test.dir/core/bsub_multikey_test.cpp.o.d"
+  "bsub_multikey_test"
+  "bsub_multikey_test.pdb"
+  "bsub_multikey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsub_multikey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

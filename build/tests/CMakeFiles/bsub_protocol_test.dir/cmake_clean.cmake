@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsub_protocol_test.dir/core/bsub_protocol_test.cpp.o"
+  "CMakeFiles/bsub_protocol_test.dir/core/bsub_protocol_test.cpp.o.d"
+  "bsub_protocol_test"
+  "bsub_protocol_test.pdb"
+  "bsub_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsub_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_property_test.dir/bloom/codec_property_test.cpp.o"
+  "CMakeFiles/codec_property_test.dir/bloom/codec_property_test.cpp.o.d"
+  "codec_property_test"
+  "codec_property_test.pdb"
+  "codec_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

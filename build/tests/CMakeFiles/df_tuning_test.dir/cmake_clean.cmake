@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_tuning_test.dir/core/df_tuning_test.cpp.o"
+  "CMakeFiles/df_tuning_test.dir/core/df_tuning_test.cpp.o.d"
+  "df_tuning_test"
+  "df_tuning_test.pdb"
+  "df_tuning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_tuning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

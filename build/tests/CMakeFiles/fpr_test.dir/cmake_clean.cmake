@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_test.dir/bloom/fpr_test.cpp.o"
+  "CMakeFiles/fpr_test.dir/bloom/fpr_test.cpp.o.d"
+  "fpr_test"
+  "fpr_test.pdb"
+  "fpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interest_manager_test.dir/core/interest_manager_test.cpp.o"
+  "CMakeFiles/interest_manager_test.dir/core/interest_manager_test.cpp.o.d"
+  "interest_manager_test"
+  "interest_manager_test.pdb"
+  "interest_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interest_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

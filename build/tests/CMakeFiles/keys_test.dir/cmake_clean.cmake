@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keys_test.dir/workload/keys_test.cpp.o"
+  "CMakeFiles/keys_test.dir/workload/keys_test.cpp.o.d"
+  "keys_test"
+  "keys_test.pdb"
+  "keys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_store_test.dir/sim/message_store_test.cpp.o"
+  "CMakeFiles/message_store_test.dir/sim/message_store_test.cpp.o.d"
+  "message_store_test"
+  "message_store_test.pdb"
+  "message_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

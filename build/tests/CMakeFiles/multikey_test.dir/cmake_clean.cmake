@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multikey_test.dir/workload/multikey_test.cpp.o"
+  "CMakeFiles/multikey_test.dir/workload/multikey_test.cpp.o.d"
+  "multikey_test"
+  "multikey_test.pdb"
+  "multikey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multikey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_network_test.dir/engine/node_network_test.cpp.o"
+  "CMakeFiles/node_network_test.dir/engine/node_network_test.cpp.o.d"
+  "node_network_test"
+  "node_network_test.pdb"
+  "node_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

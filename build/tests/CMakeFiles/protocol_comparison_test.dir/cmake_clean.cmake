@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_comparison_test.dir/integration/protocol_comparison_test.cpp.o"
+  "CMakeFiles/protocol_comparison_test.dir/integration/protocol_comparison_test.cpp.o.d"
+  "protocol_comparison_test"
+  "protocol_comparison_test.pdb"
+  "protocol_comparison_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_comparison_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcbf_codec_test.dir/bloom/tcbf_codec_test.cpp.o"
+  "CMakeFiles/tcbf_codec_test.dir/bloom/tcbf_codec_test.cpp.o.d"
+  "tcbf_codec_test"
+  "tcbf_codec_test.pdb"
+  "tcbf_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcbf_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

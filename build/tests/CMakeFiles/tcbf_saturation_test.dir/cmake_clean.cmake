@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcbf_saturation_test.dir/bloom/tcbf_saturation_test.cpp.o"
+  "CMakeFiles/tcbf_saturation_test.dir/bloom/tcbf_saturation_test.cpp.o.d"
+  "tcbf_saturation_test"
+  "tcbf_saturation_test.pdb"
+  "tcbf_saturation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcbf_saturation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcbf_test.dir/bloom/tcbf_test.cpp.o"
+  "CMakeFiles/tcbf_test.dir/bloom/tcbf_test.cpp.o.d"
+  "tcbf_test"
+  "tcbf_test.pdb"
+  "tcbf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcbf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

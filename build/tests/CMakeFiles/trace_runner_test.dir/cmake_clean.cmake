@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_runner_test.dir/engine/trace_runner_test.cpp.o"
+  "CMakeFiles/trace_runner_test.dir/engine/trace_runner_test.cpp.o.d"
+  "trace_runner_test"
+  "trace_runner_test.pdb"
+  "trace_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
