@@ -2,7 +2,8 @@
 // it: "it is straightforward to set an appropriate DF online by counting
 // the number of nodes a broker meets in the time window"). Compares the
 // trace-analyzed global Eq. 5 DF against brokers re-deriving their own DF
-// from their live election window.
+// from their live election window. The fixed/adaptive runs per trace are
+// independent, so all four execute on the parallel sweep runner.
 #include "experiment_common.h"
 
 int main() {
@@ -10,20 +11,39 @@ int main() {
   using namespace bsub;
   print_header("Extension — adaptive per-broker DF (section VII-B)");
 
-  for (const Scenario& scenario : {haggle_scenario(), reality_scenario()}) {
-    const util::Time ttl = 10 * util::kHour;
-    const workload::Workload w = scenario.make_workload(ttl);
+  const util::Time ttl = 10 * util::kHour;
+  const std::vector<Scenario> scenarios = {haggle_scenario(),
+                                           reality_scenario()};
 
-    core::BsubConfig fixed_cfg = bsub_config_for(scenario, ttl);
-    const ProtocolRun fixed = run_bsub(scenario, w, fixed_cfg);
+  struct Job {
+    std::size_t scenario_idx = 0;
+    bool adaptive = false;
+  };
 
-    core::BsubConfig adaptive_cfg = fixed_cfg;
-    adaptive_cfg.adaptive_df = true;
-    adaptive_cfg.df_window = ttl;
-    const ProtocolRun adaptive = run_bsub(scenario, w, adaptive_cfg);
+  WallTimer timer;
+  std::vector<Job> jobs;
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    jobs.push_back({s, false});
+    jobs.push_back({s, true});
+  }
+  const std::vector<ProtocolRun> runs =
+      run_points_parallel(jobs, [&](const Job& job) {
+        const Scenario& scenario = scenarios[job.scenario_idx];
+        const workload::Workload w = scenario.make_workload(ttl);
+        core::BsubConfig cfg = bsub_config_for(scenario, ttl);
+        if (job.adaptive) {
+          cfg.adaptive_df = true;
+          cfg.df_window = ttl;
+        }
+        return run_bsub(scenario, w, cfg);
+      });
 
+  std::vector<std::string> points;
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const ProtocolRun& fixed = runs[2 * s];
+    const ProtocolRun& adaptive = runs[2 * s + 1];
     std::printf("\ntrace: %s (TTL = W = 10 h)\n",
-                scenario.trace.name().c_str());
+                scenarios[s].trace.name().c_str());
     std::printf("%-22s | %8s | %10s | %9s | %10s\n", "DF mode", "delivery",
                 "delay(min)", "fwd/deliv", "relay FPR");
     std::printf("%-22s | %8.3f | %10.1f | %9.2f | %10.4f\n",
@@ -35,9 +55,24 @@ int main() {
                 adaptive.results.mean_delay_minutes,
                 adaptive.results.forwardings_per_delivery,
                 adaptive.relay_fpr);
+    for (bool is_adaptive : {false, true}) {
+      const ProtocolRun& run = is_adaptive ? adaptive : fixed;
+      points.push_back(
+          JsonObject()
+              .field("trace", scenarios[s].trace.name())
+              .field("df_mode",
+                     std::string(is_adaptive ? "adaptive" : "fixed"))
+              .field("delivery", run.results.delivery_ratio)
+              .field("delay_min", run.results.mean_delay_minutes)
+              .field("fwd_per_delivery",
+                     run.results.forwardings_per_delivery)
+              .field("relay_fpr", run.relay_fpr)
+              .str());
+    }
   }
   std::printf(
       "\nExpected: the online estimate tracks the offline trace analysis "
       "closely —\nno oracle knowledge of the trace is actually needed.\n");
+  write_bench_json("ablation_adaptive_df", timer.seconds(), points);
   return 0;
 }

@@ -2,7 +2,8 @@
 // number of broker replicas a producer may spawn per message and reports
 // the delivery/overhead trade-off, plus the SPRAY baseline at the same
 // budget (interest-oblivious placement) to isolate what TCBF-guided pickup
-// buys.
+// buys. Each budget point is an independent pair of runs, executed on the
+// parallel sweep runner.
 #include "experiment_common.h"
 
 #include "routing/spray.h"
@@ -16,29 +17,53 @@ int main() {
   const util::Time ttl = 10 * util::kHour;
   const workload::Workload w = scenario.make_workload(ttl);
 
+  struct Row {
+    ProtocolRun bsub;
+    metrics::RunResults spray;
+  };
+
+  WallTimer timer;
+  const std::vector<std::uint32_t> budgets = {1, 2, 3, 5, 8};
+  const std::vector<Row> rows =
+      run_points_parallel(budgets, [&](std::uint32_t copies) {
+        core::BsubConfig cfg = bsub_config_for(scenario, ttl);
+        cfg.copy_limit = copies;
+        Row r;
+        r.bsub = run_bsub(scenario, w, cfg);
+        routing::SprayProtocol spray(copies);
+        r.spray = sim::Simulator().run(scenario.trace, w, spray);
+        return r;
+      });
+
   std::printf("trace: %s, TTL = 10 h\n\n", scenario.trace.name().c_str());
   std::printf("%6s | %17s | %21s | %19s\n", "", "delivery ratio",
               "mean delay (minutes)", "fwd/delivery");
   std::printf("%6s | %8s %8s | %10s %10s | %9s %9s\n", "copies", "B-SUB",
               "SPRAY", "B-SUB", "SPRAY", "B-SUB", "SPRAY");
-  for (std::uint32_t copies : {1u, 2u, 3u, 5u, 8u}) {
-    core::BsubConfig cfg = bsub_config_for(scenario, ttl);
-    cfg.copy_limit = copies;
-    const ProtocolRun bsub = run_bsub(scenario, w, cfg);
-
-    routing::SprayProtocol spray(copies);
-    const metrics::RunResults sr =
-        sim::Simulator().run(scenario.trace, w, spray);
-
-    std::printf("%6u | %8.3f %8.3f | %10.1f %10.1f | %9.2f %9.2f\n", copies,
-                bsub.results.delivery_ratio, sr.delivery_ratio,
-                bsub.results.mean_delay_minutes, sr.mean_delay_minutes,
-                bsub.results.forwardings_per_delivery,
-                sr.forwardings_per_delivery);
+  std::vector<std::string> points;
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("%6u | %8.3f %8.3f | %10.1f %10.1f | %9.2f %9.2f\n",
+                budgets[i], r.bsub.results.delivery_ratio,
+                r.spray.delivery_ratio, r.bsub.results.mean_delay_minutes,
+                r.spray.mean_delay_minutes,
+                r.bsub.results.forwardings_per_delivery,
+                r.spray.forwardings_per_delivery);
+    points.push_back(
+        JsonObject()
+            .field("copies", static_cast<std::uint64_t>(budgets[i]))
+            .field("bsub_delivery", r.bsub.results.delivery_ratio)
+            .field("spray_delivery", r.spray.delivery_ratio)
+            .field("bsub_delay_min", r.bsub.results.mean_delay_minutes)
+            .field("spray_delay_min", r.spray.mean_delay_minutes)
+            .field("bsub_fwd", r.bsub.results.forwardings_per_delivery)
+            .field("spray_fwd", r.spray.forwardings_per_delivery)
+            .str());
   }
   std::printf(
       "\nExpected: delivery grows with the copy budget for both, with "
       "diminishing\nreturns; B-SUB's interest-guided placement beats blind "
       "spraying per copy.\n");
+  write_bench_json("ablation_copies", timer.seconds(), points);
   return 0;
 }

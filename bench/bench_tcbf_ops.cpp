@@ -1,8 +1,17 @@
 // Micro-benchmarks of the TCBF primitives (google-benchmark): the paper's
 // efficiency argument rests on these being trivial (hashing + table
 // lookups), so they are pinned here.
+//
+// Besides the google-benchmark cases, main() runs a before/after comparison
+// against `DenseTcbf` — a seed-faithful reference with eager O(m) decay,
+// dense O(m) merges, and per-query string hashing — at m in {1024, 8192,
+// 65536}, and records ns-per-op for decay/merge/query to BENCH_tcbf_ops.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -10,6 +19,7 @@
 #include "bloom/fpr.h"
 #include "bloom/tcbf.h"
 #include "bloom/tcbf_codec.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace {
@@ -71,6 +81,21 @@ void BM_TcbfExistentialQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_TcbfExistentialQuery);
 
+void BM_TcbfHashedQuery(benchmark::State& state) {
+  const auto keys = make_keys(64);
+  std::vector<util::HashPair> hps;
+  for (const auto& k : keys) hps.push_back(util::hash_pair(k));
+  bloom::Tcbf t({256, 4}, 50.0);
+  for (std::size_t i = 0; i < 38; ++i) t.insert(hps[i]);
+  std::size_t i = 0;
+  bool hit = false;
+  for (auto _ : state) {
+    hit ^= t.contains(hps[i++ % hps.size()]);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_TcbfHashedQuery);
+
 void BM_TcbfPreferentialQuery(benchmark::State& state) {
   const auto keys = make_keys(64);
   bloom::Tcbf a({256, 4}, 50.0), b({256, 4}, 50.0);
@@ -87,38 +112,41 @@ BENCHMARK(BM_TcbfPreferentialQuery);
 
 void BM_TcbfDecay(benchmark::State& state) {
   const auto keys = make_keys(38);
-  bloom::Tcbf t({256, 4}, 1e12);  // effectively never drains mid-benchmark
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  bloom::Tcbf t({m, 4}, 1e12);  // effectively never drains mid-benchmark
   for (const auto& k : keys) t.insert(k);
   for (auto _ : state) {
     t.decay(0.138);
     benchmark::DoNotOptimize(t);
   }
 }
-BENCHMARK(BM_TcbfDecay);
+BENCHMARK(BM_TcbfDecay)->Arg(256)->Arg(1024)->Arg(8192)->Arg(65536);
 
 void BM_TcbfAMerge(benchmark::State& state) {
   const auto keys = make_keys(38);
-  bloom::Tcbf src({256, 4}, 50.0);
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  bloom::Tcbf src({m, 4}, 50.0);
   for (const auto& k : keys) src.insert(k);
-  bloom::Tcbf dst({256, 4}, 50.0);
+  bloom::Tcbf dst({m, 4}, 50.0);
   for (auto _ : state) {
     dst.a_merge(src);
     benchmark::DoNotOptimize(dst);
   }
 }
-BENCHMARK(BM_TcbfAMerge);
+BENCHMARK(BM_TcbfAMerge)->Arg(256)->Arg(1024)->Arg(8192)->Arg(65536);
 
 void BM_TcbfMMerge(benchmark::State& state) {
   const auto keys = make_keys(38);
-  bloom::Tcbf src({256, 4}, 50.0);
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  bloom::Tcbf src({m, 4}, 50.0);
   for (const auto& k : keys) src.insert(k);
-  bloom::Tcbf dst({256, 4}, 50.0);
+  bloom::Tcbf dst({m, 4}, 50.0);
   for (auto _ : state) {
     dst.m_merge(src);
     benchmark::DoNotOptimize(dst);
   }
 }
-BENCHMARK(BM_TcbfMMerge);
+BENCHMARK(BM_TcbfMMerge)->Arg(256)->Arg(1024)->Arg(8192)->Arg(65536);
 
 void BM_TcbfEncodeFull(benchmark::State& state) {
   bloom::Tcbf t({256, 4}, 50.0);
@@ -143,6 +171,191 @@ void BM_TcbfDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_TcbfDecode);
 
+// --- before/after comparison -----------------------------------------------
+
+/// Seed-faithful reference TCBF: the representation this repo shipped with —
+/// one dense counter array, eager O(m) decay and merge sweeps, and string
+/// hashing on every operation. Semantically identical to bloom::Tcbf (the
+/// randomized differential test in tests/bloom/ proves it); only the cost
+/// model differs.
+class DenseTcbf {
+ public:
+  DenseTcbf(bloom::BloomParams params, double initial_counter)
+      : params_(params),
+        initial_counter_(initial_counter),
+        counters_(params.m, 0.0) {}
+
+  void insert(std::string_view key) {
+    for (std::size_t idx : util::bloom_indices(key, params_.k, params_.m)) {
+      if (counters_[idx] <= 0.0) counters_[idx] = initial_counter_;
+    }
+  }
+
+  void decay(double amount) {
+    for (double& c : counters_) c = c > amount ? c - amount : 0.0;
+  }
+
+  void a_merge(const DenseTcbf& other) {
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      const double sum = counters_[i] + other.counters_[i];
+      counters_[i] = sum < bloom::kCounterSaturation
+                         ? sum
+                         : bloom::kCounterSaturation;
+    }
+  }
+
+  void m_merge(const DenseTcbf& other) {
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      if (other.counters_[i] > counters_[i]) counters_[i] = other.counters_[i];
+    }
+  }
+
+  std::optional<double> min_counter(std::string_view key) const {
+    double mn = std::numeric_limits<double>::infinity();
+    for (std::size_t idx : util::bloom_indices(key, params_.k, params_.m)) {
+      if (counters_[idx] <= 0.0) return std::nullopt;
+      if (counters_[idx] < mn) mn = counters_[idx];
+    }
+    return mn;
+  }
+
+ private:
+  bloom::BloomParams params_;
+  double initial_counter_;
+  std::vector<double> counters_;
+};
+
+/// Measures fn's cost by doubling the iteration count until the timed batch
+/// is long enough to trust the clock.
+template <class Fn>
+double ns_per_op(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up
+  for (std::size_t iters = 8;; iters *= 4) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double elapsed =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    if (elapsed >= 0.02 || iters >= (std::size_t{1} << 28)) {
+      return elapsed * 1e9 / static_cast<double>(iters);
+    }
+  }
+}
+
+struct OpTiming {
+  const char* op;
+  std::uint32_t m;
+  double dense_ns;
+  double lazy_ns;
+};
+
+std::vector<OpTiming> run_comparison() {
+  constexpr std::uint32_t kHashes = 4;
+  constexpr std::size_t kKeys = 38;  // the paper's key-set size
+  const auto keys = make_keys(kKeys);
+  std::vector<util::HashPair> hps;
+  for (const auto& k : keys) hps.push_back(util::hash_pair(k));
+
+  std::vector<OpTiming> out;
+  for (std::uint32_t m : {1024u, 8192u, 65536u}) {
+    const bloom::BloomParams params{m, kHashes};
+    // Huge initial counter so sustained decay never drains the filters.
+    DenseTcbf dense(params, 1e12);
+    bloom::Tcbf lazy(params, 1e12);
+    for (std::size_t i = 0; i < kKeys; ++i) {
+      dense.insert(keys[i]);
+      lazy.insert(hps[i]);
+    }
+
+    const double dense_decay = ns_per_op([&] {
+      dense.decay(0.138);
+      benchmark::DoNotOptimize(dense);
+    });
+    const double lazy_decay = ns_per_op([&] {
+      lazy.decay(0.138);
+      benchmark::DoNotOptimize(lazy);
+    });
+    out.push_back({"decay", m, dense_decay, lazy_decay});
+
+    DenseTcbf dense_src(params, 50.0);
+    bloom::Tcbf lazy_src(params, 50.0);
+    for (std::size_t i = 0; i < kKeys; ++i) {
+      dense_src.insert(keys[i]);
+      lazy_src.insert(hps[i]);
+    }
+    DenseTcbf dense_dst(params, 50.0);
+    bloom::Tcbf lazy_dst(params, 50.0);
+    const double dense_merge = ns_per_op([&] {
+      dense_dst.a_merge(dense_src);
+      benchmark::DoNotOptimize(dense_dst);
+    });
+    const double lazy_merge = ns_per_op([&] {
+      lazy_dst.a_merge(lazy_src);
+      benchmark::DoNotOptimize(lazy_dst);
+    });
+    out.push_back({"a_merge", m, dense_merge, lazy_merge});
+
+    std::size_t qi = 0;
+    const double dense_query = ns_per_op([&] {
+      auto c = dense.min_counter(keys[qi++ % kKeys]);
+      benchmark::DoNotOptimize(c);
+    });
+    qi = 0;
+    const double lazy_query = ns_per_op([&] {
+      auto c = lazy.min_counter(hps[qi++ % kKeys]);
+      benchmark::DoNotOptimize(c);
+    });
+    out.push_back({"min_counter", m, dense_query, lazy_query});
+  }
+  return out;
+}
+
+void report_comparison(const std::vector<OpTiming>& timings,
+                       double wall_seconds) {
+  std::printf("TCBF dense-reference vs current representation (ns/op)\n");
+  std::printf("%12s | %6s | %12s | %12s | %8s\n", "op", "m", "dense(ns)",
+              "current(ns)", "speedup");
+  for (const OpTiming& t : timings) {
+    std::printf("%12s | %6u | %12.1f | %12.1f | %7.1fx\n", t.op, t.m,
+                t.dense_ns, t.lazy_ns,
+                t.lazy_ns > 0.0 ? t.dense_ns / t.lazy_ns : 0.0);
+  }
+
+  std::FILE* f = std::fopen("BENCH_tcbf_ops.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_tcbf_ops.json\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\"bench\": \"tcbf_ops\", \"wall_seconds\": %.3f, "
+               "\"points\": [",
+               wall_seconds);
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const OpTiming& t = timings[i];
+    std::fprintf(f,
+                 "%s\n  {\"op\": \"%s\", \"m\": %u, \"dense_ns\": %.2f, "
+                 "\"lazy_ns\": %.2f, \"speedup\": %.2f}",
+                 i == 0 ? "" : ",", t.op, t.m, t.dense_ns, t.lazy_ns,
+                 t.lazy_ns > 0.0 ? t.dense_ns / t.lazy_ns : 0.0);
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  std::printf("-> BENCH_tcbf_ops.json (%.2fs wall)\n\n", wall_seconds);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<OpTiming> timings = run_comparison();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report_comparison(timings, wall);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,10 @@
 // Shared plumbing for the experiment binaries: scenario construction,
-// protocol runners, and fixed-width table printing. Each binary regenerates
-// one table or figure of the paper (see DESIGN.md's experiment index).
+// protocol runners, parallel sweep execution, fixed-width table printing,
+// and BENCH_*.json result emission. Each binary regenerates one table or
+// figure of the paper (see DESIGN.md's experiment index).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -15,6 +17,7 @@
 #include "routing/push.h"
 #include "sim/simulator.h"
 #include "trace/synthetic.h"
+#include "util/parallel.h"
 #include "workload/workload.h"
 
 namespace bsub::bench {
@@ -85,6 +88,111 @@ inline ProtocolRun run_bsub(const Scenario& s, const workload::Workload& w,
 inline void print_header(const std::string& title) {
   std::printf("\n%s\n", title.c_str());
   std::printf("%s\n", std::string(title.size(), '-').c_str());
+}
+
+// --- parallel sweep execution ----------------------------------------------
+
+/// Runs one sweep point per input, concurrently on the process-wide worker
+/// count (BSUB_THREADS overrides; 1 forces serial). Every point must own its
+/// mutable state — the Scenario/Workload may be shared read-only. Results
+/// come back in input order, so parallel and serial runs are identical.
+template <class Point, class Fn>
+auto run_points_parallel(const std::vector<Point>& points, Fn&& fn,
+                         std::size_t threads = 0)
+    -> std::vector<decltype(fn(points[0]))> {
+  return util::parallel_map(points, std::forward<Fn>(fn), threads);
+}
+
+/// Wall-clock timer for per-binary BENCH reports.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// --- BENCH_*.json emission --------------------------------------------------
+
+/// Minimal JSON object builder for sweep-point rows. Doubles print with
+/// %.17g so serial and parallel runs serialize bit-identically.
+class JsonObject {
+ public:
+  JsonObject& field(const char* key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return raw(key, buf);
+  }
+  JsonObject& field(const char* key, std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return raw(key, buf);
+  }
+  JsonObject& field(const char* key, int v) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", v);
+    return raw(key, buf);
+  }
+  JsonObject& field(const char* key, const std::string& v) {
+    std::string quoted = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    return raw(key, quoted);
+  }
+
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonObject& raw(const char* key, const std::string& value) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"";
+    body_ += key;
+    body_ += "\": ";
+    body_ += value;
+    return *this;
+  }
+  std::string body_;
+};
+
+/// Renders the sweep points as a JSON array — the part of a BENCH report
+/// that must be identical between serial and parallel runs.
+inline std::string points_json(const std::vector<std::string>& points) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out += i == 0 ? "\n  " : ",\n  ";
+    out += points[i];
+  }
+  out += "\n]";
+  return out;
+}
+
+/// Writes BENCH_<name>.json into the working directory: per-binary wall
+/// time plus the sweep-point results, for the perf trajectory.
+inline void write_bench_json(const std::string& name, double wall_seconds,
+                             const std::vector<std::string>& points) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\"bench\": \"%s\", \"threads\": %zu, \"wall_seconds\": "
+               "%.3f, \"points\": %s}\n",
+               name.c_str(), util::default_thread_count(), wall_seconds,
+               points_json(points).c_str());
+  std::fclose(f);
+  std::printf("\n[%s] %.2fs wall on %zu thread(s) -> %s\n", name.c_str(),
+              wall_seconds, util::default_thread_count(), path.c_str());
 }
 
 }  // namespace bsub::bench

@@ -5,6 +5,6 @@
 int main() {
   using namespace bsub::bench;
   print_header("Figure 7 — Haggle (Infocom'06) trace");
-  run_ttl_sweep("Fig. 7", haggle_scenario());
+  run_ttl_sweep("Fig. 7", "fig7_haggle", haggle_scenario());
   return 0;
 }

@@ -5,7 +5,7 @@
 int main() {
   using namespace bsub::bench;
   print_header("Figure 8 — MIT Reality (3-day) trace");
-  run_ttl_sweep("Fig. 8", reality_scenario());
+  run_ttl_sweep("Fig. 8", "fig8_reality", reality_scenario());
   std::printf(
       "\nCross-figure check (paper section VII-B): the Reality trace is "
       "sparser,\nso its delivery ratios sit below the Haggle trace's at "

@@ -1,15 +1,36 @@
 // Shared driver for Fig. 7 (Haggle) and Fig. 8 (MIT Reality): delivery
 // ratio, delay, and forwardings-per-delivered-message of PUSH / B-SUB /
-// PULL across a log-scaled TTL axis.
+// PULL across a log-scaled TTL axis. Sweep points are independent (each
+// owns its workload and simulator), so they run on the parallel runner;
+// results are printed in axis order and recorded to BENCH_<name>.json.
 #pragma once
 
 #include "experiment_common.h"
 
 namespace bsub::bench {
 
-inline void run_ttl_sweep(const char* figure, const Scenario& scenario) {
+inline void run_ttl_sweep(const char* figure, const char* bench_name,
+                          const Scenario& scenario) {
   // The paper sweeps TTL on a log axis from ~10 to ~1200 minutes.
-  const double ttl_minutes[] = {10, 30, 60, 120, 300, 600, 1200};
+  const std::vector<double> ttl_minutes = {10, 30, 60, 120, 300, 600, 1200};
+
+  struct Row {
+    double ttl_min = 0.0;
+    ProtocolRun push, bsub, pull;
+  };
+
+  WallTimer timer;
+  const std::vector<Row> rows =
+      run_points_parallel(ttl_minutes, [&](double ttl_min) {
+        const util::Time ttl = util::from_minutes(ttl_min);
+        const workload::Workload w = scenario.make_workload(ttl);
+        Row r;
+        r.ttl_min = ttl_min;
+        r.push = run_push(scenario, w);
+        r.bsub = run_bsub(scenario, w, bsub_config_for(scenario, ttl));
+        r.pull = run_pull(scenario, w);
+        return r;
+      });
 
   std::printf("%s: PUSH vs B-SUB vs PULL over TTL (trace: %s)\n", figure,
               scenario.trace.name().c_str());
@@ -19,26 +40,37 @@ inline void run_ttl_sweep(const char* figure, const Scenario& scenario) {
               "TTL(min)", "PUSH", "B-SUB", "PULL", "PUSH", "B-SUB", "PULL",
               "PUSH", "B-SUB", "PULL");
 
-  for (double ttl_min : ttl_minutes) {
-    const util::Time ttl = util::from_minutes(ttl_min);
-    const workload::Workload w = scenario.make_workload(ttl);
-    const ProtocolRun push = run_push(scenario, w);
-    const ProtocolRun bsub = run_bsub(scenario, w, bsub_config_for(scenario, ttl));
-    const ProtocolRun pull = run_pull(scenario, w);
+  std::vector<std::string> points;
+  for (const Row& r : rows) {
     std::printf(
         "%8.0f | %7.3f %8.3f %7.3f | %9.1f %9.1f %9.1f | %8.2f %8.2f %7.2f\n",
-        ttl_min, push.results.delivery_ratio, bsub.results.delivery_ratio,
-        pull.results.delivery_ratio, push.results.mean_delay_minutes,
-        bsub.results.mean_delay_minutes, pull.results.mean_delay_minutes,
-        push.results.forwardings_per_delivery,
-        bsub.results.forwardings_per_delivery,
-        pull.results.forwardings_per_delivery);
+        r.ttl_min, r.push.results.delivery_ratio,
+        r.bsub.results.delivery_ratio, r.pull.results.delivery_ratio,
+        r.push.results.mean_delay_minutes, r.bsub.results.mean_delay_minutes,
+        r.pull.results.mean_delay_minutes,
+        r.push.results.forwardings_per_delivery,
+        r.bsub.results.forwardings_per_delivery,
+        r.pull.results.forwardings_per_delivery);
+    points.push_back(
+        JsonObject()
+            .field("ttl_min", r.ttl_min)
+            .field("push_delivery", r.push.results.delivery_ratio)
+            .field("bsub_delivery", r.bsub.results.delivery_ratio)
+            .field("pull_delivery", r.pull.results.delivery_ratio)
+            .field("push_delay_min", r.push.results.mean_delay_minutes)
+            .field("bsub_delay_min", r.bsub.results.mean_delay_minutes)
+            .field("pull_delay_min", r.pull.results.mean_delay_minutes)
+            .field("push_fwd", r.push.results.forwardings_per_delivery)
+            .field("bsub_fwd", r.bsub.results.forwardings_per_delivery)
+            .field("pull_fwd", r.pull.results.forwardings_per_delivery)
+            .str());
   }
   std::printf(
       "\nExpected shape (paper %s): delivery PUSH >= B-SUB > PULL with B-SUB"
       " close to PUSH;\ndelay PUSH <= B-SUB << PULL; forwardings PUSH >> "
       "B-SUB > PULL (~1).\n",
       figure);
+  write_bench_json(bench_name, timer.seconds(), points);
 }
 
 }  // namespace bsub::bench

@@ -14,16 +14,22 @@ BloomFilter::BloomFilter(BloomParams params)
 }
 
 void BloomFilter::insert(std::string_view key) {
-  util::HashPair hp = util::hash_pair(key);
-  for (std::uint32_t i = 0; i < params_.k; ++i) {
-    set_bit(util::km_index(hp, i, params_.m));
+  insert(util::hash_pair(key));
+}
+
+void BloomFilter::insert(const util::HashPair& hp) {
+  for (std::size_t i : util::bloom_indices(hp, params_.k, params_.m)) {
+    set_bit(i);
   }
 }
 
 bool BloomFilter::contains(std::string_view key) const {
-  util::HashPair hp = util::hash_pair(key);
-  for (std::uint32_t i = 0; i < params_.k; ++i) {
-    if (!test_bit(util::km_index(hp, i, params_.m))) return false;
+  return contains(util::hash_pair(key));
+}
+
+bool BloomFilter::contains(const util::HashPair& hp) const {
+  for (std::size_t i : util::bloom_indices(hp, params_.k, params_.m)) {
+    if (!test_bit(i)) return false;
   }
   return true;
 }

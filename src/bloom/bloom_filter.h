@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bloom/bloom_params.h"
+#include "util/hash.h"
 
 namespace bsub::bloom {
 
@@ -21,12 +22,15 @@ class BloomFilter {
   const BloomParams& params() const { return params_; }
   std::size_t bit_count() const { return params_.m; }
 
-  /// Inserts a key by setting its k hashed bits.
+  /// Inserts a key by setting its k hashed bits. The HashPair overload
+  /// skips re-hashing for interned keys (workload::KeySet::hash).
   void insert(std::string_view key);
+  void insert(const util::HashPair& hp);
 
   /// True if all of the key's hashed bits are set. False positives possible;
   /// false negatives are not.
   bool contains(std::string_view key) const;
+  bool contains(const util::HashPair& hp) const;
 
   /// Bitwise-OR merge. Requires identical parameters.
   void merge(const BloomFilter& other);

@@ -14,18 +14,16 @@ CountingBloomFilter::CountingBloomFilter(BloomParams params)
 }
 
 void CountingBloomFilter::insert(std::string_view key) {
-  util::HashPair hp = util::hash_pair(key);
-  for (std::uint32_t i = 0; i < params_.k; ++i) {
-    auto& c = counters_[util::km_index(hp, i, params_.m)];
+  for (std::size_t i : util::bloom_indices(key, params_.k, params_.m)) {
+    auto& c = counters_[i];
     if (c < std::numeric_limits<std::uint32_t>::max()) ++c;
   }
 }
 
 bool CountingBloomFilter::remove(std::string_view key) {
   if (!contains(key)) return false;
-  util::HashPair hp = util::hash_pair(key);
-  for (std::uint32_t i = 0; i < params_.k; ++i) {
-    auto& c = counters_[util::km_index(hp, i, params_.m)];
+  for (std::size_t i : util::bloom_indices(key, params_.k, params_.m)) {
+    auto& c = counters_[i];
     // With double hashing two probes of the same key can collide on one
     // slot; contains() only guarantees positivity, so guard each decrement.
     if (c > 0) --c;
@@ -34,9 +32,8 @@ bool CountingBloomFilter::remove(std::string_view key) {
 }
 
 bool CountingBloomFilter::contains(std::string_view key) const {
-  util::HashPair hp = util::hash_pair(key);
-  for (std::uint32_t i = 0; i < params_.k; ++i) {
-    if (counters_[util::km_index(hp, i, params_.m)] == 0) return false;
+  for (std::size_t i : util::bloom_indices(key, params_.k, params_.m)) {
+    if (counters_[i] == 0) return false;
   }
   return true;
 }

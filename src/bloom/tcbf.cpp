@@ -1,30 +1,60 @@
 #include "bloom/tcbf.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
-#include "util/hash.h"
-
 namespace bsub::bloom {
+
+namespace {
+
+/// Decay accumulates into a single double; fold it back into the array long
+/// before the base could cost precision against counters <= saturation.
+constexpr double kDecayBaseLimit = 1e9;
+
+}  // namespace
 
 Tcbf::Tcbf(BloomParams params, double initial_counter)
     : params_(params), initial_counter_(initial_counter),
-      counters_(params.m, 0.0) {
+      raw_(params.m, 0.0), occupied_((params.m + 63) / 64, 0) {
   assert(params.m > 0 && params.k > 0);
   assert(initial_counter > 0.0);
 }
 
-void Tcbf::insert(std::string_view key) {
+void Tcbf::normalize() {
+  if (decay_base_ == 0.0 && occupied_bits_ == 0) return;
+  for (std::size_t w = 0; w < occupied_.size(); ++w) {
+    std::uint64_t bits = occupied_[w];
+    while (bits != 0) {
+      const std::size_t i =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const double v = effective(i);
+      raw_[i] = v;
+      if (v <= 0.0) {
+        occupied_[w] &= ~(1ULL << (i & 63));
+        --occupied_bits_;
+      }
+    }
+  }
+  decay_base_ = 0.0;
+}
+
+void Tcbf::insert(std::string_view key) { insert(util::hash_pair(key)); }
+
+void Tcbf::insert(const util::HashPair& hp) {
   if (merged_) {
     throw std::logic_error(
         "Tcbf::insert: cannot insert into a merged filter; insert into a "
         "fresh TCBF and merge it in");
   }
-  util::HashPair hp = util::hash_pair(key);
   for (std::uint32_t i = 0; i < params_.k; ++i) {
-    double& c = counters_[util::km_index(hp, i, params_.m)];
-    if (c == 0.0) c = initial_counter_;
+    const std::size_t idx = util::km_index(hp, i, params_.m);
+    if (effective(idx) <= 0.0) {
+      raw_[idx] = initial_counter_ + decay_base_;
+      mark_occupied(idx);
+    }
   }
 }
 
@@ -32,9 +62,18 @@ void Tcbf::a_merge(const Tcbf& other) {
   if (params_ != other.params_) {
     throw std::invalid_argument("Tcbf::a_merge: parameter mismatch");
   }
-  for (std::size_t i = 0; i < counters_.size(); ++i) {
-    counters_[i] = std::min(counters_[i] + other.counters_[i],
-                            kCounterSaturation);
+  normalize();
+  for (std::size_t w = 0; w < other.occupied_.size(); ++w) {
+    std::uint64_t bits = other.occupied_[w];
+    while (bits != 0) {
+      const std::size_t i =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const double add = other.effective(i);
+      if (add <= 0.0) continue;
+      raw_[i] = std::min(raw_[i] + add, kCounterSaturation);
+      mark_occupied(i);
+    }
   }
   merged_ = true;
 }
@@ -43,8 +82,20 @@ void Tcbf::m_merge(const Tcbf& other) {
   if (params_ != other.params_) {
     throw std::invalid_argument("Tcbf::m_merge: parameter mismatch");
   }
-  for (std::size_t i = 0; i < counters_.size(); ++i) {
-    counters_[i] = std::max(counters_[i], other.counters_[i]);
+  normalize();
+  for (std::size_t w = 0; w < other.occupied_.size(); ++w) {
+    std::uint64_t bits = other.occupied_[w];
+    while (bits != 0) {
+      const std::size_t i =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const double v = other.effective(i);
+      if (v <= 0.0) continue;
+      if (v > raw_[i]) {
+        raw_[i] = v;
+        mark_occupied(i);
+      }
+    }
   }
   merged_ = true;
 }
@@ -52,25 +103,31 @@ void Tcbf::m_merge(const Tcbf& other) {
 void Tcbf::decay(double amount) {
   assert(amount >= 0.0);
   if (amount == 0.0) return;
-  for (double& c : counters_) {
-    if (c > 0.0) c = std::max(0.0, c - amount);
-  }
+  if (occupied_bits_ == 0) return;  // nothing to drain; keep the base at 0
+  decay_base_ += amount;
+  if (decay_base_ > kDecayBaseLimit) normalize();
 }
 
 bool Tcbf::contains(std::string_view key) const {
-  util::HashPair hp = util::hash_pair(key);
+  return contains(util::hash_pair(key));
+}
+
+bool Tcbf::contains(const util::HashPair& hp) const {
   for (std::uint32_t i = 0; i < params_.k; ++i) {
-    if (counters_[util::km_index(hp, i, params_.m)] <= 0.0) return false;
+    if (effective(util::km_index(hp, i, params_.m)) <= 0.0) return false;
   }
   return true;
 }
 
 std::optional<double> Tcbf::min_counter(std::string_view key) const {
-  util::HashPair hp = util::hash_pair(key);
+  return min_counter(util::hash_pair(key));
+}
+
+std::optional<double> Tcbf::min_counter(const util::HashPair& hp) const {
   double min_c = 0.0;
   bool first = true;
   for (std::uint32_t i = 0; i < params_.k; ++i) {
-    double c = counters_[util::km_index(hp, i, params_.m)];
+    const double c = effective(util::km_index(hp, i, params_.m));
     if (c <= 0.0) return std::nullopt;
     min_c = first ? c : std::min(min_c, c);
     first = false;
@@ -80,12 +137,20 @@ std::optional<double> Tcbf::min_counter(std::string_view key) const {
 
 double Tcbf::counter(std::size_t i) const {
   assert(i < params_.m);
-  return counters_[i];
+  return effective(i);
 }
 
 std::size_t Tcbf::popcount() const {
   std::size_t n = 0;
-  for (double c : counters_) n += (c > 0.0);
+  for (std::size_t w = 0; w < occupied_.size(); ++w) {
+    std::uint64_t bits = occupied_[w];
+    while (bits != 0) {
+      const std::size_t i =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      n += (effective(i) > 0.0);
+    }
+  }
   return n;
 }
 
@@ -93,25 +158,60 @@ double Tcbf::fill_ratio() const {
   return static_cast<double>(popcount()) / static_cast<double>(params_.m);
 }
 
+bool Tcbf::empty() const {
+  return occupied_bits_ == 0 || popcount() == 0;
+}
+
 std::vector<std::size_t> Tcbf::set_bits() const {
   std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < counters_.size(); ++i) {
-    if (counters_[i] > 0.0) out.push_back(i);
+  out.reserve(occupied_bits_);
+  for (std::size_t w = 0; w < occupied_.size(); ++w) {
+    std::uint64_t bits = occupied_[w];
+    while (bits != 0) {
+      const std::size_t i =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      if (effective(i) > 0.0) out.push_back(i);
+    }
   }
   return out;
 }
 
 BloomFilter Tcbf::to_bloom_filter() const {
   BloomFilter bf(params_);
-  for (std::size_t i = 0; i < counters_.size(); ++i) {
-    if (counters_[i] > 0.0) bf.set_bit(i);
+  for (std::size_t w = 0; w < occupied_.size(); ++w) {
+    std::uint64_t bits = occupied_[w];
+    while (bits != 0) {
+      const std::size_t i =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      if (effective(i) > 0.0) bf.set_bit(i);
+    }
   }
   return bf;
 }
 
 void Tcbf::clear() {
-  std::fill(counters_.begin(), counters_.end(), 0.0);
+  std::fill(raw_.begin(), raw_.end(), 0.0);
+  std::fill(occupied_.begin(), occupied_.end(), 0);
+  occupied_bits_ = 0;
+  decay_base_ = 0.0;
   merged_ = false;
+}
+
+std::vector<double> Tcbf::counters() const {
+  std::vector<double> out(params_.m, 0.0);
+  for (std::size_t w = 0; w < occupied_.size(); ++w) {
+    std::uint64_t bits = occupied_[w];
+    while (bits != 0) {
+      const std::size_t i =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const double v = effective(i);
+      if (v > 0.0) out[i] = v;
+    }
+  }
+  return out;
 }
 
 Tcbf Tcbf::from_counters(BloomParams params, double initial_counter,
@@ -120,14 +220,21 @@ Tcbf Tcbf::from_counters(BloomParams params, double initial_counter,
     throw std::invalid_argument("Tcbf::from_counters: size mismatch");
   }
   Tcbf t(params, initial_counter);
-  t.counters_ = std::move(counters);
+  t.raw_ = std::move(counters);
+  for (std::size_t i = 0; i < t.raw_.size(); ++i) {
+    if (t.raw_[i] > 0.0) t.mark_occupied(i);
+  }
   t.merged_ = true;
   return t;
 }
 
 double preference(const Tcbf& b, const Tcbf& f, std::string_view key) {
-  double cb = b.min_counter(key).value_or(0.0);
-  std::optional<double> cf = f.min_counter(key);
+  return preference(b, f, util::hash_pair(key));
+}
+
+double preference(const Tcbf& b, const Tcbf& f, const util::HashPair& hp) {
+  double cb = b.min_counter(hp).value_or(0.0);
+  std::optional<double> cf = f.min_counter(hp);
   if (!cf.has_value()) return cb;  // key absent from f: preference is c_b
   return cb - *cf;
 }

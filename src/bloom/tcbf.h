@@ -26,14 +26,34 @@
 // Counters are doubles so that fractional decay rates (e.g. 0.138/min) work
 // exactly as the paper's experiments require; the wire codec quantizes them
 // to one byte (section VI-C).
+//
+// Performance representation (not part of the protocol semantics):
+//
+//   - Decay is O(1): instead of sweeping all m counters, decay accumulates
+//     into `decay_base_`. A stored value v represents the effective counter
+//     max(0, v - decay_base_); every write stores effective + decay_base_,
+//     so interleaved inserts/merges/decays observe exactly the dense
+//     semantics. The base is folded back into the array (`normalize`) on
+//     merges and when it grows past a precision guard.
+//   - A word-level occupancy bitmap (`occupied_`) marks 64-counter words
+//     that hold any stored value, so popcount / fill_ratio / set_bits /
+//     to_bloom_filter and merges iterate only occupied words instead of all
+//     m counters. Decay can silently drain a counter without clearing its
+//     occupancy bit; stale bits are skipped on iteration and pruned on the
+//     next normalize().
+//   - All query entry points have overloads taking a precomputed
+//     util::HashPair so hot paths never re-hash key strings (see
+//     workload::KeySet::hash for the interned table).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string_view>
 #include <vector>
 
 #include "bloom/bloom_filter.h"
 #include "bloom/bloom_params.h"
+#include "util/hash.h"
 
 namespace bsub::bloom {
 
@@ -61,6 +81,7 @@ class Tcbf {
   /// Throws std::logic_error otherwise — to add keys to a merged filter,
   /// insert them into a fresh TCBF and A/M-merge it in.
   void insert(std::string_view key);
+  void insert(const util::HashPair& hp);
 
   /// Additive merge: OR bit-vectors, sum counters.
   void a_merge(const Tcbf& other);
@@ -70,16 +91,19 @@ class Tcbf {
 
   /// Applies `amount` of decay: all positive counters are decremented by it
   /// and clamped at zero. `amount` = DF x elapsed-time in the caller's units.
+  /// O(1): the amount accumulates into the decay base.
   void decay(double amount);
 
   /// Existential query: true iff all of the key's hashed bits are set.
   bool contains(std::string_view key) const;
+  bool contains(const util::HashPair& hp) const;
 
   /// Minimum counter value over the key's hashed bits, or nullopt when the
   /// key is absent (some bit unset). This is the "c" of the preferential
   /// query and also what drives temporal deletion: the key lives until its
   /// minimum counter drains.
   std::optional<double> min_counter(std::string_view key) const;
+  std::optional<double> min_counter(const util::HashPair& hp) const;
 
   double counter(std::size_t i) const;
   bool test_bit(std::size_t i) const { return counter(i) > 0.0; }
@@ -87,7 +111,7 @@ class Tcbf {
   std::size_t popcount() const;
   double fill_ratio() const;
   std::vector<std::size_t> set_bits() const;
-  bool empty() const { return popcount() == 0; }
+  bool empty() const;
 
   /// True once the filter has participated in any merge (insert disabled).
   bool merged() const { return merged_; }
@@ -98,18 +122,44 @@ class Tcbf {
 
   void clear();
 
-  /// Raw counter array, for the codec and tests.
-  const std::vector<double>& counters() const { return counters_; }
+  /// Effective (decayed) counter array, materialized densely — for the
+  /// codec and tests, not for hot paths.
+  std::vector<double> counters() const;
 
   /// Rebuilds a TCBF from decoded state. Marks the filter as merged.
   static Tcbf from_counters(BloomParams params, double initial_counter,
                             std::vector<double> counters);
 
  private:
+  /// Effective value of slot i under the current decay base.
+  double effective(std::size_t i) const {
+    double v = raw_[i];
+    return v > decay_base_ ? v - decay_base_ : 0.0;
+  }
+
+  void mark_occupied(std::size_t i) {
+    std::uint64_t& word = occupied_[i >> 6];
+    const std::uint64_t bit = 1ULL << (i & 63);
+    occupied_bits_ += !(word & bit);
+    word |= bit;
+  }
+
+  /// Folds decay_base_ into raw_ and prunes stale occupancy bits. Exact:
+  /// effective values are unchanged (single subtraction per live slot).
+  void normalize();
+
   BloomParams params_;
   double initial_counter_;
   bool merged_ = false;
-  std::vector<double> counters_;
+  double decay_base_ = 0.0;
+  /// Stored counters: raw_[i] = effective + decay_base_ at write time;
+  /// 0 means the slot was never set (or was cleared by a normalize).
+  std::vector<double> raw_;
+  /// Word-level occupancy: bit i set => raw_[i] > 0 (superset of the live
+  /// bits; decay can leave stale entries until the next normalize).
+  std::vector<std::uint64_t> occupied_;
+  /// Number of set occupancy bits (upper bound on popcount()).
+  std::size_t occupied_bits_ = 0;
 };
 
 /// Preferential query (paper section IV-A): the preference of filter `b`
@@ -122,5 +172,6 @@ class Tcbf {
 /// the key is absent from x. A broker forwards the messages with the largest
 /// positive preference first.
 double preference(const Tcbf& b, const Tcbf& f, std::string_view key);
+double preference(const Tcbf& b, const Tcbf& f, const util::HashPair& hp);
 
 }  // namespace bsub::bloom

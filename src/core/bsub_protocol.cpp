@@ -17,6 +17,10 @@ const std::string& BsubProtocol::key_name(workload::KeyId key) const {
   return workload_->keys().name(key);
 }
 
+const util::HashPair& BsubProtocol::key_hash(workload::KeyId key) const {
+  return workload_->keys().hash(key);
+}
+
 double BsubProtocol::measured_relay_fpr() const {
   return fpr_probes_ == 0 ? 0.0
                           : static_cast<double>(fpr_hits_) /
@@ -40,6 +44,14 @@ void BsubProtocol::on_start(const trace::ContactTrace& trace,
   carried_.assign(trace.node_count(), {});
   falsely_injected_.assign(trace.node_count(), {});
   carried_ever_.assign(trace.node_count(), {});
+  interest_names_.assign(trace.node_count(), {});
+  interest_hashes_.assign(trace.node_count(), {});
+  for (std::size_t n = 0; n < trace.node_count(); ++n) {
+    for (workload::KeyId k : workload.interests_of(n)) {
+      interest_names_[n].push_back(key_name(k));
+      interest_hashes_[n].push_back(key_hash(k));
+    }
+  }
   false_injections_ = 0;
   traffic_ = {};
   fpr_probes_ = 0;
@@ -161,7 +173,7 @@ void BsubProtocol::forward_between_brokers(trace::NodeId from,
     if (msg.producer == to) continue;
     if (carried_[to].contains(id) || carried_ever_[to].contains(id)) continue;
     const double pref =
-        bloom::preference(filter_to, filter_from, key_name(msg.key));
+        bloom::preference(filter_to, filter_from, key_hash(msg.key));
     if (pref > 0.0) ranked.push_back({pref, id});
   }
   std::sort(ranked.begin(), ranked.end(), [](const Candidate& x,
@@ -189,7 +201,8 @@ void BsubProtocol::direct_delivery(trace::NodeId from, trace::NodeId to,
                                    util::Time now, sim::Link& link) {
   // The consumer side reports a counter-less BF of its interests.
   const bloom::BloomFilter report =
-      interests_->make_report(interest_names(to));
+      interests_->make_report(std::span<const util::HashPair>(
+          interest_hashes(to)));
   const auto enc = bloom::encode_bloom(report);
   if (!link.try_send(enc.size())) return;
   collector_->record_control_bytes(enc.size());
@@ -200,7 +213,7 @@ void BsubProtocol::direct_delivery(trace::NodeId from, trace::NodeId to,
                          bool& accepted) -> bool {
     accepted = false;
     if (msg.producer == to) return true;
-    if (!report.contains(key_name(msg.key))) return true;
+    if (!report.contains(key_hash(msg.key))) return true;
     if (collector_->delivered(msg.id, to)) return true;
     if (!link.try_send(msg.size_bytes)) return false;
     collector_->record_forwarding(msg);
@@ -227,27 +240,19 @@ void BsubProtocol::direct_delivery(trace::NodeId from, trace::NodeId to,
     relay = &interests_->relay(from, now);
   }
   for (const auto& [id, msg] : carried_[from]) {
-    if (relay != nullptr && !relay->contains(key_name(msg.key))) continue;
+    if (relay != nullptr && !relay->contains(key_hash(msg.key))) continue;
     if (!try_deliver(msg, falsely_injected_[from].contains(id), accepted)) {
       return;
     }
   }
 }
 
-std::vector<std::string_view> BsubProtocol::interest_names(
-    trace::NodeId node) const {
-  std::vector<std::string_view> names;
-  for (workload::KeyId k : workload_->interests_of(node)) {
-    names.push_back(key_name(k));
-  }
-  return names;
-}
-
 void BsubProtocol::propagate_interest(trace::NodeId consumer,
                                       trace::NodeId broker, util::Time now,
                                       sim::Link& link) {
-  const std::vector<std::string_view> keys = interest_names(consumer);
-  const bloom::Tcbf genuine = interests_->make_genuine(keys);
+  const std::vector<std::string_view>& keys = interest_names(consumer);
+  const bloom::Tcbf genuine = interests_->make_genuine(
+      std::span<const util::HashPair>(interest_hashes(consumer)));
   // Fresh genuine filters have identical counters: uniform encoding.
   const auto enc = bloom::encode_tcbf(genuine,
                                       bloom::CounterEncoding::kUniform);
@@ -285,7 +290,8 @@ void BsubProtocol::broker_pickup(trace::NodeId producer, trace::NodeId broker,
     const workload::Message& msg = owned.msg;
     const std::string& key = key_name(msg.key);
     if (owned.copies_left == 0 || carried_[broker].contains(msg.id) ||
-        carried_ever_[broker].contains(msg.id) || !relay_bf.contains(key)) {
+        carried_ever_[broker].contains(msg.id) ||
+        !relay_bf.contains(key_hash(msg.key))) {
       ++it;
       continue;
     }

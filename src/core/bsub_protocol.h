@@ -82,7 +82,17 @@ class BsubProtocol final : public sim::Protocol {
   };
 
   const std::string& key_name(workload::KeyId key) const;
-  std::vector<std::string_view> interest_names(trace::NodeId node) const;
+  const util::HashPair& key_hash(workload::KeyId key) const;
+  /// Per-node interest key names/hashes, cached at on_start (the workload's
+  /// subscriptions are static for a run) so contacts allocate nothing.
+  const std::vector<std::string_view>& interest_names(
+      trace::NodeId node) const {
+    return interest_names_[node];
+  }
+  const std::vector<util::HashPair>& interest_hashes(
+      trace::NodeId node) const {
+    return interest_hashes_[node];
+  }
 
   void purge(trace::NodeId node, util::Time now);
   void handle_role_changes(trace::NodeId node, bool was_broker,
@@ -117,6 +127,10 @@ class BsubProtocol final : public sim::Protocol {
   /// Loop prevention: ids a broker has ever held — it refuses them again,
   /// so a copy's broker-to-broker walk visits each broker at most once.
   std::vector<std::unordered_set<workload::MessageId>> carried_ever_;
+
+  /// Interest name/hash caches, indexed by node (built at on_start).
+  std::vector<std::vector<std::string_view>> interest_names_;
+  std::vector<std::vector<util::HashPair>> interest_hashes_;
 
   /// Cache for the adaptive-DF Eq. 4 evaluations, keyed by degree.
   std::unordered_map<std::size_t, double> emin_cache_;

@@ -47,6 +47,13 @@ bloom::Tcbf InterestManager::make_genuine(
   return g;
 }
 
+bloom::Tcbf InterestManager::make_genuine(
+    std::span<const util::HashPair> keys) const {
+  bloom::Tcbf g(params_, initial_counter_);
+  for (const util::HashPair& hp : keys) g.insert(hp);
+  return g;
+}
+
 bloom::BloomFilter InterestManager::make_report(std::string_view key) const {
   bloom::BloomFilter bf(params_);
   bf.insert(key);
@@ -60,13 +67,25 @@ bloom::BloomFilter InterestManager::make_report(
   return bf;
 }
 
+bloom::BloomFilter InterestManager::make_report(
+    std::span<const util::HashPair> keys) const {
+  bloom::BloomFilter bf(params_);
+  for (const util::HashPair& hp : keys) bf.insert(hp);
+  return bf;
+}
+
 void InterestManager::absorb_genuine(trace::NodeId broker,
                                      const bloom::Tcbf& genuine,
                                      std::string_view key, util::Time now) {
   relay(broker, now).a_merge(genuine);
   // A-merge adds the genuine counters (all = C) onto the key's bits; the
   // key's minimum counter therefore grows by exactly C.
-  relays_[broker].shadow[std::string(key)] += genuine.initial_counter();
+  ShadowMap& shadow = relays_[broker].shadow;
+  if (auto it = shadow.find(key); it != shadow.end()) {
+    it->second += genuine.initial_counter();
+  } else {
+    shadow.emplace(std::string(key), genuine.initial_counter());
+  }
 }
 
 void InterestManager::absorb_genuine(trace::NodeId broker,
@@ -74,8 +93,13 @@ void InterestManager::absorb_genuine(trace::NodeId broker,
                                      std::span<const std::string_view> keys,
                                      util::Time now) {
   relay(broker, now).a_merge(genuine);
+  ShadowMap& shadow = relays_[broker].shadow;
   for (std::string_view key : keys) {
-    relays_[broker].shadow[std::string(key)] += genuine.initial_counter();
+    if (auto it = shadow.find(key); it != shadow.end()) {
+      it->second += genuine.initial_counter();
+    } else {
+      shadow.emplace(std::string(key), genuine.initial_counter());
+    }
   }
 }
 
@@ -101,7 +125,7 @@ bool InterestManager::genuinely_contains(trace::NodeId node,
                                          std::string_view key,
                                          util::Time now) {
   relay(node, now);  // bring the shadow up to date
-  auto it = relays_[node].shadow.find(std::string(key));
+  auto it = relays_[node].shadow.find(key);  // transparent: no temp string
   return it != relays_[node].shadow.end() && it->second > 0.0;
 }
 

@@ -13,6 +13,7 @@
 // false-delivery metric (Fig. 9(d)).
 #pragma once
 
+#include <functional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -23,14 +24,25 @@
 #include "bloom/tcbf.h"
 #include "core/config.h"
 #include "trace/contact.h"
+#include "util/hash.h"
 #include "util/time.h"
 
 namespace bsub::core {
 
+/// Transparent string hashing so shadow lookups by string_view need no
+/// temporary std::string.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 class InterestManager {
  public:
   /// Ground-truth key -> remaining counter value.
-  using ShadowMap = std::unordered_map<std::string, double>;
+  using ShadowMap =
+      std::unordered_map<std::string, double, StringHash, std::equal_to<>>;
   InterestManager(std::size_t node_count, bloom::BloomParams params,
                   double initial_counter, double df_per_minute);
 
@@ -50,11 +62,17 @@ class InterestManager {
   /// multi-key extension).
   bloom::Tcbf make_genuine(std::span<const std::string_view> keys) const;
 
+  /// Interned-hash variant: no string hashing on the hot path.
+  bloom::Tcbf make_genuine(std::span<const util::HashPair> keys) const;
+
   /// Builds the counter-less interest report (a plain BF) for a key.
   bloom::BloomFilter make_report(std::string_view key) const;
 
   /// Counter-less report for a set of keys.
   bloom::BloomFilter make_report(std::span<const std::string_view> keys) const;
+
+  /// Interned-hash variant: no string hashing on the hot path.
+  bloom::BloomFilter make_report(std::span<const util::HashPair> keys) const;
 
   /// A-merges a consumer's genuine filter into a broker's relay filter
   /// (reinforcement happens through repeated meetings). `key` is the

@@ -12,13 +12,20 @@ BsubNode::BsubNode(NodeId id, NodeConfig config)
 
 void BsubNode::subscribe(std::string key) {
   interests_.insert(std::move(key));
+  interest_hashes_.clear();
+  interest_hashes_.reserve(interests_.size());
+  for (const std::string& k : interests_) {
+    interest_hashes_.push_back(util::hash_pair(k));
+  }
 }
 
 void BsubNode::publish(ContentMessage message, util::Time now) {
   message.producer = id_;
   if (message.created == 0) message.created = now;
-  produced_.emplace(message.id,
-                    OwnedMessage{std::move(message), config_.copy_limit, {}});
+  const util::HashPair hp = util::hash_pair(message.key);
+  produced_.emplace(
+      message.id,
+      OwnedMessage{std::move(message), hp, config_.copy_limit, {}});
 }
 
 bloom::Tcbf& BsubNode::relay_now(util::Time now) {
@@ -34,7 +41,7 @@ bloom::Tcbf& BsubNode::relay_now(util::Time now) {
 
 bloom::BloomFilter BsubNode::interest_report() const {
   bloom::BloomFilter bf(config_.filter_params);
-  for (const std::string& key : interests_) bf.insert(key);
+  for (const util::HashPair& hp : interest_hashes_) bf.insert(hp);
   return bf;
 }
 
@@ -78,8 +85,8 @@ std::vector<std::vector<std::uint8_t>> BsubNode::handle(
 void BsubNode::append_deliveries(
     const bloom::BloomFilter& report, util::Time now,
     std::vector<std::vector<std::uint8_t>>& out) {
-  auto offer = [&](const ContentMessage& msg) {
-    if (!report.contains(msg.key)) return;
+  auto offer = [&](const ContentMessage& msg, const util::HashPair& hp) {
+    if (!report.contains(hp)) return;
     DataFrame data;
     data.sender = id_;
     data.message = msg;
@@ -87,12 +94,12 @@ void BsubNode::append_deliveries(
     out.push_back(encode(data));
     ++deliveries_made_;
   };
-  for (const auto& [id, owned] : produced_) offer(owned.msg);
+  for (const auto& [id, owned] : produced_) offer(owned.msg, owned.key_hash);
   const bloom::Tcbf* gate =
       (config_.relay_gated_delivery && broker_) ? &relay_now(now) : nullptr;
-  for (const auto& [id, msg] : carried_) {
-    if (gate != nullptr && !gate->contains(msg.key)) continue;
-    offer(msg);
+  for (const auto& [id, carried] : carried_) {
+    if (gate != nullptr && !gate->contains(carried.key_hash)) continue;
+    offer(carried.msg, carried.key_hash);
   }
 }
 
@@ -106,7 +113,7 @@ void BsubNode::append_pickups(NodeId broker,
   std::uint32_t in_flight = 0;
   for (auto& [id, owned] : produced_) {
     if (owned.copies_left == 0 || owned.placed.contains(broker) ||
-        !relay_report.contains(owned.msg.key)) {
+        !relay_report.contains(owned.key_hash)) {
       continue;
     }
     ++pickups_sent_;
@@ -133,7 +140,9 @@ std::vector<std::vector<std::uint8_t>> BsubNode::on_hello(
       genuine.sender = id_;
       genuine.filter = bloom::Tcbf(config_.filter_params,
                                    config_.initial_counter);
-      for (const std::string& key : interests_) genuine.filter.insert(key);
+      for (const util::HashPair& hp : interest_hashes_) {
+        genuine.filter.insert(hp);
+      }
       out.push_back(encode(genuine));
     }
     // Pickup: replicate matching own messages to the broker.
@@ -162,12 +171,13 @@ std::vector<std::vector<std::uint8_t>> BsubNode::on_relay(
 
   // Preferential forwarding decisions on the pre-merge filters.
   std::vector<std::pair<double, std::uint64_t>> ranked;
-  for (const auto& [id, msg] : carried_) {
+  for (const auto& [id, carried] : carried_) {
     if (auto it = transfer_refused_.find(id);
         it != transfer_refused_.end() && it->second.contains(frame.sender)) {
       continue;  // the peer already told us it will not take this one
     }
-    const double pref = bloom::preference(frame.filter, mine, msg.key);
+    const double pref =
+        bloom::preference(frame.filter, mine, carried.key_hash);
     if (pref > 0.0) ranked.emplace_back(pref, id);
   }
   std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
@@ -176,7 +186,7 @@ std::vector<std::vector<std::uint8_t>> BsubNode::on_relay(
   for (const auto& [pref, id] : ranked) {
     DataFrame data;
     data.sender = id_;
-    data.message = carried_.at(id);
+    data.message = carried_.at(id).msg;
     data.custody = true;
     out.push_back(encode(data));
     // Two-phase custody: the copy leaves only when the peer acks.
@@ -196,7 +206,7 @@ std::vector<std::vector<std::uint8_t>> BsubNode::on_data(
   if (msg.expired_at(now)) return {};
   if (frame.custody) {
     if (broker_ && !carried_ever_.contains(msg.id) && msg.producer != id_) {
-      carried_.emplace(msg.id, msg);
+      carried_.emplace(msg.id, CarriedMessage{msg, util::hash_pair(msg.key)});
       carried_ever_.insert(msg.id);
       ++custody_accepted_;
       CustodyAckFrame ack;
@@ -250,8 +260,9 @@ void BsubNode::purge(util::Time now) {
   std::erase_if(produced_, [now](const auto& kv) {
     return kv.second.msg.expired_at(now);
   });
-  std::erase_if(carried_,
-                [now](const auto& kv) { return kv.second.expired_at(now); });
+  std::erase_if(carried_, [now](const auto& kv) {
+    return kv.second.msg.expired_at(now);
+  });
   std::erase_if(transfer_refused_, [this](const auto& kv) {
     return !carried_.contains(kv.first);
   });

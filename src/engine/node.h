@@ -32,6 +32,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "util/hash.h"
+
 #include "bloom/bloom_filter.h"
 #include "bloom/tcbf.h"
 #include "core/config.h"
@@ -100,10 +102,19 @@ class BsubNode {
  private:
   struct OwnedMessage {
     ContentMessage msg;
+    /// Interned Bloom hash of msg.key: filter matches on every contact
+    /// without re-hashing the string.
+    util::HashPair key_hash;
     std::uint32_t copies_left;
     /// Brokers that already hold a replica; a copy is never spent twice on
     /// the same peer (the producer remembers its placements).
     std::set<NodeId> placed;
+  };
+
+  /// A message held in custody, with its key hash interned at admission.
+  struct CarriedMessage {
+    ContentMessage msg;
+    util::HashPair key_hash;
   };
 
   bloom::Tcbf& relay_now(util::Time now);
@@ -126,8 +137,10 @@ class BsubNode {
   NodeConfig config_;
   bool broker_ = false;
   std::set<std::string> interests_;
+  /// Interned hashes of interests_, in set order (rebuilt on subscribe).
+  std::vector<util::HashPair> interest_hashes_;
   std::map<std::uint64_t, OwnedMessage> produced_;
-  std::map<std::uint64_t, ContentMessage> carried_;
+  std::map<std::uint64_t, CarriedMessage> carried_;
   /// Peers that permanently refused custody of a carried id (nacked).
   std::map<std::uint64_t, std::set<NodeId>> transfer_refused_;
   std::unordered_set<std::uint64_t> carried_ever_;

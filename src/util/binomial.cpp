@@ -5,11 +5,31 @@
 
 namespace bsub::util {
 
+namespace {
+
+// std::lgamma writes the process-global `signgam`, which races when sweep
+// points evaluate Eq. 5 concurrently. The arguments here are >= 1, where
+// gamma is positive, so the sign output of the reentrant form is discarded.
+#if defined(__GLIBC__) || defined(__APPLE__)
+extern "C" double lgamma_r(double, int*);  // hidden under -std=c++20
+#endif
+
+double lgamma_threadsafe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
   if (k > n) return -INFINITY;
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return lgamma_threadsafe(static_cast<double>(n) + 1.0) -
+         lgamma_threadsafe(static_cast<double>(k) + 1.0) -
+         lgamma_threadsafe(static_cast<double>(n - k) + 1.0);
 }
 
 double binomial_pmf(std::uint64_t x, std::uint64_t n, double p) {

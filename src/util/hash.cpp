@@ -1,5 +1,7 @@
 #include "util/hash.h"
 
+#include <cassert>
+
 namespace bsub::util {
 
 std::uint64_t fnv1a64(std::string_view data) {
@@ -29,11 +31,14 @@ HashPair hash_pair(std::string_view key) {
   return HashPair{mix64(base), mix64(base ^ 0x9E3779B97F4A7C15ULL)};
 }
 
-std::vector<std::size_t> bloom_indices(std::string_view key, std::uint32_t k,
-                                       std::size_t m) {
-  HashPair hp = hash_pair(key);
-  std::vector<std::size_t> out;
-  out.reserve(k);
+IndexArray bloom_indices(std::string_view key, std::uint32_t k,
+                         std::size_t m) {
+  return bloom_indices(hash_pair(key), k, m);
+}
+
+IndexArray bloom_indices(const HashPair& hp, std::uint32_t k, std::size_t m) {
+  assert(k <= kMaxHashes);
+  IndexArray out;
   for (std::uint32_t i = 0; i < k; ++i) out.push_back(km_index(hp, i, m));
   return out;
 }

@@ -6,9 +6,10 @@
 // asymptotic false-positive rate of k truly independent functions.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <string_view>
-#include <vector>
 
 namespace bsub::util {
 
@@ -41,9 +42,37 @@ inline std::size_t km_index(const HashPair& hp, std::uint32_t i,
                                   m);
 }
 
+/// Upper bound on k (the wire codec rejects anything above it too), which
+/// lets bit-position lists live in fixed-capacity stack storage.
+inline constexpr std::uint32_t kMaxHashes = 64;
+
+/// Fixed-capacity list of bit positions: the return type of bloom_indices.
+/// Replaces the former std::vector return so the per-call heap allocation on
+/// every insert/query disappears.
+class IndexArray {
+ public:
+  IndexArray() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::size_t* begin() const { return data_.data(); }
+  const std::size_t* end() const { return data_.data() + size_; }
+  std::size_t operator[](std::size_t i) const { return data_[i]; }
+  void push_back(std::size_t v) { data_[size_++] = v; }
+
+  friend bool operator==(const IndexArray& a, const IndexArray& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  std::array<std::size_t, kMaxHashes> data_{};
+  std::size_t size_ = 0;
+};
+
 /// All k bit positions for a key in a table of m slots. Positions may repeat
-/// (the paper's analysis also ignores such collisions).
-std::vector<std::size_t> bloom_indices(std::string_view key, std::uint32_t k,
-                                       std::size_t m);
+/// (the paper's analysis also ignores such collisions). Requires k <=
+/// kMaxHashes.
+IndexArray bloom_indices(std::string_view key, std::uint32_t k, std::size_t m);
+IndexArray bloom_indices(const HashPair& hp, std::uint32_t k, std::size_t m);
 
 }  // namespace bsub::util

@@ -1,0 +1,68 @@
+#include "util/parallel.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace bsub::util {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("BSUB_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = threads != 0 ? threads : default_thread_count();
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push(std::move(job));
+  }
+  cv_job_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_job_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ and drained
+      job = std::move(jobs_.front());
+      jobs_.pop();
+      ++active_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (jobs_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace bsub::util

@@ -1,0 +1,111 @@
+// A small fixed-size thread pool plus index-space parallel-for / map
+// helpers, used to run independent experiment sweep points concurrently.
+//
+// Determinism contract: the helpers only decide *when* each item runs, never
+// what it computes — every item must own its state (its own RNG seed,
+// simulator, collector). Results are returned in input order, so a parallel
+// run is byte-identical to a serial run of the same items.
+//
+// The BSUB_THREADS environment variable overrides the worker count
+// (BSUB_THREADS=1 forces serial execution in-thread, useful for debugging
+// and determinism checks).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace bsub::util {
+
+/// Worker count used when callers pass 0: $BSUB_THREADS if set and >= 1,
+/// otherwise std::thread::hardware_concurrency() (at least 1).
+std::size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = default_thread_count()).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a job. Jobs must not throw past their own frame; wrap user
+  /// code that can throw (parallel_for_index does).
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  std::queue<std::function<void()>> jobs_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Calls fn(i) for every i in [0, n) across `threads` workers (0 = default).
+/// Runs inline when one worker suffices. The first exception thrown by any
+/// fn(i) is rethrown after all work drains.
+template <class Fn>
+void parallel_for_index(std::size_t n, Fn&& fn, std::size_t threads = 0) {
+  if (n == 0) return;
+  std::size_t want = threads != 0 ? threads : default_thread_count();
+  if (want > n) want = n;
+  if (want <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr err;
+  {
+    ThreadPool pool(want);
+    for (std::size_t t = 0; t < want; ++t) {
+      pool.submit([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            fn(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (!err) err = std::current_exception();
+          }
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+/// Maps fn over items, returning results in input order regardless of the
+/// execution schedule. The result type must be default-constructible.
+template <class T, class Fn>
+auto parallel_map(const std::vector<T>& items, Fn&& fn,
+                  std::size_t threads = 0)
+    -> std::vector<decltype(fn(items[0]))> {
+  std::vector<decltype(fn(items[0]))> results(items.size());
+  parallel_for_index(
+      items.size(), [&](std::size_t i) { results[i] = fn(items[i]); },
+      threads);
+  return results;
+}
+
+}  // namespace bsub::util

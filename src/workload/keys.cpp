@@ -10,10 +10,12 @@ namespace bsub::workload {
 KeySet::KeySet(std::vector<KeyInfo> keys) : keys_(std::move(keys)) {
   if (keys_.empty()) throw std::invalid_argument("KeySet: empty key list");
   weights_.reserve(keys_.size());
+  hashes_.reserve(keys_.size());
   double total = 0.0;
   for (const KeyInfo& k : keys_) {
     if (k.weight < 0.0) throw std::invalid_argument("KeySet: negative weight");
     weights_.push_back(k.weight);
+    hashes_.push_back(util::hash_pair(k.name));
     total += k.weight;
   }
   if (total <= 0.0) throw std::invalid_argument("KeySet: zero total weight");

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace bsub::workload {
@@ -36,6 +37,10 @@ class KeySet {
   const std::string& name(KeyId id) const { return keys_[id].name; }
   double weight(KeyId id) const { return keys_[id].weight; }
 
+  /// Interned Bloom hash of the key name, precomputed once at construction
+  /// so protocol hot paths never re-hash key strings.
+  const util::HashPair& hash(KeyId id) const { return hashes_[id]; }
+
   /// Draws a key id proportionally to the weights.
   KeyId sample(util::Rng& rng) const;
 
@@ -50,7 +55,8 @@ class KeySet {
 
  private:
   std::vector<KeyInfo> keys_;
-  std::vector<double> weights_;  // cached for sampling
+  std::vector<double> weights_;        // cached for sampling
+  std::vector<util::HashPair> hashes_; // interned Bloom hashes
 };
 
 /// The 38-key Twitter-trend set described above. Keys are sorted by weight,

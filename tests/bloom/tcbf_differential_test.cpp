@@ -1,0 +1,278 @@
+// Randomized differential test: bloom::Tcbf (lazy decay base + occupancy
+// bitmap) against a dense eager reference that replicates the original
+// O(m)-per-op implementation verbatim. Thousands of interleaved
+// insert/decay/merge/query operations must observe identical state.
+//
+// Exactness note: the lazy representation folds a *sum* of decay amounts
+// into one subtraction, while the eager reference subtracts step by step.
+// To make EXPECT_EQ (not NEAR) valid, all decay amounts are multiples of
+// 0.25 and counters are dyadic rationals of modest magnitude, so every
+// intermediate value is exactly representable and (a - x) - y == a - (x + y)
+// holds bit-for-bit.
+#include "bloom/tcbf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_params.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace bsub::bloom {
+namespace {
+
+/// Verbatim port of the pre-optimization Tcbf: one dense counter array,
+/// every operation sweeps it eagerly.
+class DenseRefTcbf {
+ public:
+  DenseRefTcbf(BloomParams params, double initial_counter)
+      : params_(params),
+        initial_counter_(initial_counter),
+        counters_(params.m, 0.0) {}
+
+  void insert(std::string_view key) {
+    const util::HashPair hp = util::hash_pair(key);
+    for (std::uint32_t i = 0; i < params_.k; ++i) {
+      double& c = counters_[util::km_index(hp, i, params_.m)];
+      if (c == 0.0) c = initial_counter_;
+    }
+  }
+
+  void a_merge(const DenseRefTcbf& other) {
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      counters_[i] =
+          std::min(counters_[i] + other.counters_[i], kCounterSaturation);
+    }
+  }
+
+  void m_merge(const DenseRefTcbf& other) {
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      counters_[i] = std::max(counters_[i], other.counters_[i]);
+    }
+  }
+
+  void decay(double amount) {
+    if (amount == 0.0) return;
+    for (double& c : counters_) {
+      if (c > 0.0) c = std::max(0.0, c - amount);
+    }
+  }
+
+  bool contains(std::string_view key) const {
+    const util::HashPair hp = util::hash_pair(key);
+    for (std::uint32_t i = 0; i < params_.k; ++i) {
+      if (counters_[util::km_index(hp, i, params_.m)] <= 0.0) return false;
+    }
+    return true;
+  }
+
+  std::optional<double> min_counter(std::string_view key) const {
+    const util::HashPair hp = util::hash_pair(key);
+    double min_c = 0.0;
+    bool first = true;
+    for (std::uint32_t i = 0; i < params_.k; ++i) {
+      const double c = counters_[util::km_index(hp, i, params_.m)];
+      if (c <= 0.0) return std::nullopt;
+      min_c = first ? c : std::min(min_c, c);
+      first = false;
+    }
+    return min_c;
+  }
+
+  std::size_t popcount() const {
+    std::size_t n = 0;
+    for (double c : counters_) n += (c > 0.0);
+    return n;
+  }
+
+  std::vector<std::size_t> set_bits() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      if (counters_[i] > 0.0) out.push_back(i);
+    }
+    return out;
+  }
+
+  const std::vector<double>& counters() const { return counters_; }
+
+ private:
+  BloomParams params_;
+  double initial_counter_;
+  std::vector<double> counters_;
+};
+
+std::vector<std::string> key_pool(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back("dk" + std::to_string(i));
+  return keys;
+}
+
+/// Full-state equivalence: every counter, plus the derived views the
+/// protocol reads.
+void expect_same_state(const Tcbf& lazy, const DenseRefTcbf& dense,
+                       const std::vector<std::string>& keys) {
+  const std::vector<double> lc = lazy.counters();
+  ASSERT_EQ(lc.size(), dense.counters().size());
+  for (std::size_t i = 0; i < lc.size(); ++i) {
+    ASSERT_EQ(lc[i], dense.counters()[i]) << "counter " << i;
+    ASSERT_EQ(lazy.counter(i), dense.counters()[i]) << "counter() " << i;
+  }
+  EXPECT_EQ(lazy.popcount(), dense.popcount());
+  EXPECT_EQ(lazy.set_bits(), dense.set_bits());
+  EXPECT_EQ(lazy.empty(), dense.popcount() == 0);
+  for (const std::string& k : keys) {
+    const util::HashPair hp = util::hash_pair(k);
+    EXPECT_EQ(lazy.contains(k), dense.contains(k)) << k;
+    EXPECT_EQ(lazy.contains(hp), dense.contains(k)) << k << " (hashed)";
+    EXPECT_EQ(lazy.min_counter(k), dense.min_counter(k)) << k;
+    EXPECT_EQ(lazy.min_counter(hp), dense.min_counter(k)) << k << " (hashed)";
+  }
+}
+
+/// Dyadic decay amount: a multiple of 0.25 in (0, 15].
+double dyadic_amount(util::Rng& rng) {
+  return 0.25 * static_cast<double>(rng.next_int(1, 60));
+}
+
+TEST(TcbfDifferentialTest, InterleavedOpsOnMergedFilter) {
+  const BloomParams params{128, 3};
+  const double c0 = 50.0;
+  const auto keys = key_pool(64);
+  util::Rng rng(0xD1FFu);
+
+  Tcbf lazy(params, c0);
+  DenseRefTcbf dense(params, c0);
+
+  for (int op = 0; op < 4000; ++op) {
+    switch (rng.next_below(5)) {
+      case 0:
+      case 1: {  // merge in a fresh filter holding 1..4 keys
+        Tcbf lf(params, c0);
+        DenseRefTcbf df(params, c0);
+        const int nk = static_cast<int>(rng.next_int(1, 4));
+        for (int j = 0; j < nk; ++j) {
+          const std::string& k = keys[rng.next_below(keys.size())];
+          // Exercise both insert entry points on the lazy side.
+          if (rng.next_bool(0.5)) {
+            lf.insert(k);
+          } else {
+            lf.insert(util::hash_pair(k));
+          }
+          df.insert(k);
+        }
+        if (rng.next_bool(0.5)) {
+          lazy.a_merge(lf);
+          dense.a_merge(df);
+        } else {
+          lazy.m_merge(lf);
+          dense.m_merge(df);
+        }
+        break;
+      }
+      case 2: {  // decay, sometimes repeatedly (accumulates the lazy base)
+        const int reps = static_cast<int>(rng.next_int(1, 3));
+        for (int r = 0; r < reps; ++r) {
+          const double amount = dyadic_amount(rng);
+          lazy.decay(amount);
+          dense.decay(amount);
+        }
+        break;
+      }
+      case 3: {  // point queries
+        const std::string& k = keys[rng.next_below(keys.size())];
+        EXPECT_EQ(lazy.contains(k), dense.contains(k));
+        EXPECT_EQ(lazy.min_counter(k), dense.min_counter(k));
+        break;
+      }
+      case 4: {  // derived views
+        EXPECT_EQ(lazy.popcount(), dense.popcount());
+        EXPECT_EQ(lazy.to_bloom_filter().set_bits(), dense.set_bits());
+        break;
+      }
+    }
+    if (op % 250 == 0) expect_same_state(lazy, dense, keys);
+  }
+  expect_same_state(lazy, dense, keys);
+}
+
+TEST(TcbfDifferentialTest, InterleavedInsertDecayOnFreshFilter) {
+  // A never-merged filter keeps insert() available: decay can drain a
+  // counter to zero and a re-insert must revive it to C in both worlds.
+  const BloomParams params{64, 4};
+  const double c0 = 8.0;  // small C so decay genuinely drains counters
+  const auto keys = key_pool(24);
+  util::Rng rng(0xF12E5u);
+
+  Tcbf lazy(params, c0);
+  DenseRefTcbf dense(params, c0);
+
+  for (int op = 0; op < 3000; ++op) {
+    switch (rng.next_below(3)) {
+      case 0: {
+        const std::string& k = keys[rng.next_below(keys.size())];
+        lazy.insert(k);
+        dense.insert(k);
+        break;
+      }
+      case 1: {
+        const double amount = dyadic_amount(rng);
+        lazy.decay(amount);
+        dense.decay(amount);
+        break;
+      }
+      case 2: {
+        const std::string& k = keys[rng.next_below(keys.size())];
+        EXPECT_EQ(lazy.min_counter(k), dense.min_counter(k));
+        break;
+      }
+    }
+    if (op % 250 == 0) expect_same_state(lazy, dense, keys);
+  }
+  expect_same_state(lazy, dense, keys);
+}
+
+TEST(TcbfDifferentialTest, PreferenceMatchesReferenceArithmetic) {
+  const BloomParams params{128, 3};
+  const auto keys = key_pool(32);
+  util::Rng rng(77);
+
+  Tcbf lb(params, 50.0), lf(params, 50.0);
+  DenseRefTcbf db(params, 50.0), df(params, 50.0);
+  for (int round = 0; round < 40; ++round) {
+    Tcbf fresh_b(params, 50.0), fresh_f(params, 50.0);
+    DenseRefTcbf dfresh_b(params, 50.0), dfresh_f(params, 50.0);
+    for (int j = 0; j < 3; ++j) {
+      const std::string& kb = keys[rng.next_below(keys.size())];
+      const std::string& kf = keys[rng.next_below(keys.size())];
+      fresh_b.insert(kb);
+      dfresh_b.insert(kb);
+      fresh_f.insert(kf);
+      dfresh_f.insert(kf);
+    }
+    lb.a_merge(fresh_b);
+    db.a_merge(dfresh_b);
+    lf.m_merge(fresh_f);
+    df.m_merge(dfresh_f);
+    const double amount = dyadic_amount(rng);
+    lb.decay(amount);
+    db.decay(amount);
+    lf.decay(amount);
+    df.decay(amount);
+
+    for (const std::string& k : keys) {
+      const double ref_cb = db.min_counter(k).value_or(0.0);
+      const std::optional<double> ref_cf = df.min_counter(k);
+      const double expected = ref_cf.has_value() ? ref_cb - *ref_cf : ref_cb;
+      EXPECT_EQ(preference(lb, lf, k), expected) << k;
+      EXPECT_EQ(preference(lb, lf, util::hash_pair(k)), expected) << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsub::bloom

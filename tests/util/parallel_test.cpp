@@ -1,0 +1,120 @@
+// Tests for the thread pool and the parallel-for/map helpers that run
+// experiment sweep points concurrently.
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace bsub::util {
+namespace {
+
+TEST(DefaultThreadCountTest, RespectsBsubThreadsEnv) {
+  ::setenv("BSUB_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3u);
+  ::setenv("BSUB_THREADS", "1", 1);
+  EXPECT_EQ(default_thread_count(), 1u);
+  ::setenv("BSUB_THREADS", "garbage", 1);
+  EXPECT_GE(default_thread_count(), 1u);  // falls back to hardware count
+  ::setenv("BSUB_THREADS", "0", 1);
+  EXPECT_GE(default_thread_count(), 1u);
+  ::unsetenv("BSUB_THREADS");
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedJobs) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilDrained) {
+  std::atomic<int> done{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ParallelForIndexTest, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for_index(
+      kN, [&](std::size_t i) { visits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForIndexTest, RunsInlineWithOneThread) {
+  const auto self = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  parallel_for_index(
+      seen.size(), [&](std::size_t i) { seen[i] = std::this_thread::get_id(); },
+      1);
+  for (const auto& id : seen) EXPECT_EQ(id, self);
+}
+
+TEST(ParallelForIndexTest, HandlesZeroItems) {
+  parallel_for_index(0, [](std::size_t) { FAIL() << "must not be called"; },
+                     4);
+}
+
+TEST(ParallelForIndexTest, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for_index(
+          100,
+          [](std::size_t i) {
+            if (i == 37) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelMapTest, ReturnsResultsInInputOrder) {
+  std::vector<int> items(200);
+  std::iota(items.begin(), items.end(), 0);
+  const auto out = parallel_map(
+      items,
+      [](int v) {
+        if (v % 7 == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        return v * v;
+      },
+      4);
+  ASSERT_EQ(out.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(out[i], items[i] * items[i]);
+  }
+}
+
+TEST(ParallelMapTest, SerialAndParallelAgree) {
+  std::vector<double> items;
+  for (int i = 0; i < 64; ++i) items.push_back(0.25 * i);
+  auto fn = [](double v) { return v * v + 1.0; };
+  const auto serial = parallel_map(items, fn, 1);
+  const auto parallel = parallel_map(items, fn, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace bsub::util
