@@ -39,6 +39,7 @@ void BloomFilter::merge(const BloomFilter& other) {
     throw std::invalid_argument("BloomFilter::merge: parameter mismatch");
   }
   for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  touch();
 }
 
 bool BloomFilter::test_bit(std::size_t i) const {
@@ -49,6 +50,7 @@ bool BloomFilter::test_bit(std::size_t i) const {
 void BloomFilter::set_bit(std::size_t i) {
   assert(i < params_.m);
   words_[i / 64] |= 1ULL << (i % 64);
+  touch();
 }
 
 std::size_t BloomFilter::popcount() const {
@@ -63,6 +65,12 @@ double BloomFilter::fill_ratio() const {
 
 std::vector<std::size_t> BloomFilter::set_bits() const {
   std::vector<std::size_t> out;
+  set_bits_into(out);
+  return out;
+}
+
+void BloomFilter::set_bits_into(std::vector<std::size_t>& out) const {
+  out.clear();
   out.reserve(popcount());
   for (std::size_t w = 0; w < words_.size(); ++w) {
     std::uint64_t bits = words_[w];
@@ -72,11 +80,11 @@ std::vector<std::size_t> BloomFilter::set_bits() const {
       bits &= bits - 1;
     }
   }
-  return out;
 }
 
 void BloomFilter::clear() {
   for (auto& w : words_) w = 0;
+  touch();
 }
 
 }  // namespace bsub::bloom

@@ -1,10 +1,21 @@
 // Shared sizing parameters for the Bloom-filter family.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 namespace bsub::bloom {
+
+/// Process-wide monotonic mutation epoch for filters. Every mutating filter
+/// operation stamps its filter with a fresh value, so equal epochs imply
+/// identical filter contents (a copy shares its source's epoch until either
+/// mutates) — which is exactly what the wire-encoding caches key on. Never
+/// returns 0; caches use 0 as "empty".
+inline std::uint64_t next_filter_epoch() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 /// Bit-vector length and hash-function count for a filter.
 ///

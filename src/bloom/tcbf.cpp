@@ -56,6 +56,7 @@ void Tcbf::insert(const util::HashPair& hp) {
       mark_occupied(idx);
     }
   }
+  touch();
 }
 
 void Tcbf::a_merge(const Tcbf& other) {
@@ -76,6 +77,7 @@ void Tcbf::a_merge(const Tcbf& other) {
     }
   }
   merged_ = true;
+  touch();
 }
 
 void Tcbf::m_merge(const Tcbf& other) {
@@ -98,6 +100,7 @@ void Tcbf::m_merge(const Tcbf& other) {
     }
   }
   merged_ = true;
+  touch();
 }
 
 void Tcbf::decay(double amount) {
@@ -106,6 +109,7 @@ void Tcbf::decay(double amount) {
   if (occupied_bits_ == 0) return;  // nothing to drain; keep the base at 0
   decay_base_ += amount;
   if (decay_base_ > kDecayBaseLimit) normalize();
+  touch();
 }
 
 bool Tcbf::contains(std::string_view key) const {
@@ -164,6 +168,12 @@ bool Tcbf::empty() const {
 
 std::vector<std::size_t> Tcbf::set_bits() const {
   std::vector<std::size_t> out;
+  set_bits_into(out);
+  return out;
+}
+
+void Tcbf::set_bits_into(std::vector<std::size_t>& out) const {
+  out.clear();
   out.reserve(occupied_bits_);
   for (std::size_t w = 0; w < occupied_.size(); ++w) {
     std::uint64_t bits = occupied_[w];
@@ -174,7 +184,6 @@ std::vector<std::size_t> Tcbf::set_bits() const {
       if (effective(i) > 0.0) out.push_back(i);
     }
   }
-  return out;
 }
 
 BloomFilter Tcbf::to_bloom_filter() const {
@@ -197,6 +206,7 @@ void Tcbf::clear() {
   occupied_bits_ = 0;
   decay_base_ = 0.0;
   merged_ = false;
+  touch();
 }
 
 std::vector<double> Tcbf::counters() const {
@@ -225,6 +235,7 @@ Tcbf Tcbf::from_counters(BloomParams params, double initial_counter,
     if (t.raw_[i] > 0.0) t.mark_occupied(i);
   }
   t.merged_ = true;
+  t.touch();
   return t;
 }
 

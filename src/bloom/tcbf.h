@@ -74,6 +74,13 @@ class Tcbf {
   const BloomParams& params() const { return params_; }
   double initial_counter() const { return initial_counter_; }
 
+  /// Mutation epoch (see bloom::next_filter_epoch): advances on every call
+  /// that changes observable filter state — insert, merges, clear, and any
+  /// decay that actually drains counters. An unchanged epoch therefore means
+  /// unchanged contents, which is what cached wire encodings key on. Copies
+  /// keep their source's epoch (same contents, same encoding).
+  std::uint64_t epoch() const { return epoch_; }
+
   /// Inserts a key: counters of its hashed bits are set to the initial
   /// value; already-set counters are left unchanged.
   ///
@@ -98,6 +105,15 @@ class Tcbf {
   bool contains(std::string_view key) const;
   bool contains(const util::HashPair& hp) const;
 
+  /// Existential query over precomputed bit positions (util::bloom_indices
+  /// of the key for this filter's params). Bit-identical to contains().
+  bool contains_at(const util::IndexArray& indices) const {
+    for (std::size_t i : indices) {
+      if (effective(i) <= 0.0) return false;
+    }
+    return true;
+  }
+
   /// Minimum counter value over the key's hashed bits, or nullopt when the
   /// key is absent (some bit unset). This is the "c" of the preferential
   /// query and also what drives temporal deletion: the key lives until its
@@ -111,6 +127,9 @@ class Tcbf {
   std::size_t popcount() const;
   double fill_ratio() const;
   std::vector<std::size_t> set_bits() const;
+  /// Scratch-friendly variant: fills `out` (cleared first) so hot encoders
+  /// can reuse one buffer instead of allocating per call.
+  void set_bits_into(std::vector<std::size_t>& out) const;
   bool empty() const;
 
   /// True once the filter has participated in any merge (insert disabled).
@@ -148,6 +167,8 @@ class Tcbf {
   /// effective values are unchanged (single subtraction per live slot).
   void normalize();
 
+  void touch() { epoch_ = next_filter_epoch(); }
+
   BloomParams params_;
   double initial_counter_;
   bool merged_ = false;
@@ -160,6 +181,7 @@ class Tcbf {
   std::vector<std::uint64_t> occupied_;
   /// Number of set occupancy bits (upper bound on popcount()).
   std::size_t occupied_bits_ = 0;
+  std::uint64_t epoch_ = next_filter_epoch();
 };
 
 /// Preferential query (paper section IV-A): the preference of filter `b`

@@ -35,7 +35,8 @@ void write_positions(util::ByteWriter& w, const std::vector<std::size_t>& bits,
     for (std::size_t b : bits) w.put_bits(b, width);
     w.flush_bits();
   } else {
-    std::vector<std::uint8_t> bitmap((m + 7) / 8, 0);
+    thread_local std::vector<std::uint8_t> bitmap;
+    bitmap.assign((m + 7) / 8, 0);
     for (std::size_t b : bits) bitmap[b / 8] |= std::uint8_t(1u << (b % 8));
     w.put_bytes(bitmap);
   }
@@ -73,17 +74,49 @@ std::uint8_t quantize(double counter, double scale) {
   return static_cast<std::uint8_t>(std::clamp(q, 1.0, 255.0));
 }
 
+std::size_t varint_len(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t position_bytes(std::size_t set_bits, std::size_t m,
+                           BitLayout layout) {
+  if (layout == BitLayout::kLocations) {
+    return (set_bits * util::bits_for(m) + 7) / 8;
+  }
+  return (m + 7) / 8;
+}
+
+// Thread-local scratch for set-bit extraction on the hot encode path; one
+// per thread is enough because encoders never nest.
+std::vector<std::size_t>& set_bits_scratch() {
+  thread_local std::vector<std::size_t> scratch;
+  return scratch;
+}
+
 }  // namespace
 
 // --- TCBF ------------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_tcbf(const Tcbf& filter,
                                       CounterEncoding encoding) {
-  const auto bits = filter.set_bits();
+  std::vector<std::uint8_t> out;
+  encode_tcbf_into(filter, encoding, out);
+  return out;
+}
+
+void encode_tcbf_into(const Tcbf& filter, CounterEncoding encoding,
+                      std::vector<std::uint8_t>& out) {
+  auto& bits = set_bits_scratch();
+  filter.set_bits_into(bits);
   const std::size_t m = filter.params().m;
   const BitLayout layout = choose_layout(bits.size(), m);
 
-  util::ByteWriter w;
+  util::ByteWriter w(std::move(out));
   w.put_u8(kMagicTcbf);
   w.put_u8(static_cast<std::uint8_t>(encoding));
   w.put_u8(static_cast<std::uint8_t>(layout));
@@ -114,7 +147,7 @@ std::vector<std::uint8_t> encode_tcbf(const Tcbf& filter,
       write_positions(w, bits, m, layout);
       break;
   }
-  return w.bytes();
+  out = std::move(w).take();
 }
 
 Tcbf decode_tcbf(std::span<const std::uint8_t> data) {
@@ -167,18 +200,55 @@ Tcbf decode_tcbf(std::span<const std::uint8_t> data) {
 // --- BF --------------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_bloom(const BloomFilter& filter) {
-  const auto bits = filter.set_bits();
+  std::vector<std::uint8_t> out;
+  encode_bloom_into(filter, out);
+  return out;
+}
+
+void encode_bloom_into(const BloomFilter& filter,
+                       std::vector<std::uint8_t>& out) {
+  auto& bits = set_bits_scratch();
+  filter.set_bits_into(bits);
   const std::size_t m = filter.params().m;
   const BitLayout layout = choose_layout(bits.size(), m);
 
-  util::ByteWriter w;
+  util::ByteWriter w(std::move(out));
   w.put_u8(kMagicBloom);
   w.put_u8(static_cast<std::uint8_t>(layout));
   w.put_varint(m);
   w.put_varint(filter.params().k);
   w.put_varint(bits.size());
   write_positions(w, bits, m, layout);
-  return w.bytes();
+  out = std::move(w).take();
+}
+
+// --- epoch-keyed encode caches ---------------------------------------------
+
+const std::vector<std::uint8_t>& encode_tcbf_cached(const Tcbf& filter,
+                                                    CounterEncoding encoding,
+                                                    EncodedFilterCache& cache) {
+  // Real epochs are never 0, so an empty cache (epoch 0) can't false-hit.
+  if (cache.epoch == filter.epoch() && cache.encoding == encoding) {
+    ++cache.hits;
+    return cache.bytes;
+  }
+  ++cache.misses;
+  encode_tcbf_into(filter, encoding, cache.bytes);
+  cache.epoch = filter.epoch();
+  cache.encoding = encoding;
+  return cache.bytes;
+}
+
+const std::vector<std::uint8_t>& encode_bloom_cached(const BloomFilter& filter,
+                                                     EncodedFilterCache& cache) {
+  if (cache.epoch == filter.epoch()) {
+    ++cache.hits;
+    return cache.bytes;
+  }
+  ++cache.misses;
+  encode_bloom_into(filter, cache.bytes);
+  cache.epoch = filter.epoch();
+  return cache.bytes;
 }
 
 BloomFilter decode_bloom(std::span<const std::uint8_t> data) {
@@ -199,6 +269,42 @@ BloomFilter decode_bloom(std::span<const std::uint8_t> data) {
     bf.set_bit(b);
   }
   return bf;
+}
+
+// --- exact wire sizes -------------------------------------------------------
+
+std::size_t encoded_tcbf_wire_size(const Tcbf& filter,
+                                   CounterEncoding encoding) {
+  const std::size_t s = filter.popcount();
+  const std::size_t m = filter.params().m;
+  const BitLayout layout = choose_layout(s, m);
+  // magic + encoding + layout + varint(m) + varint(k) + initial(double) +
+  // varint(s) + positions [+ scale(double) + counter bytes].
+  std::size_t n = 3 + varint_len(m) + varint_len(filter.params().k) + 8 +
+                  varint_len(s) + position_bytes(s, m, layout);
+  switch (encoding) {
+    case CounterEncoding::kFull:
+      n += 8 + s;
+      break;
+    case CounterEncoding::kUniform:
+      n += 8 + 1;
+      break;
+    case CounterEncoding::kCounterLess:
+      break;
+  }
+  return n;
+}
+
+std::size_t encoded_bloom_wire_size(std::size_t set_bits,
+                                    const BloomParams& params) {
+  const BitLayout layout = choose_layout(set_bits, params.m);
+  // magic + layout + varint(m) + varint(k) + varint(s) + positions.
+  return 2 + varint_len(params.m) + varint_len(params.k) +
+         varint_len(set_bits) + position_bytes(set_bits, params.m, layout);
+}
+
+std::size_t encoded_bloom_wire_size(const BloomFilter& filter) {
+  return encoded_bloom_wire_size(filter.popcount(), filter.params());
 }
 
 // --- analytical sizes -------------------------------------------------------

@@ -34,6 +34,12 @@ enum class CounterEncoding : std::uint8_t {
 std::vector<std::uint8_t> encode_tcbf(const Tcbf& filter,
                                       CounterEncoding encoding);
 
+/// Hot-path variant: encodes into `out` (cleared first, capacity reused) so
+/// steady-state encoding performs no heap allocation once buffers warm up.
+/// Set-bit extraction goes through a thread-local scratch vector.
+void encode_tcbf_into(const Tcbf& filter, CounterEncoding encoding,
+                      std::vector<std::uint8_t>& out);
+
 /// Decodes a TCBF previously produced by encode_tcbf. Counter values are
 /// recovered up to quantization error. Throws util::DecodeError on
 /// malformed input.
@@ -43,6 +49,45 @@ Tcbf decode_tcbf(std::span<const std::uint8_t> data);
 /// metadata at all).
 std::vector<std::uint8_t> encode_bloom(const BloomFilter& filter);
 BloomFilter decode_bloom(std::span<const std::uint8_t> data);
+
+/// Hot-path variant of encode_bloom; same contract as encode_tcbf_into.
+void encode_bloom_into(const BloomFilter& filter,
+                       std::vector<std::uint8_t>& out);
+
+/// Memoized wire encoding keyed on the filter's mutation epoch: the cached
+/// bytes stay valid exactly as long as the filter's epoch is unchanged
+/// (epochs are process-unique, so equal epochs imply identical contents).
+/// One cache caches one (filter stream, encoding) pair; hits return the
+/// cached buffer without touching the filter's bit array.
+struct EncodedFilterCache {
+  std::vector<std::uint8_t> bytes;
+  /// Epoch the bytes were encoded at; 0 = empty (real epochs are nonzero).
+  std::uint64_t epoch = 0;
+  CounterEncoding encoding = CounterEncoding::kFull;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// Returns the wire encoding of `filter`, re-encoding only when the filter's
+/// epoch (or the requested counter encoding) differs from the cache's.
+const std::vector<std::uint8_t>& encode_tcbf_cached(const Tcbf& filter,
+                                                    CounterEncoding encoding,
+                                                    EncodedFilterCache& cache);
+const std::vector<std::uint8_t>& encode_bloom_cached(const BloomFilter& filter,
+                                                     EncodedFilterCache& cache);
+
+/// Exact size in bytes of encode_tcbf(filter, encoding) — computed from the
+/// popcount and geometry alone, without materializing the encoding. The
+/// simulator's contact loop only ever charges encoded sizes against link
+/// budgets, so it uses these instead of encoding and measuring.
+std::size_t encoded_tcbf_wire_size(const Tcbf& filter,
+                                   CounterEncoding encoding);
+
+/// Exact size in bytes of encode_bloom for a filter with `set_bits` set bits
+/// and the given geometry (and the convenience overload measuring a filter).
+std::size_t encoded_bloom_wire_size(std::size_t set_bits,
+                                    const BloomParams& params);
+std::size_t encoded_bloom_wire_size(const BloomFilter& filter);
 
 /// Paper-model wire sizes in bytes (the analytical accounting of section
 /// VI-C, without header overhead), for comparing against raw-string

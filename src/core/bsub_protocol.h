@@ -27,6 +27,7 @@
 #include "core/broker_allocation.h"
 #include "core/config.h"
 #include "core/interest_manager.h"
+#include "sim/expiry_index.h"
 #include "sim/message_store.h"
 #include "sim/protocol.h"
 
@@ -44,6 +45,7 @@ class BsubProtocol final : public sim::Protocol {
                           util::Time now) override;
   void on_contact(trace::NodeId a, trace::NodeId b, util::Time now,
                   util::Time duration, sim::Link& link) override;
+  void on_end(util::Time now) override;
   const char* name() const override { return "B-SUB"; }
 
   const BsubConfig& config() const { return config_; }
@@ -77,8 +79,20 @@ class BsubProtocol final : public sim::Protocol {
 
  private:
   struct OwnedMessage {
-    workload::Message msg;
+    sim::MessageRef msg;  ///< borrowed from the workload's message table
     std::uint32_t copies_left;
+  };
+
+  /// Per-node wire artifacts that are static for a run (a node's interest
+  /// set never changes after on_start): the counter-less interest report,
+  /// the genuine filter, and their exact encoded sizes. Built on first use;
+  /// every later contact reuses them (an encode-cache hit).
+  struct NodeFilterCache {
+    bloom::BloomFilter report;
+    std::size_t report_bytes = 0;
+    bloom::Tcbf genuine;
+    std::size_t genuine_bytes = 0;
+    bool built = false;
   };
 
   const std::string& key_name(workload::KeyId key) const;
@@ -93,6 +107,15 @@ class BsubProtocol final : public sim::Protocol {
       trace::NodeId node) const {
     return interest_hashes_[node];
   }
+  /// Precomputed filter bit positions per key (fast path): the key universe
+  /// and the filter geometry are both fixed for a run, so every membership
+  /// probe in the contact loop reuses these instead of re-deriving k
+  /// positions from the hash pair.
+  const util::IndexArray& key_indices(workload::KeyId key) const {
+    return key_indices_[key];
+  }
+
+  const NodeFilterCache& node_filters(trace::NodeId node);
 
   void purge(trace::NodeId node, util::Time now);
   void handle_role_changes(trace::NodeId node, bool was_broker,
@@ -120,6 +143,10 @@ class BsubProtocol final : public sim::Protocol {
 
   /// Messages each node produced, with remaining broker-copy budget.
   std::vector<std::map<workload::MessageId, OwnedMessage>> produced_;
+  /// Expiry index over produced_ (fast path): purge pops only due entries
+  /// instead of scanning the whole buffer. Entries go stale when a message
+  /// leaves early (copy budget exhausted) and are skipped lazily.
+  std::vector<sim::ExpiryIndex> produced_expiry_;
   /// Messages each broker carries for others.
   std::vector<sim::MessageStore> carried_;
   /// Copies whose pickup was a relay false positive (per holder).
@@ -131,6 +158,16 @@ class BsubProtocol final : public sim::Protocol {
   /// Interest name/hash caches, indexed by node (built at on_start).
   std::vector<std::vector<std::string_view>> interest_names_;
   std::vector<std::vector<util::HashPair>> interest_hashes_;
+  /// Per-key filter bit positions, indexed by KeyId (built at on_start).
+  std::vector<util::IndexArray> key_indices_;
+
+  /// Per-node static wire artifacts (fast path; see NodeFilterCache).
+  std::vector<NodeFilterCache> filter_cache_;
+  /// Scratch for the broker-exchange double merge: holds a's pre-merge
+  /// relay state so both merges see pre-contact filters without copying
+  /// both sides. Members (not locals) so their capacity survives contacts.
+  bloom::Tcbf scratch_relay_;
+  InterestManager::ShadowMap scratch_shadow_;
 
   /// Cache for the adaptive-DF Eq. 4 evaluations, keyed by degree.
   std::unordered_map<std::size_t, double> emin_cache_;

@@ -55,6 +55,13 @@ struct BsubConfig {
   /// df_per_minute. The interest-removal horizon used is `df_window`.
   bool adaptive_df = false;
   util::Time df_window = 10 * util::kHour;
+
+  /// Runs the contact loop through the retained naive reference path: full
+  /// purge scans every contact, filters freshly encoded per exchange, deep
+  /// message copies on every buffer admission. Observable protocol behavior
+  /// (deliveries, delays, traffic bytes) is identical to the fast path —
+  /// the differential test asserts exactly that. Off in production.
+  bool reference_contact_path = false;
 };
 
 }  // namespace bsub::core

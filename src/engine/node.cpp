@@ -8,7 +8,10 @@ namespace bsub::engine {
 
 BsubNode::BsubNode(NodeId id, NodeConfig config)
     : id_(id), config_(config),
-      relay_(config.filter_params, config.initial_counter) {}
+      relay_(config.filter_params, config.initial_counter),
+      interest_report_(config.filter_params),
+      genuine_filter_(config.filter_params, config.initial_counter),
+      relay_report_(config.filter_params) {}
 
 void BsubNode::subscribe(std::string key) {
   interests_.insert(std::move(key));
@@ -17,11 +20,23 @@ void BsubNode::subscribe(std::string key) {
   for (const std::string& k : interests_) {
     interest_hashes_.push_back(util::hash_pair(k));
   }
+  // The interest report and genuine filter are pure functions of the
+  // subscription set: rebuild them here, once per subscribe, instead of per
+  // contact. The rebuilds advance their epochs, invalidating the hello and
+  // genuine frame caches automatically.
+  interest_report_ = bloom::BloomFilter(config_.filter_params);
+  genuine_filter_ = bloom::Tcbf(config_.filter_params,
+                                config_.initial_counter);
+  for (const util::HashPair& hp : interest_hashes_) {
+    interest_report_.insert(hp);
+    genuine_filter_.insert(hp);
+  }
 }
 
 void BsubNode::publish(ContentMessage message, util::Time now) {
   message.producer = id_;
   if (message.created == 0) message.created = now;
+  note_expiry(message.expiry());
   const util::HashPair hp = util::hash_pair(message.key);
   produced_.emplace(
       message.id,
@@ -39,21 +54,22 @@ bloom::Tcbf& BsubNode::relay_now(util::Time now) {
   return relay_;
 }
 
-bloom::BloomFilter BsubNode::interest_report() const {
-  bloom::BloomFilter bf(config_.filter_params);
-  for (const util::HashPair& hp : interest_hashes_) bf.insert(hp);
-  return bf;
+const bloom::BloomFilter& BsubNode::relay_report_now(util::Time now) {
+  const bloom::Tcbf& relay = relay_now(now);
+  if (relay_report_epoch_ != relay.epoch()) {
+    relay_report_ = relay.to_bloom_filter();
+    relay_report_epoch_ = relay.epoch();
+  }
+  return relay_report_;
 }
 
 std::vector<std::vector<std::uint8_t>> BsubNode::begin_contact(
     util::Time now) {
   purge(now);
-  HelloFrame hello;
-  hello.sender = id_;
-  hello.is_broker = broker_;
-  hello.interest_report = interest_report();
-  hello.relay_report = relay_now(now).to_bloom_filter();
-  return {encode(hello)};
+  // Cached hello: reused verbatim while the interest report, the relay
+  // projection, and the broker flag are all unchanged.
+  return {encode_hello_cached(id_, broker_, interest_report_,
+                              relay_report_now(now), hello_cache_)};
 }
 
 std::vector<std::vector<std::uint8_t>> BsubNode::handle(
@@ -134,25 +150,17 @@ std::vector<std::vector<std::uint8_t>> BsubNode::on_hello(
   append_deliveries(hello.interest_report, now, out);
 
   if (hello.is_broker) {
-    // Interest propagation: our genuine filter.
+    // Interest propagation: our genuine filter (rebuilt on subscribe, so
+    // the cached encoding is reused across contacts).
     if (!interests_.empty()) {
-      GenuineFrame genuine;
-      genuine.sender = id_;
-      genuine.filter = bloom::Tcbf(config_.filter_params,
-                                   config_.initial_counter);
-      for (const util::HashPair& hp : interest_hashes_) {
-        genuine.filter.insert(hp);
-      }
-      out.push_back(encode(genuine));
+      out.push_back(encode_genuine_cached(id_, genuine_filter_,
+                                          genuine_cache_));
     }
     // Pickup: replicate matching own messages to the broker.
     append_pickups(hello.sender, hello.relay_report, now, out);
     // Broker-broker: send our relay filter for the preferential exchange.
     if (broker_) {
-      RelayFrame relay;
-      relay.sender = id_;
-      relay.filter = relay_now(now);
-      out.push_back(encode(relay));
+      out.push_back(encode_relay_cached(id_, relay_now(now), relay_cache_));
     }
   }
   return out;
@@ -208,6 +216,7 @@ std::vector<std::vector<std::uint8_t>> BsubNode::on_data(
     if (broker_ && !carried_ever_.contains(msg.id) && msg.producer != id_) {
       carried_.emplace(msg.id, CarriedMessage{msg, util::hash_pair(msg.key)});
       carried_ever_.insert(msg.id);
+      note_expiry(msg.expiry());
       ++custody_accepted_;
       CustodyAckFrame ack;
       ack.sender = id_;
@@ -257,6 +266,14 @@ void BsubNode::on_custody_ack(const CustodyAckFrame& ack, util::Time now) {
 }
 
 void BsubNode::purge(util::Time now) {
+  // Watermark gate: nothing admitted can have expired before next_expiry_
+  // (early removals only make the bound conservative), so purge is O(1)
+  // until that instant.
+  if (now < next_expiry_) {
+    ++purges_skipped_;
+    return;
+  }
+  ++purges_run_;
   std::erase_if(produced_, [now](const auto& kv) {
     return kv.second.msg.expired_at(now);
   });
@@ -266,6 +283,14 @@ void BsubNode::purge(util::Time now) {
   std::erase_if(transfer_refused_, [this](const auto& kv) {
     return !carried_.contains(kv.first);
   });
+  // Re-derive the watermark from the survivors.
+  next_expiry_ = util::kTimeMax;
+  for (const auto& [id, owned] : produced_) {
+    next_expiry_ = std::min(next_expiry_, owned.msg.expiry());
+  }
+  for (const auto& [id, carried] : carried_) {
+    next_expiry_ = std::min(next_expiry_, carried.msg.expiry());
+  }
 }
 
 }  // namespace bsub::engine

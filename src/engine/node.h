@@ -24,6 +24,7 @@
 // transport.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -99,6 +100,19 @@ class BsubNode {
   std::uint64_t custody_refused() const { return custody_refused_; }
   std::uint64_t consumed_total() const { return consumed_.size(); }
 
+  /// Hot-path introspection: epoch-cached frame encodings reused / rebuilt
+  /// across the hello, genuine, and relay streams.
+  std::uint64_t frame_cache_hits() const {
+    return hello_cache_.hits + genuine_cache_.hits + relay_cache_.hits;
+  }
+  std::uint64_t frame_cache_misses() const {
+    return hello_cache_.misses + genuine_cache_.misses + relay_cache_.misses;
+  }
+  /// Purge calls skipped because the expiry watermark proved nothing could
+  /// have expired, vs. calls that actually scanned the buffers.
+  std::uint64_t purges_skipped() const { return purges_skipped_; }
+  std::uint64_t purges_run() const { return purges_run_; }
+
  private:
   struct OwnedMessage {
     ContentMessage msg;
@@ -118,7 +132,13 @@ class BsubNode {
   };
 
   bloom::Tcbf& relay_now(util::Time now);
-  bloom::BloomFilter interest_report() const;
+  /// Keeps the relay's counter-less BF projection in sync with the relay
+  /// filter's epoch; rebuilt only when the relay actually changed.
+  const bloom::BloomFilter& relay_report_now(util::Time now);
+  /// Registers an admitted message in the purge watermark.
+  void note_expiry(util::Time expiry) {
+    next_expiry_ = std::min(next_expiry_, expiry);
+  }
   std::vector<std::vector<std::uint8_t>> on_hello(const HelloFrame& hello,
                                                   util::Time now);
   std::vector<std::vector<std::uint8_t>> on_relay(const RelayFrame& frame,
@@ -152,6 +172,24 @@ class BsubNode {
   std::uint64_t pickups_sent_ = 0;
   std::uint64_t custody_accepted_ = 0;
   std::uint64_t custody_refused_ = 0;
+
+  /// Counter-less BF of interests_, rebuilt on subscribe (not per contact).
+  bloom::BloomFilter interest_report_;
+  /// Genuine TCBF of interests_, rebuilt on subscribe.
+  bloom::Tcbf genuine_filter_;
+  /// Counter-less projection of relay_, rebuilt only when relay_'s epoch
+  /// moved past relay_report_epoch_.
+  bloom::BloomFilter relay_report_;
+  std::uint64_t relay_report_epoch_ = 0;
+  /// Epoch-keyed encoded-frame caches (one per outgoing frame stream).
+  FrameCache hello_cache_;
+  FrameCache genuine_cache_;
+  FrameCache relay_cache_;
+  /// Earliest expiry over produced_/carried_ admissions (a lower bound:
+  /// early removals never raise it). purge() is O(1) before this instant.
+  util::Time next_expiry_ = util::kTimeMax;
+  std::uint64_t purges_skipped_ = 0;
+  std::uint64_t purges_run_ = 0;
 };
 
 }  // namespace bsub::engine

@@ -13,17 +13,46 @@ constexpr std::size_t kMaxBodyBytes = 1 << 20;
 constexpr std::size_t kMaxKeyBytes = 4096;
 
 /// Header: magic, type, payload length; trailer: FNV checksum of payload.
-std::vector<std::uint8_t> seal(FrameType type,
-                               const util::ByteWriter& payload) {
-  util::ByteWriter out;
-  out.put_u8(kFrameMagic);
-  out.put_u8(static_cast<std::uint8_t>(type));
-  out.put_varint(payload.size());
-  out.put_bytes(payload.bytes());
+/// Fills `out` (cleared, capacity reused).
+void seal_into(FrameType type, const util::ByteWriter& payload,
+               std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(std::move(out));
+  w.put_u8(kFrameMagic);
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_varint(payload.size());
+  w.put_bytes(payload.bytes());
   const std::string_view view(
       reinterpret_cast<const char*>(payload.bytes().data()), payload.size());
-  out.put_u32(static_cast<std::uint32_t>(util::fnv1a64(view)));
-  return out.bytes();
+  w.put_u32(static_cast<std::uint32_t>(util::fnv1a64(view)));
+  out = std::move(w).take();
+}
+
+/// Payload assembly scratch: one writer buffer per thread (frame encoders
+/// never nest, so a single buffer suffices).
+std::vector<std::uint8_t>& payload_scratch() {
+  thread_local std::vector<std::uint8_t> buf;
+  return buf;
+}
+
+/// Scratch for embedded filter blobs.
+std::vector<std::uint8_t>& blob_scratch() {
+  thread_local std::vector<std::uint8_t> buf;
+  return buf;
+}
+
+void put_bloom_blob(util::ByteWriter& w, const bloom::BloomFilter& bf) {
+  auto& blob = blob_scratch();
+  bloom::encode_bloom_into(bf, blob);
+  w.put_varint(blob.size());
+  w.put_bytes(blob);
+}
+
+void put_tcbf_blob(util::ByteWriter& w, const bloom::Tcbf& filter,
+                   bloom::CounterEncoding encoding) {
+  auto& blob = blob_scratch();
+  bloom::encode_tcbf_into(filter, encoding, blob);
+  w.put_varint(blob.size());
+  w.put_bytes(blob);
 }
 
 void put_message(util::ByteWriter& w, const ContentMessage& m) {
@@ -51,11 +80,6 @@ ContentMessage get_message(util::ByteReader& r) {
   return m;
 }
 
-void put_blob(util::ByteWriter& w, const std::vector<std::uint8_t>& blob) {
-  w.put_varint(blob.size());
-  w.put_bytes(blob);
-}
-
 std::vector<std::uint8_t> get_blob(util::ByteReader& r) {
   const std::uint64_t len = r.get_varint();
   if (len > kMaxBodyBytes) throw util::DecodeError("blob too long");
@@ -67,43 +91,133 @@ std::vector<std::uint8_t> get_blob(util::ByteReader& r) {
 }  // namespace
 
 std::vector<std::uint8_t> encode(const HelloFrame& frame) {
-  util::ByteWriter w;
-  w.put_u64(frame.sender);
-  w.put_u8(frame.is_broker ? 1 : 0);
-  put_blob(w, bloom::encode_bloom(frame.interest_report));
-  put_blob(w, bloom::encode_bloom(frame.relay_report));
-  return seal(FrameType::kHello, w);
+  std::vector<std::uint8_t> out;
+  encode_into(frame, out);
+  return out;
 }
 
 std::vector<std::uint8_t> encode(const GenuineFrame& frame) {
-  util::ByteWriter w;
-  w.put_u64(frame.sender);
-  put_blob(w, bloom::encode_tcbf(frame.filter,
-                                 bloom::CounterEncoding::kUniform));
-  return seal(FrameType::kGenuineFilter, w);
+  std::vector<std::uint8_t> out;
+  encode_into(frame, out);
+  return out;
 }
 
 std::vector<std::uint8_t> encode(const RelayFrame& frame) {
-  util::ByteWriter w;
-  w.put_u64(frame.sender);
-  put_blob(w, bloom::encode_tcbf(frame.filter, bloom::CounterEncoding::kFull));
-  return seal(FrameType::kRelayFilter, w);
+  std::vector<std::uint8_t> out;
+  encode_into(frame, out);
+  return out;
 }
 
 std::vector<std::uint8_t> encode(const DataFrame& frame) {
-  util::ByteWriter w;
-  w.put_u64(frame.sender);
-  put_message(w, frame.message);
-  w.put_u8(frame.custody ? 1 : 0);
-  return seal(FrameType::kData, w);
+  std::vector<std::uint8_t> out;
+  encode_into(frame, out);
+  return out;
 }
 
 std::vector<std::uint8_t> encode(const CustodyAckFrame& frame) {
-  util::ByteWriter w;
+  std::vector<std::uint8_t> out;
+  encode_into(frame, out);
+  return out;
+}
+
+void encode_into(const HelloFrame& frame, std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(std::move(payload_scratch()));
+  w.put_u64(frame.sender);
+  w.put_u8(frame.is_broker ? 1 : 0);
+  put_bloom_blob(w, frame.interest_report);
+  put_bloom_blob(w, frame.relay_report);
+  seal_into(FrameType::kHello, w, out);
+  payload_scratch() = std::move(w).take();
+}
+
+void encode_into(const GenuineFrame& frame, std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(std::move(payload_scratch()));
+  w.put_u64(frame.sender);
+  put_tcbf_blob(w, frame.filter, bloom::CounterEncoding::kUniform);
+  seal_into(FrameType::kGenuineFilter, w, out);
+  payload_scratch() = std::move(w).take();
+}
+
+void encode_into(const RelayFrame& frame, std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(std::move(payload_scratch()));
+  w.put_u64(frame.sender);
+  put_tcbf_blob(w, frame.filter, bloom::CounterEncoding::kFull);
+  seal_into(FrameType::kRelayFilter, w, out);
+  payload_scratch() = std::move(w).take();
+}
+
+void encode_into(const DataFrame& frame, std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(std::move(payload_scratch()));
+  w.put_u64(frame.sender);
+  put_message(w, frame.message);
+  w.put_u8(frame.custody ? 1 : 0);
+  seal_into(FrameType::kData, w, out);
+  payload_scratch() = std::move(w).take();
+}
+
+void encode_into(const CustodyAckFrame& frame, std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(std::move(payload_scratch()));
   w.put_u64(frame.sender);
   w.put_u64(frame.message_id);
   w.put_u8(frame.accepted ? 1 : 0);
-  return seal(FrameType::kCustodyAck, w);
+  seal_into(FrameType::kCustodyAck, w, out);
+  payload_scratch() = std::move(w).take();
+}
+
+const std::vector<std::uint8_t>& encode_hello_cached(
+    NodeId sender, bool is_broker, const bloom::BloomFilter& interest_report,
+    const bloom::BloomFilter& relay_report, FrameCache& cache) {
+  if (cache.epoch == interest_report.epoch() &&
+      cache.epoch2 == relay_report.epoch() && cache.broker == is_broker) {
+    ++cache.hits;
+    return cache.bytes;
+  }
+  ++cache.misses;
+  util::ByteWriter w(std::move(payload_scratch()));
+  w.put_u64(sender);
+  w.put_u8(is_broker ? 1 : 0);
+  put_bloom_blob(w, interest_report);
+  put_bloom_blob(w, relay_report);
+  seal_into(FrameType::kHello, w, cache.bytes);
+  payload_scratch() = std::move(w).take();
+  cache.epoch = interest_report.epoch();
+  cache.epoch2 = relay_report.epoch();
+  cache.broker = is_broker;
+  return cache.bytes;
+}
+
+const std::vector<std::uint8_t>& encode_genuine_cached(NodeId sender,
+                                                       const bloom::Tcbf& filter,
+                                                       FrameCache& cache) {
+  if (cache.epoch == filter.epoch()) {
+    ++cache.hits;
+    return cache.bytes;
+  }
+  ++cache.misses;
+  util::ByteWriter w(std::move(payload_scratch()));
+  w.put_u64(sender);
+  put_tcbf_blob(w, filter, bloom::CounterEncoding::kUniform);
+  seal_into(FrameType::kGenuineFilter, w, cache.bytes);
+  payload_scratch() = std::move(w).take();
+  cache.epoch = filter.epoch();
+  return cache.bytes;
+}
+
+const std::vector<std::uint8_t>& encode_relay_cached(NodeId sender,
+                                                     const bloom::Tcbf& filter,
+                                                     FrameCache& cache) {
+  if (cache.epoch == filter.epoch()) {
+    ++cache.hits;
+    return cache.bytes;
+  }
+  ++cache.misses;
+  util::ByteWriter w(std::move(payload_scratch()));
+  w.put_u64(sender);
+  put_tcbf_blob(w, filter, bloom::CounterEncoding::kFull);
+  seal_into(FrameType::kRelayFilter, w, cache.bytes);
+  payload_scratch() = std::move(w).take();
+  cache.epoch = filter.epoch();
+  return cache.bytes;
 }
 
 Frame decode(std::span<const std::uint8_t> bytes) {

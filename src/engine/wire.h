@@ -111,6 +111,44 @@ std::vector<std::uint8_t> encode(const RelayFrame& frame);
 std::vector<std::uint8_t> encode(const DataFrame& frame);
 std::vector<std::uint8_t> encode(const CustodyAckFrame& frame);
 
+/// Hot-path variants: encode into `out` (cleared, capacity reused); filter
+/// blobs and payload assembly go through thread-local scratch buffers, so
+/// re-encoding into a warmed buffer performs no heap allocation.
+void encode_into(const HelloFrame& frame, std::vector<std::uint8_t>& out);
+void encode_into(const GenuineFrame& frame, std::vector<std::uint8_t>& out);
+void encode_into(const RelayFrame& frame, std::vector<std::uint8_t>& out);
+void encode_into(const DataFrame& frame, std::vector<std::uint8_t>& out);
+void encode_into(const CustodyAckFrame& frame, std::vector<std::uint8_t>& out);
+
+/// Epoch-keyed cache of one node's encoded frame bytes for a single frame
+/// stream (hello, genuine, or relay). The sender id is not part of the key:
+/// a cache belongs to one node. Filters carry process-unique mutation
+/// epochs, so equal epochs imply identical contents and the cached bytes
+/// can be replayed verbatim.
+struct FrameCache {
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t epoch = 0;   ///< filter epoch (hello: interest report)
+  std::uint64_t epoch2 = 0;  ///< hello only: relay report epoch
+  bool broker = false;       ///< hello only: broker flag at encode time
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// Cached hello encoding, keyed on both reports' epochs + the broker flag.
+const std::vector<std::uint8_t>& encode_hello_cached(
+    NodeId sender, bool is_broker, const bloom::BloomFilter& interest_report,
+    const bloom::BloomFilter& relay_report, FrameCache& cache);
+
+/// Cached genuine-filter encoding, keyed on the filter's epoch.
+const std::vector<std::uint8_t>& encode_genuine_cached(NodeId sender,
+                                                       const bloom::Tcbf& filter,
+                                                       FrameCache& cache);
+
+/// Cached relay-filter encoding, keyed on the filter's epoch.
+const std::vector<std::uint8_t>& encode_relay_cached(NodeId sender,
+                                                     const bloom::Tcbf& filter,
+                                                     FrameCache& cache);
+
 /// Decodes any frame; throws util::DecodeError on malformed input.
 Frame decode(std::span<const std::uint8_t> bytes);
 

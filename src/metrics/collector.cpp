@@ -53,6 +53,7 @@ RunResults Collector::results() const {
     r.false_positive_rate = static_cast<double>(false_deliveries_) /
                             static_cast<double>(total_delivered);
   }
+  r.hot_path = hot_path_;
   return r;
 }
 

@@ -14,6 +14,28 @@
 
 namespace bsub::metrics {
 
+/// Hot-path instrumentation for the contact-loop fast path. These counters
+/// describe *how* a run executed (cache hits, skipped scans), never *what*
+/// it computed — fast and reference paths produce identical RunResults
+/// semantic fields while differing freely here.
+struct HotPathStats {
+  std::uint64_t purge_scans_skipped = 0;  ///< purges with no due expiry
+  std::uint64_t purge_scans_run = 0;      ///< purges that touched storage
+  std::uint64_t encode_cache_hits = 0;    ///< wire encodings reused by epoch
+  std::uint64_t encode_cache_misses = 0;  ///< wire encodings recomputed
+  std::uint64_t payload_copies_avoided = 0;  ///< buffered via shared payload
+  std::uint64_t payload_copies_made = 0;     ///< buffered via deep copy
+
+  void merge(const HotPathStats& o) {
+    purge_scans_skipped += o.purge_scans_skipped;
+    purge_scans_run += o.purge_scans_run;
+    encode_cache_hits += o.encode_cache_hits;
+    encode_cache_misses += o.encode_cache_misses;
+    payload_copies_avoided += o.payload_copies_avoided;
+    payload_copies_made += o.payload_copies_made;
+  }
+};
+
 /// Final numbers for one protocol run.
 struct RunResults {
   std::uint64_t messages_created = 0;
@@ -33,6 +55,9 @@ struct RunResults {
   double max_delay_minutes = 0.0;
   double forwardings_per_delivery = 0.0;  ///< forwardings / total delivered
   double false_positive_rate = 0.0;       ///< false / total delivered
+
+  /// Execution-shape counters; excluded from semantic-equality comparisons.
+  HotPathStats hot_path;
 };
 
 /// Accumulates events during a run; protocols report through this.
@@ -59,6 +84,11 @@ class Collector {
 
   void record_control_bytes(std::uint64_t bytes) { control_bytes_ += bytes; }
 
+  /// Mutable hot-path counters; protocols bump these directly (or merge
+  /// per-store stats in on_end).
+  HotPathStats& hot_path() { return hot_path_; }
+  const HotPathStats& hot_path() const { return hot_path_; }
+
   RunResults results() const;
 
  private:
@@ -75,6 +105,7 @@ class Collector {
   std::uint64_t false_deliveries_ = 0;
   std::unordered_set<std::uint64_t> delivered_pairs_;
   util::PercentileTracker delay_minutes_;
+  HotPathStats hot_path_;
 };
 
 }  // namespace bsub::metrics

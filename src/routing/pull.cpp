@@ -12,15 +12,37 @@ void PullProtocol::on_start(const trace::ContactTrace& trace,
 
 void PullProtocol::on_message_created(const workload::Message& msg,
                                       util::Time /*now*/) {
-  produced_[msg.producer].add(msg);
+  if (naive_purge_) {
+    produced_[msg.producer].add(msg);  // reference: deep copy
+  } else {
+    // The simulator hands a reference into the workload's stable message
+    // table; producers borrow it instead of copying.
+    produced_[msg.producer].add(sim::borrow_message(msg));
+  }
 }
 
 void PullProtocol::on_contact(trace::NodeId a, trace::NodeId b, util::Time now,
                               util::Time /*duration*/, sim::Link& link) {
-  produced_[a].purge_expired(now);
-  produced_[b].purge_expired(now);
+  if (naive_purge_) {
+    produced_[a].purge_expired_scan(now);
+    produced_[b].purge_expired_scan(now);
+  } else {
+    produced_[a].purge_expired(now);
+    produced_[b].purge_expired(now);
+  }
   pull(a, b, now, link);
   pull(b, a, now, link);
+}
+
+void PullProtocol::on_end(util::Time /*now*/) {
+  auto& hp = collector_->hot_path();
+  for (const sim::MessageStore& store : produced_) {
+    const sim::MessageStore::Stats& s = store.stats();
+    hp.purge_scans_skipped += s.purges_skipped;
+    hp.purge_scans_run += s.purges_scanned;
+    hp.payload_copies_avoided += s.shared_adds;
+    hp.payload_copies_made += s.copied_adds;
+  }
 }
 
 void PullProtocol::pull(trace::NodeId consumer, trace::NodeId producer,
@@ -34,11 +56,11 @@ void PullProtocol::pull(trace::NodeId consumer, trace::NodeId producer,
   collector_->record_control_bytes(announce_bytes);
 
   for (const auto& [id, msg] : produced_[producer]) {
-    if (!workload_->is_interested(consumer, msg.key)) continue;
+    if (!workload_->is_interested(consumer, msg->key)) continue;
     if (collector_->delivered(id, consumer)) continue;
-    if (!link.try_send(msg.size_bytes)) break;
-    collector_->record_forwarding(msg);
-    collector_->record_delivery(msg, consumer, now, /*interested=*/true);
+    if (!link.try_send(msg->size_bytes)) break;
+    collector_->record_forwarding(*msg);
+    collector_->record_delivery(*msg, consumer, now, /*interested=*/true);
   }
 }
 

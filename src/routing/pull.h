@@ -14,6 +14,11 @@ namespace bsub::routing {
 
 class PullProtocol final : public sim::Protocol {
  public:
+  /// `naive_purge` selects the full-scan purge and deep-copy admission (the
+  /// differential-test reference) over the expiry-index fast path.
+  explicit PullProtocol(bool naive_purge = false)
+      : naive_purge_(naive_purge) {}
+
   void on_start(const trace::ContactTrace& trace,
                 const workload::Workload& workload,
                 metrics::Collector& collector) override;
@@ -21,6 +26,7 @@ class PullProtocol final : public sim::Protocol {
                           util::Time now) override;
   void on_contact(trace::NodeId a, trace::NodeId b, util::Time now,
                   util::Time duration, sim::Link& link) override;
+  void on_end(util::Time now) override;
   const char* name() const override { return "PULL"; }
 
  private:
@@ -28,6 +34,7 @@ class PullProtocol final : public sim::Protocol {
   void pull(trace::NodeId consumer, trace::NodeId producer, util::Time now,
             sim::Link& link);
 
+  bool naive_purge_;
   const workload::Workload* workload_ = nullptr;
   metrics::Collector* collector_ = nullptr;
   std::vector<sim::MessageStore> produced_;  // each node's own messages

@@ -12,12 +12,14 @@ void PushProtocol::on_start(const trace::ContactTrace& trace,
   buffers_.assign(trace.node_count(), {});
   seen_.assign(trace.node_count(),
                std::vector<bool>(workload.messages().size(), false));
+  expiry_.assign(trace.node_count(), {});
 }
 
 void PushProtocol::on_message_created(const workload::Message& msg,
                                       util::Time /*now*/) {
   buffers_[msg.producer].push_back(msg.id);
   seen_[msg.producer][msg.id] = true;
+  expiry_[msg.producer].add(msg.expiry(), msg.id);
 }
 
 void PushProtocol::on_contact(trace::NodeId a, trace::NodeId b, util::Time now,
@@ -38,6 +40,7 @@ void PushProtocol::transfer(trace::NodeId from, trace::NodeId to,
     collector_->record_forwarding(msg);
     seen_[to][id] = true;
     buffers_[to].push_back(id);
+    if (!naive_purge_) expiry_[to].add(msg.expiry(), id);
     if (workload_->is_interested(to, msg.key)) {
       collector_->record_delivery(msg, to, now, /*interested=*/true);
     }
@@ -45,6 +48,16 @@ void PushProtocol::transfer(trace::NodeId from, trace::NodeId to,
 }
 
 void PushProtocol::purge(trace::NodeId node, util::Time now) {
+  if (!naive_purge_) {
+    // Expired copies can only exist once the earliest registered expiry is
+    // due; otherwise the scan is provably a no-op and is skipped.
+    if (!expiry_[node].due(now)) {
+      ++collector_->hot_path().purge_scans_skipped;
+      return;
+    }
+    ++collector_->hot_path().purge_scans_run;
+    expiry_[node].drop_due(now);
+  }
   const auto& messages = workload_->messages();
   std::erase_if(buffers_[node], [&](workload::MessageId id) {
     return messages[id].expired_at(now);

@@ -8,12 +8,19 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/expiry_index.h"
 #include "sim/protocol.h"
 
 namespace bsub::routing {
 
 class PushProtocol final : public sim::Protocol {
  public:
+  /// `naive_purge` runs the retained full-scan purge every contact (the
+  /// differential-test reference); the default gates purging behind a
+  /// per-node expiry index so contacts with nothing expired cost O(1).
+  explicit PushProtocol(bool naive_purge = false)
+      : naive_purge_(naive_purge) {}
+
   void on_start(const trace::ContactTrace& trace,
                 const workload::Workload& workload,
                 metrics::Collector& collector) override;
@@ -28,12 +35,16 @@ class PushProtocol final : public sim::Protocol {
                 sim::Link& link);
   void purge(trace::NodeId node, util::Time now);
 
+  bool naive_purge_;
   const workload::Workload* workload_ = nullptr;
   metrics::Collector* collector_ = nullptr;
   // buffers_[n]: ids of live messages held by n, in acquisition order.
   std::vector<std::vector<workload::MessageId>> buffers_;
   // seen_[n][id]: n already has (or had) a copy; prevents re-replication.
   std::vector<std::vector<bool>> seen_;
+  // expiry_[n]: earliest-expiry gate over buffers_[n]; a purge scans only
+  // when some held copy could actually have expired.
+  std::vector<sim::ExpiryIndex> expiry_;
 };
 
 }  // namespace bsub::routing

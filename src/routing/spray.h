@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
+#include "sim/expiry_index.h"
 #include "sim/message_store.h"
 #include "sim/protocol.h"
 
@@ -22,8 +24,10 @@ namespace bsub::routing {
 class SprayProtocol final : public sim::Protocol {
  public:
   /// `copies` is the spray budget L per message (the paper's C-limit analog,
-  /// default matching B-SUB's 3).
-  explicit SprayProtocol(std::uint32_t copies = 3) : copies_(copies) {}
+  /// default matching B-SUB's 3). `naive_purge` selects the full-scan purge
+  /// and deep-copy admission (the differential-test reference).
+  explicit SprayProtocol(std::uint32_t copies = 3, bool naive_purge = false)
+      : copies_(copies), naive_purge_(naive_purge) {}
 
   void on_start(const trace::ContactTrace& trace,
                 const workload::Workload& workload,
@@ -32,11 +36,12 @@ class SprayProtocol final : public sim::Protocol {
                           util::Time now) override;
   void on_contact(trace::NodeId a, trace::NodeId b, util::Time now,
                   util::Time duration, sim::Link& link) override;
+  void on_end(util::Time now) override;
   const char* name() const override { return "SPRAY"; }
 
  private:
   struct SourceMessage {
-    workload::Message msg;
+    sim::MessageRef msg;  ///< borrowed from the workload's message table
     std::uint32_t copies_left;
   };
 
@@ -49,10 +54,14 @@ class SprayProtocol final : public sim::Protocol {
   void purge(trace::NodeId node, util::Time now);
 
   std::uint32_t copies_;
+  bool naive_purge_;
   const workload::Workload* workload_ = nullptr;
   metrics::Collector* collector_ = nullptr;
   std::vector<std::map<workload::MessageId, SourceMessage>> produced_;
   std::vector<sim::MessageStore> relayed_;
+  /// Expiry gate over produced_ (fast path); stale entries from copy
+  /// exhaustion are skipped lazily.
+  std::vector<sim::ExpiryIndex> produced_expiry_;
 };
 
 }  // namespace bsub::routing

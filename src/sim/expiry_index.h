@@ -1,0 +1,79 @@
+// Min-heap expiry index: the contact-loop fast path for TTL housekeeping.
+//
+// Every buffered message registers its (expiry, id) pair; a purge first asks
+// `due(now)` — an O(1) peek at the heap top — and does nothing at all when
+// no registered expiry has passed, which is the overwhelming majority of
+// contacts. When something is due, `pop_due` yields exactly the expired
+// entries, so a purge touches only messages that actually expired since the
+// node's last contact.
+//
+// Entries are validated lazily: a message that left its buffer early
+// (custody transfer, copy-budget exhaustion) leaves a stale heap entry
+// behind, which the owner simply skips when it pops (the id is no longer
+// present, or not expired under the recorded time). This keeps removal O(1)
+// and preserves the exact observable purge semantics of a full scan.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/time.h"
+#include "workload/message.h"
+
+namespace bsub::sim {
+
+class ExpiryIndex {
+ public:
+  /// Registers a buffered message's expiry time.
+  void add(util::Time expiry, workload::MessageId id) {
+    heap_.emplace_back(expiry, id);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Earliest registered expiry (possibly stale), or kTimeMax when empty.
+  util::Time next_due() const {
+    return heap_.empty() ? util::kTimeMax : heap_.front().first;
+  }
+
+  /// True when some registered entry has expired at `now` — the only case a
+  /// purge has any work to do. Expiry is inclusive (`now >= expiry`),
+  /// matching Message::expired_at.
+  bool due(util::Time now) const { return now >= next_due(); }
+
+  /// Pops every entry due at `now`, invoking fn(id) for each. The callee
+  /// must validate lazily: the id may already be gone from the buffer.
+  template <class Fn>
+  void pop_due(util::Time now, Fn&& fn) {
+    while (!heap_.empty() && heap_.front().first <= now) {
+      const workload::MessageId id = heap_.front().second;
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      fn(id);
+    }
+  }
+
+  /// Discards every due entry without visiting it.
+  void drop_due(util::Time now) {
+    pop_due(now, [](workload::MessageId) {});
+  }
+
+  void clear() { heap_.clear(); }
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+ private:
+  /// Min-heap order on expiry, id-ascending among equal expiries so pop
+  /// order is deterministic.
+  struct Later {
+    bool operator()(const std::pair<util::Time, workload::MessageId>& a,
+                    const std::pair<util::Time, workload::MessageId>& b) const {
+      return a.first > b.first || (a.first == b.first && a.second > b.second);
+    }
+  };
+
+  std::vector<std::pair<util::Time, workload::MessageId>> heap_;
+};
+
+}  // namespace bsub::sim

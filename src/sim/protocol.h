@@ -35,7 +35,7 @@ class Protocol {
                           util::Time duration, Link& link) = 0;
 
   /// Called once after the last event.
-  virtual void on_end(util::Time now) {}
+  virtual void on_end(util::Time /*now*/) {}
 
   /// Human-readable protocol name for reports.
   virtual const char* name() const = 0;

@@ -23,6 +23,15 @@ class DecodeError : public std::runtime_error {
 /// Appends primitive values to a growable byte buffer.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+
+  /// Adopts `buf` as the output buffer (cleared, capacity kept) so encoders
+  /// on hot paths can reuse scratch storage instead of allocating fresh
+  /// vectors; reclaim it with take().
+  explicit ByteWriter(std::vector<std::uint8_t> buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   void put_u8(std::uint8_t v);
   void put_u16(std::uint16_t v);
   void put_u32(std::uint32_t v);
@@ -39,6 +48,9 @@ class ByteWriter {
 
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::size_t size() const { return buf_.size(); }
+
+  /// Moves the buffer out (for writers constructed over adopted storage).
+  std::vector<std::uint8_t> take() && { return std::move(buf_); }
 
  private:
   std::vector<std::uint8_t> buf_;

@@ -1,0 +1,208 @@
+// Epoch-cached wire encodings and exact-size accounting.
+//
+// The contact-loop fast path never encodes a filter whose epoch is
+// unchanged (cache hit) and never encodes at all when only the byte count
+// is needed (encoded_*_wire_size). Both shortcuts must be indistinguishable
+// from the real encoder: these tests pin (a) the size formulas against the
+// actual encodings across randomized filters and geometries, (b) the cache
+// hit/miss contract, and (c) the epoch semantics the caches key on.
+#include "bloom/tcbf_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/tcbf.h"
+#include "util/rng.h"
+
+namespace bsub::bloom {
+namespace {
+
+const BloomParams kGeometries[] = {
+    {64, 2}, {128, 3}, {256, 4}, {300, 4}, {1024, 5}, {4096, 7},
+};
+
+const CounterEncoding kEncodings[] = {
+    CounterEncoding::kFull,
+    CounterEncoding::kUniform,
+    CounterEncoding::kCounterLess,
+};
+
+TEST(EncodeCache, TcbfWireSizeMatchesEncodingExactly) {
+  util::Rng rng(42);
+  for (const BloomParams& params : kGeometries) {
+    for (int density = 0; density <= 4; ++density) {
+      Tcbf filter(params, 50.0);
+      // density 0 = empty; otherwise insert enough keys to sweep from the
+      // location-list regime into the raw-bitmap fallback.
+      const int keys = density * static_cast<int>(params.m) / 24;
+      for (int i = 0; i < keys; ++i) {
+        filter.insert("key-" + std::to_string(rng()));
+      }
+      if (density >= 2) filter.decay(rng.next_double() * 30.0);
+      for (CounterEncoding enc : kEncodings) {
+        EXPECT_EQ(encoded_tcbf_wire_size(filter, enc),
+                  encode_tcbf(filter, enc).size())
+            << "m=" << params.m << " k=" << params.k << " density=" << density
+            << " enc=" << static_cast<int>(enc);
+      }
+    }
+  }
+}
+
+TEST(EncodeCache, BloomWireSizeMatchesEncodingExactly) {
+  util::Rng rng(43);
+  for (const BloomParams& params : kGeometries) {
+    for (int density = 0; density <= 4; ++density) {
+      BloomFilter filter(params);
+      const int keys = density * static_cast<int>(params.m) / 24;
+      for (int i = 0; i < keys; ++i) {
+        filter.insert("key-" + std::to_string(rng()));
+      }
+      EXPECT_EQ(encoded_bloom_wire_size(filter),
+                encode_bloom(filter).size())
+          << "m=" << params.m << " k=" << params.k << " density=" << density;
+      EXPECT_EQ(encoded_bloom_wire_size(filter.popcount(), params),
+                encode_bloom(filter).size());
+    }
+  }
+}
+
+TEST(EncodeCache, TcbfCacheHitsUntilEpochAdvances) {
+  Tcbf filter({256, 4}, 50.0);
+  filter.insert("a");
+  EncodedFilterCache cache;
+  const auto& first =
+      encode_tcbf_cached(filter, CounterEncoding::kFull, cache);
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(first, encode_tcbf(filter, CounterEncoding::kFull));
+
+  const auto& again =
+      encode_tcbf_cached(filter, CounterEncoding::kFull, cache);
+  EXPECT_EQ(cache.hits, 1u);
+  EXPECT_EQ(&again, &cache.bytes);  // replayed verbatim, no re-encode
+
+  filter.insert("b");  // epoch moves -> miss and re-encode
+  const auto& rebuilt =
+      encode_tcbf_cached(filter, CounterEncoding::kFull, cache);
+  EXPECT_EQ(cache.misses, 2u);
+  EXPECT_EQ(rebuilt, encode_tcbf(filter, CounterEncoding::kFull));
+}
+
+TEST(EncodeCache, TcbfCacheKeysOnEncodingToo) {
+  Tcbf filter({256, 4}, 50.0);
+  filter.insert("a");
+  EncodedFilterCache cache;
+  encode_tcbf_cached(filter, CounterEncoding::kFull, cache);
+  const auto& uniform =
+      encode_tcbf_cached(filter, CounterEncoding::kUniform, cache);
+  EXPECT_EQ(cache.misses, 2u);  // same epoch, different encoding
+  EXPECT_EQ(uniform, encode_tcbf(filter, CounterEncoding::kUniform));
+}
+
+TEST(EncodeCache, BloomCacheHitsUntilEpochAdvances) {
+  BloomFilter filter({256, 4});
+  filter.insert("a");
+  EncodedFilterCache cache;
+  encode_bloom_cached(filter, cache);
+  encode_bloom_cached(filter, cache);
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, 1u);
+  filter.insert("b");
+  const auto& rebuilt = encode_bloom_cached(filter, cache);
+  EXPECT_EQ(cache.misses, 2u);
+  EXPECT_EQ(rebuilt, encode_bloom(filter));
+}
+
+TEST(EncodeCache, EpochAdvancesOnEveryMutation) {
+  Tcbf t({256, 4}, 50.0);
+  std::uint64_t e = t.epoch();
+  t.insert("a");
+  EXPECT_NE(t.epoch(), e);
+  e = t.epoch();
+
+  Tcbf other({256, 4}, 50.0);
+  other.insert("b");
+  t.a_merge(other);
+  EXPECT_NE(t.epoch(), e);
+  e = t.epoch();
+
+  t.m_merge(other);
+  EXPECT_NE(t.epoch(), e);
+  e = t.epoch();
+
+  t.decay(1.0);  // drains counters -> observable change
+  EXPECT_NE(t.epoch(), e);
+  e = t.epoch();
+
+  t.clear();
+  EXPECT_NE(t.epoch(), e);
+}
+
+TEST(EncodeCache, NoOpDecayKeepsEpoch) {
+  // Decay on an empty filter (or by zero) changes nothing observable, so
+  // the cached encoding must stay valid.
+  Tcbf empty({256, 4}, 50.0);
+  const std::uint64_t e = empty.epoch();
+  empty.decay(5.0);
+  EXPECT_EQ(empty.epoch(), e);
+
+  Tcbf t({256, 4}, 50.0);
+  t.insert("a");
+  const std::uint64_t e2 = t.epoch();
+  t.decay(0.0);
+  EXPECT_EQ(t.epoch(), e2);
+}
+
+TEST(EncodeCache, CopiesKeepTheSourceEpoch) {
+  // Same contents, same encoding: a copy may reuse cached bytes keyed on
+  // the source's epoch.
+  Tcbf t({256, 4}, 50.0);
+  t.insert("a");
+  const Tcbf copy = t;
+  EXPECT_EQ(copy.epoch(), t.epoch());
+
+  BloomFilter b({256, 4});
+  b.insert("a");
+  const BloomFilter bcopy = b;
+  EXPECT_EQ(bcopy.epoch(), b.epoch());
+}
+
+TEST(EncodeCache, EpochsAreProcessUnique) {
+  // Two independently built filters never share an epoch, even with equal
+  // contents — so a cache can never false-hit across filters.
+  Tcbf t1({256, 4}, 50.0);
+  Tcbf t2({256, 4}, 50.0);
+  t1.insert("a");
+  t2.insert("a");
+  EXPECT_NE(t1.epoch(), t2.epoch());
+  EXPECT_NE(t1.epoch(), 0u);  // 0 is the empty-cache sentinel
+  EXPECT_NE(t2.epoch(), 0u);
+}
+
+TEST(EncodeCache, ContainsAtMatchesContains) {
+  // The interned-index probe must be bit-identical to contains() — FPs and
+  // all — since the differential test compares semantic outcomes exactly.
+  util::Rng rng(44);
+  for (const BloomParams& params : kGeometries) {
+    Tcbf t(params, 50.0);
+    BloomFilter b(params);
+    for (int i = 0; i < 12; ++i) {
+      const std::string key = "in-" + std::to_string(rng());
+      t.insert(key);
+      b.insert(key);
+    }
+    for (int i = 0; i < 200; ++i) {
+      const std::string probe = "probe-" + std::to_string(rng());
+      const util::HashPair hp = util::hash_pair(probe);
+      const util::IndexArray idx =
+          util::bloom_indices(hp, params.k, params.m);
+      EXPECT_EQ(t.contains_at(idx), t.contains(hp));
+      EXPECT_EQ(b.contains_at(idx), b.contains(hp));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsub::bloom

@@ -1,0 +1,158 @@
+// Differential test for the contact-loop fast path.
+//
+// The fast path (expiry watermark + index, epoch-cached encodings, interned
+// probe indices, shared payloads) claims *exactly* the observable semantics
+// of the seed's naive loop — not statistically similar, identical. This test
+// runs B-SUB with reference_contact_path on and off, and the baselines with
+// naive_purge on and off, over randomized synthetic scenarios (>= 10 seeds)
+// and requires every semantic RunResults field, the traffic breakdown, the
+// false-injection count, and the measured relay FPR to match bit for bit.
+// Only the hot_path execution-shape counters may differ.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bsub_protocol.h"
+#include "core/df_tuning.h"
+#include "metrics/collector.h"
+#include "routing/pull.h"
+#include "routing/push.h"
+#include "routing/spray.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+#include "workload/workload.h"
+
+namespace bsub {
+namespace {
+
+struct ScenarioCase {
+  // Workload holds a pointer to the KeySet, so the set lives here too.
+  workload::KeySet keys;
+  trace::ContactTrace trace;
+  workload::Workload workload;
+
+  explicit ScenarioCase(std::uint64_t seed)
+      : keys(workload::twitter_trend_keys()),
+        trace(trace::generate_trace(trace_config(seed))),
+        workload(trace, keys, workload_config(seed)) {}
+
+  static trace::SyntheticTraceConfig trace_config(std::uint64_t seed) {
+    trace::SyntheticTraceConfig tcfg;
+    tcfg.name = "diff";
+    tcfg.node_count = 14 + seed % 7;
+    tcfg.contact_count = 1500 + 100 * (seed % 5);
+    tcfg.duration = util::kDay;
+    tcfg.community_count = 3;
+    tcfg.seed = seed;
+    return tcfg;
+  }
+
+  static workload::WorkloadConfig workload_config(std::uint64_t seed) {
+    workload::WorkloadConfig wcfg;
+    wcfg.ttl = static_cast<util::Time>(2 + seed % 6) * util::kHour;
+    wcfg.seed = seed + 1;
+    return wcfg;
+  }
+};
+
+void expect_semantically_identical(const metrics::RunResults& a,
+                                   const metrics::RunResults& b,
+                                   std::uint64_t seed, const char* what) {
+  // Field-by-field: RunResults carries the hot_path execution counters,
+  // which legitimately differ — everything else must not.
+  EXPECT_EQ(a.messages_created, b.messages_created) << what << " s" << seed;
+  EXPECT_EQ(a.expected_deliveries, b.expected_deliveries)
+      << what << " s" << seed;
+  EXPECT_EQ(a.interested_deliveries, b.interested_deliveries)
+      << what << " s" << seed;
+  EXPECT_EQ(a.false_deliveries, b.false_deliveries) << what << " s" << seed;
+  EXPECT_EQ(a.forwardings, b.forwardings) << what << " s" << seed;
+  EXPECT_EQ(a.message_bytes, b.message_bytes) << what << " s" << seed;
+  EXPECT_EQ(a.control_bytes, b.control_bytes) << what << " s" << seed;
+  EXPECT_EQ(a.delivery_ratio, b.delivery_ratio) << what << " s" << seed;
+  EXPECT_EQ(a.mean_delay_minutes, b.mean_delay_minutes)
+      << what << " s" << seed;
+  EXPECT_EQ(a.median_delay_minutes, b.median_delay_minutes)
+      << what << " s" << seed;
+  EXPECT_EQ(a.max_delay_minutes, b.max_delay_minutes) << what << " s" << seed;
+  EXPECT_EQ(a.forwardings_per_delivery, b.forwardings_per_delivery)
+      << what << " s" << seed;
+  EXPECT_EQ(a.false_positive_rate, b.false_positive_rate)
+      << what << " s" << seed;
+}
+
+TEST(ContactLoopDifferential, BsubFastPathMatchesReferenceOnTenSeeds) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const ScenarioCase sc(seed);
+    core::BsubConfig cfg;
+    cfg.df_per_minute =
+        core::compute_df(sc.trace, 4 * util::kHour, cfg.filter_params,
+                         cfg.initial_counter)
+            .df_per_minute;
+
+    core::BsubConfig ref_cfg = cfg;
+    ref_cfg.reference_contact_path = true;
+    core::BsubProtocol ref(ref_cfg);
+    const metrics::RunResults ref_r =
+        sim::Simulator().run(sc.trace, sc.workload, ref);
+
+    core::BsubProtocol fast(cfg);
+    const metrics::RunResults fast_r =
+        sim::Simulator().run(sc.trace, sc.workload, fast);
+
+    expect_semantically_identical(ref_r, fast_r, seed, "bsub");
+    EXPECT_EQ(ref.traffic().deliveries, fast.traffic().deliveries)
+        << "s" << seed;
+    EXPECT_EQ(ref.traffic().pickups, fast.traffic().pickups) << "s" << seed;
+    EXPECT_EQ(ref.traffic().broker_transfers, fast.traffic().broker_transfers)
+        << "s" << seed;
+    EXPECT_EQ(ref.false_injections(), fast.false_injections()) << "s" << seed;
+    EXPECT_EQ(ref.measured_relay_fpr(), fast.measured_relay_fpr())
+        << "s" << seed;
+
+    // The fast path must actually be exercising its machinery, not silently
+    // falling back to scans and re-encodes.
+    EXPECT_EQ(ref_r.hot_path.encode_cache_hits, 0u) << "s" << seed;
+    EXPECT_GT(fast_r.hot_path.encode_cache_hits, 0u) << "s" << seed;
+    EXPECT_GT(fast_r.hot_path.purge_scans_skipped, 0u) << "s" << seed;
+    EXPECT_GT(fast_r.hot_path.payload_copies_avoided, 0u) << "s" << seed;
+    EXPECT_EQ(fast_r.hot_path.payload_copies_made, 0u) << "s" << seed;
+  }
+}
+
+TEST(ContactLoopDifferential, BaselinesMatchNaivePurgeOnTenSeeds) {
+  for (std::uint64_t seed = 11; seed <= 20; ++seed) {
+    const ScenarioCase sc(seed);
+
+    {
+      routing::PushProtocol naive(/*naive_purge=*/true);
+      routing::PushProtocol fast;
+      const metrics::RunResults a =
+          sim::Simulator().run(sc.trace, sc.workload, naive);
+      const metrics::RunResults b =
+          sim::Simulator().run(sc.trace, sc.workload, fast);
+      expect_semantically_identical(a, b, seed, "push");
+    }
+    {
+      routing::PullProtocol naive(/*naive_purge=*/true);
+      routing::PullProtocol fast;
+      const metrics::RunResults a =
+          sim::Simulator().run(sc.trace, sc.workload, naive);
+      const metrics::RunResults b =
+          sim::Simulator().run(sc.trace, sc.workload, fast);
+      expect_semantically_identical(a, b, seed, "pull");
+    }
+    {
+      routing::SprayProtocol naive(3, /*naive_purge=*/true);
+      routing::SprayProtocol fast(3);
+      const metrics::RunResults a =
+          sim::Simulator().run(sc.trace, sc.workload, naive);
+      const metrics::RunResults b =
+          sim::Simulator().run(sc.trace, sc.workload, fast);
+      expect_semantically_identical(a, b, seed, "spray");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsub
