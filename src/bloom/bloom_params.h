@@ -12,6 +12,11 @@ namespace bsub::bloom {
 /// identical filter contents (a copy shares its source's epoch until either
 /// mutates) — which is exactly what the wire-encoding caches key on. Never
 /// returns 0; caches use 0 as "empty".
+///
+/// Thread-safety: the relaxed atomic fetch_add makes epochs unique across
+/// concurrent batch workers, which is all the caches rely on — the epoch
+/// *values* a run hands out may differ between schedules, but cache hits
+/// and misses (and thus every encoded byte) do not.
 inline std::uint64_t next_filter_epoch() {
   static std::atomic<std::uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;

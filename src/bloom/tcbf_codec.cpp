@@ -35,6 +35,8 @@ void write_positions(util::ByteWriter& w, const std::vector<std::size_t>& bits,
     for (std::size_t b : bits) w.put_bits(b, width);
     w.flush_bits();
   } else {
+    // Pool-worker safe: fully overwritten (assign) before every use, and
+    // encoders never nest, so no state leaks between calls on a worker.
     thread_local std::vector<std::uint8_t> bitmap;
     bitmap.assign((m + 7) / 8, 0);
     for (std::size_t b : bits) bitmap[b / 8] |= std::uint8_t(1u << (b % 8));
@@ -92,7 +94,9 @@ std::size_t position_bytes(std::size_t set_bits, std::size_t m,
 }
 
 // Thread-local scratch for set-bit extraction on the hot encode path; one
-// per thread is enough because encoders never nest.
+// per thread is enough because encoders never nest. Callers fully rewrite
+// it before reading, so reuse across the thread pool's successive jobs
+// (conflict-batch workers included) carries no state between calls.
 std::vector<std::size_t>& set_bits_scratch() {
   thread_local std::vector<std::size_t> scratch;
   return scratch;

@@ -5,13 +5,13 @@
 namespace bsub::core {
 
 BrokerElection::BrokerElection(std::size_t node_count, Config config)
-    : config_(config), broker_(node_count, false), state_(node_count) {
+    : config_(config), broker_(node_count, 0), state_(node_count) {
   assert(config.window > 0);
   assert(config.lower <= config.upper);
 }
 
 void BrokerElection::set_broker(trace::NodeId node, bool broker) {
-  broker_[node] = broker;
+  broker_[node] = broker ? 1 : 0;
 }
 
 void BrokerElection::prune(NodeState& s, util::Time now) {
@@ -41,7 +41,7 @@ void BrokerElection::record(trace::NodeId self, trace::NodeId peer,
   Meeting m;
   m.time = now;
   m.peer = peer;
-  m.peer_was_broker = broker_[peer];
+  m.peer_was_broker = broker_[peer] != 0;
   // The peer's degree is what the peer would report in the handshake:
   // its own distinct-peer count over its (already-updated) window.
   m.peer_degree = state_[peer].peer_counts.size();
@@ -61,8 +61,8 @@ void BrokerElection::elect(trace::NodeId self, trace::NodeId peer,
   prune(s, now);
   const std::size_t brokers_seen = s.broker_counts.size();
   if (brokers_seen < config_.lower && !broker_[peer]) {
-    broker_[peer] = true;
-    ++promotions_;
+    broker_[peer] = 1;
+    promotions_.fetch_add(1, std::memory_order_relaxed);
   } else if (brokers_seen > config_.upper && broker_[peer]) {
     // Demote only below-average brokers, so popular nodes keep the role.
     if (s.broker_degree_n > 0) {
@@ -71,8 +71,8 @@ void BrokerElection::elect(trace::NodeId self, trace::NodeId peer,
       const double peer_degree =
           static_cast<double>(state_[peer].peer_counts.size());
       if (peer_degree < avg) {
-        broker_[peer] = false;
-        ++demotions_;
+        broker_[peer] = 0;
+        demotions_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -90,7 +90,7 @@ void BrokerElection::on_contact(trace::NodeId a, trace::NodeId b,
 
 std::size_t BrokerElection::broker_count() const {
   std::size_t n = 0;
-  for (bool b : broker_) n += b;
+  for (std::uint8_t b : broker_) n += b != 0;
   return n;
 }
 

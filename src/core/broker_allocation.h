@@ -15,6 +15,7 @@
 // Brokers themselves never run the rules.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
@@ -35,7 +36,7 @@ class BrokerElection {
 
   BrokerElection(std::size_t node_count, Config config);
 
-  bool is_broker(trace::NodeId node) const { return broker_[node]; }
+  bool is_broker(trace::NodeId node) const { return broker_[node] != 0; }
   void set_broker(trace::NodeId node, bool broker);
 
   /// Records the meeting in both nodes' windows and applies the election
@@ -52,8 +53,12 @@ class BrokerElection {
   std::size_t brokers_met(trace::NodeId node, util::Time now);
 
   /// Lifetime counters, for observability and tests.
-  std::uint64_t promotions() const { return promotions_; }
-  std::uint64_t demotions() const { return demotions_; }
+  std::uint64_t promotions() const {
+    return promotions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t demotions() const {
+    return demotions_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Meeting {
@@ -78,10 +83,15 @@ class BrokerElection {
   void elect(trace::NodeId self, trace::NodeId peer, util::Time now);
 
   Config config_;
-  std::vector<bool> broker_;
+  // One byte per node, NOT vector<bool>: the bit-packed specialization
+  // would make writes to neighboring nodes race under the conflict-batch
+  // executor even though the *logical* elements are disjoint. All reads and
+  // writes during a run touch only the contact's two endpoints.
+  std::vector<std::uint8_t> broker_;
   std::vector<NodeState> state_;
-  std::uint64_t promotions_ = 0;
-  std::uint64_t demotions_ = 0;
+  // Commutative tallies, safe to bump from concurrent batch workers.
+  std::atomic<std::uint64_t> promotions_{0};
+  std::atomic<std::uint64_t> demotions_{0};
 };
 
 }  // namespace bsub::core

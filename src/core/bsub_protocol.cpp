@@ -22,9 +22,10 @@ const util::HashPair& BsubProtocol::key_hash(workload::KeyId key) const {
 }
 
 double BsubProtocol::measured_relay_fpr() const {
-  return fpr_probes_ == 0 ? 0.0
-                          : static_cast<double>(fpr_hits_) /
-                                static_cast<double>(fpr_probes_);
+  const std::uint64_t probes = fpr_probes_.load(std::memory_order_relaxed);
+  const std::uint64_t hits = fpr_hits_.load(std::memory_order_relaxed);
+  return probes == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(probes);
 }
 
 void BsubProtocol::on_start(const trace::ContactTrace& trace,
@@ -61,10 +62,12 @@ void BsubProtocol::on_start(const trace::ContactTrace& trace,
         workload.keys().hash(k), config_.filter_params.k,
         config_.filter_params.m));
   }
-  false_injections_ = 0;
-  traffic_ = {};
-  fpr_probes_ = 0;
-  fpr_hits_ = 0;
+  false_injections_.store(0, std::memory_order_relaxed);
+  traffic_pickups_.store(0, std::memory_order_relaxed);
+  traffic_broker_transfers_.store(0, std::memory_order_relaxed);
+  traffic_deliveries_.store(0, std::memory_order_relaxed);
+  fpr_probes_.store(0, std::memory_order_relaxed);
+  fpr_hits_.store(0, std::memory_order_relaxed);
 }
 
 void BsubProtocol::on_message_created(const workload::Message& msg,
@@ -161,16 +164,25 @@ void BsubProtocol::maybe_update_adaptive_df(trace::NodeId node,
   // The broker re-derives Eq. 5 from the distinct nodes it met in its own
   // window — the online estimation the paper sketches in section VII-B.
   const std::size_t degree = election_->degree(node, now);
-  auto it = emin_cache_.find(degree);
-  if (it == emin_cache_.end()) {
-    const double p = static_cast<double>(config_.filter_params.k) /
-                     static_cast<double>(config_.filter_params.m);
-    it = emin_cache_
-             .emplace(degree, util::expected_min_binomial(
-                                  degree, p, config_.filter_params.k))
-             .first;
+  double emin;
+  {
+    // The cache is the only cross-node mutable map in the contact path;
+    // a mutex keeps it safe under concurrent batches, and determinism is
+    // unaffected because the value is a pure function of the degree (two
+    // workers racing on a miss compute the identical number).
+    std::lock_guard<std::mutex> lock(emin_mu_);
+    auto it = emin_cache_.find(degree);
+    if (it == emin_cache_.end()) {
+      const double p = static_cast<double>(config_.filter_params.k) /
+                       static_cast<double>(config_.filter_params.m);
+      it = emin_cache_
+               .emplace(degree, util::expected_min_binomial(
+                                    degree, p, config_.filter_params.k))
+               .first;
+    }
+    emin = it->second;
   }
-  const double df = config_.initial_counter * (1.0 + it->second) /
+  const double df = config_.initial_counter * (1.0 + emin) /
                         util::to_minutes(config_.df_window) +
                     0.01;
   interests_->set_node_df(node, df);
@@ -251,13 +263,16 @@ void BsubProtocol::broker_exchange(trace::NodeId a, trace::NodeId b,
   forward_between_brokers(b, a, relay_b, relay_a, now, link);
 
   // The first merge mutates a, so only a's pre-merge state needs to survive
-  // in scratch (capacity reused across contacts); b's live state feeds the
-  // first merge directly.
-  scratch_relay_ = relay_a;
-  scratch_shadow_ = interests_->shadow_snapshot(a);
+  // in scratch; b's live state feeds the first merge directly. thread_local
+  // (not members) so concurrent batch workers each get their own buffers
+  // while the capacity still survives across contacts on a worker.
+  thread_local bloom::Tcbf scratch_relay;
+  thread_local InterestManager::ShadowMap scratch_shadow;
+  scratch_relay = relay_a;
+  scratch_shadow = interests_->shadow_snapshot(a);
   interests_->merge_relay_from(a, relay_b, interests_->shadow_snapshot(b),
                                config_.broker_merge, now);
-  interests_->merge_relay_from(b, scratch_relay_, scratch_shadow_,
+  interests_->merge_relay_from(b, scratch_relay, scratch_shadow,
                                config_.broker_merge, now);
 }
 
@@ -290,7 +305,7 @@ void BsubProtocol::forward_between_brokers(trace::NodeId from,
     sim::MessageRef msg = carried_[from].find_ref(c.id);
     if (!link.try_send(msg->size_bytes)) break;
     collector_->record_forwarding(*msg);
-    ++traffic_.broker_transfers;
+    traffic_broker_transfers_.fetch_add(1, std::memory_order_relaxed);
     if (config_.reference_contact_path) {
       carried_[to].add(*msg);  // naive reference: deep copy per custody move
     } else {
@@ -345,7 +360,7 @@ void BsubProtocol::direct_delivery(trace::NodeId from, trace::NodeId to,
     if (collector_->delivered(msg.id, to)) return true;
     if (!link.try_send(msg.size_bytes)) return false;
     collector_->record_forwarding(msg);
-    ++traffic_.deliveries;
+    traffic_deliveries_.fetch_add(1, std::memory_order_relaxed);
     accepted = workload_->is_interested(to, msg.key);
     collector_->record_delivery(msg, to, now, accepted, falsely_fn());
     return true;
@@ -431,17 +446,30 @@ void BsubProtocol::broker_pickup(trace::NodeId producer, trace::NodeId broker,
   if (!link.try_send(enc_bytes)) return;
   collector_->record_control_bytes(enc_bytes);
 
-  // Instrumentation: probe the relay with keys guaranteed absent (outside
-  // the workload universe) to sample the operative relay FPR over time.
-  // Probe strings rotate so the estimate averages over the key space
-  // instead of pinning 8 fixed bit patterns.
-  char probe[24];
+  // Instrumentation: probe the relay with keys guaranteed absent (the \x01
+  // prefix is outside the workload universe) to sample the operative relay
+  // FPR over time. Probe strings rotate so the estimate averages over the
+  // key space instead of pinning 8 fixed bit patterns — and they are a pure
+  // function of the contact (producer, broker, time, slot), never of a
+  // global sequence number, so the sampled FPR is identical whatever order
+  // non-conflicting contacts execute in.
+  char probe[32];
+  std::uint64_t mix = static_cast<std::uint64_t>(producer) << 32 |
+                      static_cast<std::uint64_t>(broker);
+  mix ^= static_cast<std::uint64_t>(now) * 0x9e3779b97f4a7c15ull;
+  std::uint64_t local_hits = 0;
   for (int i = 0; i < 8; ++i) {
-    std::snprintf(probe, sizeof(probe), "\x01probe:%llu",
-                  static_cast<unsigned long long>(fpr_probes_));
-    ++fpr_probes_;
-    fpr_hits_ += ref_path ? relay_bf.contains(probe) : relay.contains(probe);
+    // splitmix64 finalizer over the contact identity + slot.
+    std::uint64_t z = mix + 0x9e3779b97f4a7c15ull * (std::uint64_t)(i + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    std::snprintf(probe, sizeof(probe), "\x01probe:%016llx",
+                  static_cast<unsigned long long>(z));
+    local_hits += ref_path ? relay_bf.contains(probe) : relay.contains(probe);
   }
+  fpr_probes_.fetch_add(8, std::memory_order_relaxed);
+  fpr_hits_.fetch_add(local_hits, std::memory_order_relaxed);
 
   for (auto it = produced_[producer].begin();
        it != produced_[producer].end();) {
@@ -457,7 +485,7 @@ void BsubProtocol::broker_pickup(trace::NodeId producer, trace::NodeId broker,
     }
     if (!link.try_send(msg.size_bytes)) break;
     collector_->record_forwarding(msg);
-    ++traffic_.pickups;
+    traffic_pickups_.fetch_add(1, std::memory_order_relaxed);
     if (ref_path) {
       carried_[broker].add(msg);  // naive deep copy into the broker buffer
     } else {
@@ -468,7 +496,7 @@ void BsubProtocol::broker_pickup(trace::NodeId producer, trace::NodeId broker,
     // a false injection (Bloom false positive of the relay filter).
     if (!interests_->genuinely_contains(broker, key, now)) {
       falsely_injected_[broker].insert(msg.id);
-      ++false_injections_;
+      false_injections_.fetch_add(1, std::memory_order_relaxed);
     }
     if (--owned.copies_left == 0) {
       // Copy budget exhausted: the producer forgets the message (V-D).

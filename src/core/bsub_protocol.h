@@ -17,8 +17,10 @@
 // Every transmission is gated by the contact's byte budget.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
@@ -48,6 +50,11 @@ class BsubProtocol final : public sim::Protocol {
   void on_end(util::Time now) override;
   const char* name() const override { return "B-SUB"; }
 
+  /// All mutable run state is per-node (buffers, filters, caches keyed by
+  /// node) or commutative (relaxed-atomic tallies); the adaptive-DF cache is
+  /// mutex-guarded and value-deterministic. See each member's comment.
+  bool parallel_contacts_safe() const override { return true; }
+
   const BsubConfig& config() const { return config_; }
 
   /// Observability for tests and experiments (valid after on_start).
@@ -60,7 +67,9 @@ class BsubProtocol final : public sim::Protocol {
   InterestManager& interests_mutable() { return *interests_; }
 
   /// Lifetime count of relay-filter false-positive pickups (ground truth).
-  std::uint64_t false_injections() const { return false_injections_; }
+  std::uint64_t false_injections() const {
+    return false_injections_.load(std::memory_order_relaxed);
+  }
 
   /// Breakdown of message-body transmissions by protocol step.
   struct TrafficBreakdown {
@@ -68,7 +77,14 @@ class BsubProtocol final : public sim::Protocol {
     std::uint64_t broker_transfers = 0;  ///< broker -> broker custody moves
     std::uint64_t deliveries = 0;        ///< transfers to a consumer
   };
-  const TrafficBreakdown& traffic() const { return traffic_; }
+  /// Snapshot of the (atomic) traffic tallies; by value so readers never
+  /// observe a torn struct while batch workers are still bumping it.
+  TrafficBreakdown traffic() const {
+    return TrafficBreakdown{
+        traffic_pickups_.load(std::memory_order_relaxed),
+        traffic_broker_transfers_.load(std::memory_order_relaxed),
+        traffic_deliveries_.load(std::memory_order_relaxed)};
+  }
 
   /// Time-averaged false-positive rate of the brokers' relay filters,
   /// measured by probing each relay with known-absent keys at every pickup
@@ -163,18 +179,21 @@ class BsubProtocol final : public sim::Protocol {
 
   /// Per-node static wire artifacts (fast path; see NodeFilterCache).
   std::vector<NodeFilterCache> filter_cache_;
-  /// Scratch for the broker-exchange double merge: holds a's pre-merge
-  /// relay state so both merges see pre-contact filters without copying
-  /// both sides. Members (not locals) so their capacity survives contacts.
-  bloom::Tcbf scratch_relay_;
-  InterestManager::ShadowMap scratch_shadow_;
 
-  /// Cache for the adaptive-DF Eq. 4 evaluations, keyed by degree.
+  /// Cache for the adaptive-DF Eq. 4 evaluations, keyed by degree. Shared
+  /// across nodes, so it is mutex-guarded; harmless for determinism because
+  /// the cached value is a pure function of the key (degree).
+  std::mutex emin_mu_;
   std::unordered_map<std::size_t, double> emin_cache_;
-  std::uint64_t false_injections_ = 0;
-  TrafficBreakdown traffic_;
-  std::uint64_t fpr_probes_ = 0;
-  std::uint64_t fpr_hits_ = 0;
+
+  /// Commutative tallies — relaxed atomics so concurrent batch workers can
+  /// bump them; integer addition makes the totals schedule-independent.
+  std::atomic<std::uint64_t> false_injections_{0};
+  std::atomic<std::uint64_t> traffic_pickups_{0};
+  std::atomic<std::uint64_t> traffic_broker_transfers_{0};
+  std::atomic<std::uint64_t> traffic_deliveries_{0};
+  std::atomic<std::uint64_t> fpr_probes_{0};
+  std::atomic<std::uint64_t> fpr_hits_{0};
 };
 
 }  // namespace bsub::core

@@ -54,15 +54,25 @@ class Network {
                         double bandwidth_bytes_per_second =
                             sim::kDefaultBandwidthBytesPerSecond);
 
-  /// All consumer deliveries seen so far.
-  const std::vector<DeliveryRecord>& deliveries() const {
-    return deliveries_;
-  }
+  /// Switches delivery recording to per-node logs (ids must be dense in
+  /// [0, node_count)). Required before running contacts concurrently: each
+  /// node's log is only written during that node's own contacts, so
+  /// node-disjoint contacts never share a log. deliveries() then reports
+  /// node-major order — a canonical order identical for serial and parallel
+  /// runs — instead of global arrival order.
+  void use_per_node_delivery_log(std::size_t node_count);
+
+  /// All consumer deliveries seen so far: global arrival order by default,
+  /// node-major (then per-node arrival) order in per-node-log mode.
+  const std::vector<DeliveryRecord>& deliveries() const;
 
  private:
   NodeConfig node_config_;
   std::map<NodeId, std::unique_ptr<BsubNode>> nodes_;
   std::vector<DeliveryRecord> deliveries_;
+  std::vector<std::vector<DeliveryRecord>> per_node_deliveries_;
+  bool per_node_log_ = false;
+  mutable std::vector<DeliveryRecord> flattened_;  ///< deliveries() cache
 };
 
 }  // namespace bsub::engine

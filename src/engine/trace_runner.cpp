@@ -1,13 +1,30 @@
 #include "engine/trace_runner.h"
 
+#include <atomic>
+#include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 namespace bsub::engine {
+
+namespace {
+
+struct MergedEvent {
+  std::uint32_t index;
+  bool is_message;
+};
+
+}  // namespace
 
 TraceRunResults TraceRunner::run(const trace::ContactTrace& trace,
                                  const workload::Workload& workload) {
   Network net(node_config_);
   core::BrokerElection election(trace.node_count(), election_config_);
+
+  // Per-node delivery logs give a canonical node-major order shared by
+  // serial and parallel runs (the default append-order log would make the
+  // mean-delay float sum depend on the execution schedule).
+  net.use_per_node_delivery_log(trace.node_count());
 
   // Materialize nodes with their subscriptions.
   for (trace::NodeId n = 0; n < trace.node_count(); ++n) {
@@ -17,45 +34,97 @@ TraceRunResults TraceRunner::run(const trace::ContactTrace& trace,
     }
   }
 
-  // Creation times of each message id, for delay computation.
-  std::unordered_map<std::uint64_t, util::Time> created_at;
-
-  // Two-way merge of message creations and contacts, as the simulator does.
   const auto& contacts = trace.contacts();
   const auto& messages = workload.messages();
-  std::size_t ci = 0, mi = 0;
-  TraceRunResults results;
-  while (ci < contacts.size() || mi < messages.size()) {
-    const bool take_message =
-        mi < messages.size() &&
-        (ci >= contacts.size() || messages[mi].created <= contacts[ci].start);
-    if (take_message) {
-      const workload::Message& m = messages[mi++];
+
+  // Creation times of each message id, for delay computation. Prefilled so
+  // the map is read-only while workers run.
+  std::unordered_map<std::uint64_t, util::Time> created_at;
+  created_at.reserve(messages.size());
+  for (const workload::Message& m : messages) {
+    created_at.emplace(m.id, m.created);
+  }
+
+  // Merge creations and contacts with the simulator's exact tie rule.
+  std::vector<MergedEvent> events;
+  events.reserve(contacts.size() + messages.size());
+  {
+    std::size_t ci = 0, mi = 0;
+    while (ci < contacts.size() || mi < messages.size()) {
+      const bool take_message =
+          mi < messages.size() &&
+          (ci >= contacts.size() ||
+           messages[mi].created <= contacts[ci].start);
+      if (take_message) {
+        events.push_back({static_cast<std::uint32_t>(mi++), true});
+      } else {
+        events.push_back({static_cast<std::uint32_t>(ci++), false});
+      }
+    }
+  }
+  std::vector<sim::EventNodes> endpoints(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].is_message) {
+      endpoints[i] = {messages[events[i].index].producer,
+                      sim::EventNodes::kNoNode};
+    } else {
+      const trace::Contact& c = contacts[events[i].index];
+      endpoints[i] = {c.a, c.b};
+    }
+  }
+
+  // Frame tallies commute (integer sums), so relaxed atomics keep them
+  // schedule-independent.
+  std::atomic<std::uint64_t> contacts_processed{0};
+  std::atomic<std::uint64_t> frames_delivered{0};
+  std::atomic<std::uint64_t> frames_dropped{0};
+  std::atomic<std::uint64_t> bytes_used{0};
+
+  auto exec = [&](std::size_t i) {
+    const MergedEvent& e = events[i];
+    if (e.is_message) {
+      const workload::Message& m = messages[e.index];
       ContentMessage cm;
       cm.id = m.id;
       cm.key = workload.keys().name(m.key);
       cm.body.assign(m.size_bytes, 0x5A);
       cm.created = m.created;
       cm.ttl = m.ttl;
-      created_at.emplace(cm.id, cm.created);
       net.node(m.producer).publish(std::move(cm), m.created);
-      continue;
+      return;
     }
-    const trace::Contact& c = contacts[ci++];
-    // Election decides roles, exactly as in the simulator protocol.
+    const trace::Contact& c = contacts[e.index];
+    // Election decides roles, exactly as in the simulator protocol. It only
+    // mutates the two endpoints' state, so it is safe inside a batch.
     election.on_contact(c.a, c.b, c.start);
     net.node(c.a).set_broker(election.is_broker(c.a));
     net.node(c.b).set_broker(election.is_broker(c.b));
 
     const ContactReport report =
         net.contact(c.a, c.b, c.start, c.duration(), bandwidth_);
-    ++results.contacts_processed;
-    results.frames_delivered += report.frames_delivered;
-    results.frames_dropped += report.frames_dropped;
-    results.bytes_used += report.bytes_used;
-  }
+    contacts_processed.fetch_add(1, std::memory_order_relaxed);
+    frames_delivered.fetch_add(report.frames_delivered,
+                               std::memory_order_relaxed);
+    frames_dropped.fetch_add(report.frames_dropped,
+                             std::memory_order_relaxed);
+    bytes_used.fetch_add(report.bytes_used, std::memory_order_relaxed);
+  };
 
-  // Summarize deliveries (Network already deduplicates per consumer).
+  sim::ParallelRunConfig pcfg;
+  pcfg.threads = options_.threads;
+  pcfg.window_events = options_.window_events;
+  pcfg.min_batch_fanout = options_.min_batch_fanout;
+  last_run_stats_ = sim::run_conflict_parallel(
+      events.size(), trace.node_count(), endpoints, exec, pcfg);
+
+  TraceRunResults results;
+  results.contacts_processed = contacts_processed.load();
+  results.frames_delivered = frames_delivered.load();
+  results.frames_dropped = frames_dropped.load();
+  results.bytes_used = bytes_used.load();
+
+  // Summarize deliveries (nodes already deduplicate per consumer). The
+  // node-major log order makes this float sum canonical.
   results.deliveries = net.deliveries().size();
   results.expected_deliveries = workload.expected_deliveries();
   if (results.expected_deliveries > 0) {

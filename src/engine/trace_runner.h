@@ -11,11 +11,19 @@
 //   - all transfers are real frames charged at wire size (the simulator
 //     charges analytic sizes);
 //   - messages carry real bodies of the workload's size.
+//
+// Like the simulator, the runner can shard one trace across cores through
+// the windowed conflict-batch executor: a contact only touches its two
+// endpoint BsubNodes (and their election state), so node-disjoint contacts
+// commute. Delivery records go to per-node logs reduced node-major, and
+// frame tallies are relaxed atomics, so serial and parallel runs return
+// byte-identical TraceRunResults.
 #pragma once
 
 #include "core/broker_allocation.h"
 #include "engine/network.h"
 #include "metrics/collector.h"
+#include "sim/parallel_executor.h"
 #include "trace/trace.h"
 #include "workload/workload.h"
 
@@ -32,22 +40,39 @@ struct TraceRunResults {
   std::uint64_t bytes_used = 0;
 };
 
+/// Execution knobs; semantics are identical for every setting (see the
+/// determinism contract above).
+struct TraceRunnerOptions {
+  /// 0 = util::default_thread_count() (honors BSUB_THREADS), 1 = serial.
+  std::size_t threads = 0;
+  std::size_t window_events = 4096;
+  std::size_t min_batch_fanout = 4;
+};
+
 class TraceRunner {
  public:
   TraceRunner(NodeConfig node_config, core::BrokerElection::Config election,
               double bandwidth_bytes_per_second =
-                  sim::kDefaultBandwidthBytesPerSecond)
+                  sim::kDefaultBandwidthBytesPerSecond,
+              TraceRunnerOptions options = {})
       : node_config_(node_config), election_config_(election),
-        bandwidth_(bandwidth_bytes_per_second) {}
+        bandwidth_(bandwidth_bytes_per_second), options_(options) {}
 
-  /// Runs the whole scenario; deterministic.
+  /// Runs the whole scenario; deterministic across thread counts.
   TraceRunResults run(const trace::ContactTrace& trace,
                       const workload::Workload& workload);
+
+  /// Execution-shape stats of the most recent run().
+  const sim::ParallelRunStats& last_run_stats() const {
+    return last_run_stats_;
+  }
 
  private:
   NodeConfig node_config_;
   core::BrokerElection::Config election_config_;
   double bandwidth_;
+  TraceRunnerOptions options_;
+  sim::ParallelRunStats last_run_stats_;
 };
 
 }  // namespace bsub::engine

@@ -1,11 +1,24 @@
 #include "metrics/collector.h"
 
+#include <algorithm>
+
 namespace bsub::metrics {
 
 void Collector::set_expected(std::uint64_t messages_created,
                              std::uint64_t expected_deliveries) {
   messages_created_ = messages_created;
   expected_deliveries_ = expected_deliveries;
+}
+
+void Collector::reserve_nodes(std::size_t node_count) {
+  if (logs_.size() < node_count) logs_.resize(node_count);
+}
+
+Collector::NodeLog& Collector::node_log(trace::NodeId node) {
+  // Serial-only growth: concurrent runs must have called reserve_nodes()
+  // first, so this branch never fires while workers hold NodeLog pointers.
+  if (node >= logs_.size()) logs_.resize(node + 1);
+  return logs_[node];
 }
 
 void Collector::record_forwarding(const workload::Message& msg) {
@@ -16,44 +29,56 @@ void Collector::record_forwarding(const workload::Message& msg) {
 void Collector::record_delivery(const workload::Message& msg,
                                 trace::NodeId node, util::Time now,
                                 bool interested, bool falsely_injected) {
-  if (!delivered_pairs_.insert(pair_key(msg.id, node)).second) return;
+  NodeLog& log = node_log(node);
+  if (!log.delivered.insert(msg.id).second) return;
   if (interested) {
-    ++interested_deliveries_;
-    delay_minutes_.add(util::to_minutes(now - msg.created));
+    ++log.interested;
+    log.delay_minutes.push_back(util::to_minutes(now - msg.created));
   }
-  if (!interested || falsely_injected) ++false_deliveries_;
+  if (!interested || falsely_injected) ++log.false_deliveries;
 }
 
 bool Collector::delivered(workload::MessageId id, trace::NodeId node) const {
-  return delivered_pairs_.contains(pair_key(id, node));
+  if (node >= logs_.size()) return false;
+  return logs_[node].delivered.contains(id);
 }
 
 RunResults Collector::results() const {
   RunResults r;
   r.messages_created = messages_created_;
   r.expected_deliveries = expected_deliveries_;
-  r.interested_deliveries = interested_deliveries_;
-  r.false_deliveries = false_deliveries_;
-  r.forwardings = forwardings_;
-  r.message_bytes = message_bytes_;
-  r.control_bytes = control_bytes_;
+  r.forwardings = forwardings_.load();
+  r.message_bytes = message_bytes_.load();
+  r.control_bytes = control_bytes_.load();
+
+  // Canonical reduce: node-id order, each node's samples in its own trace
+  // order. Serial and parallel runs feed identical per-node logs, so the
+  // floating-point sums below associate identically — bit-equal results.
+  std::uint64_t total_delivered = 0;
+  util::PercentileTracker delays;
+  for (const NodeLog& log : logs_) {
+    total_delivered += log.delivered.size();
+    r.interested_deliveries += log.interested;
+    r.false_deliveries += log.false_deliveries;
+    for (double d : log.delay_minutes) delays.add(d);
+  }
+
   if (expected_deliveries_ > 0) {
-    r.delivery_ratio = static_cast<double>(interested_deliveries_) /
+    r.delivery_ratio = static_cast<double>(r.interested_deliveries) /
                        static_cast<double>(expected_deliveries_);
   }
-  if (!delay_minutes_.empty()) {
-    r.mean_delay_minutes = delay_minutes_.mean();
-    r.median_delay_minutes = delay_minutes_.median();
-    r.max_delay_minutes = delay_minutes_.percentile(100.0);
+  if (!delays.empty()) {
+    r.mean_delay_minutes = delays.mean();
+    r.median_delay_minutes = delays.median();
+    r.max_delay_minutes = delays.percentile(100.0);
   }
-  std::uint64_t total_delivered = delivered_pairs_.size();
   if (total_delivered > 0) {
-    r.forwardings_per_delivery = static_cast<double>(forwardings_) /
+    r.forwardings_per_delivery = static_cast<double>(r.forwardings) /
                                  static_cast<double>(total_delivered);
-    r.false_positive_rate = static_cast<double>(false_deliveries_) /
+    r.false_positive_rate = static_cast<double>(r.false_deliveries) /
                             static_cast<double>(total_delivered);
   }
-  r.hot_path = hot_path_;
+  r.hot_path = hot_path_.snapshot();
   return r;
 }
 

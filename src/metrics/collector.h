@@ -2,10 +2,29 @@
 // delivery ratio, delay of delivered messages, forwardings per delivered
 // message, and the false-positive delivery rate — plus byte-level overhead
 // accounting used in the memory/bandwidth discussions.
+//
+// Concurrency model (the parallel-engine determinism contract): the
+// collector may be fed from several pool workers at once as long as no two
+// concurrent events touch the same node — exactly what the conflict
+// scheduler guarantees. Two mechanisms keep N-thread runs byte-identical to
+// serial runs:
+//   - scalar tallies (forwardings, bytes, hot-path counters) are relaxed
+//     atomics: integer sums commute exactly, so any execution order yields
+//     the same totals;
+//   - order-sensitive state (delivered-pair dedup, delay samples) is
+//     partitioned per destination node. A node's deliveries can only happen
+//     during that node's own contacts, which every schedule executes in
+//     trace order, so each per-node log is deterministic; results() reduces
+//     the logs in node-id order, a canonical order shared by serial and
+//     parallel runs.
+// reserve_nodes() must be called before any cross-thread recording; it
+// pre-sizes the per-node partition so the hot path never reallocates.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_set>
+#include <vector>
 
 #include "trace/contact.h"
 #include "util/stats.h"
@@ -13,6 +32,29 @@
 #include "workload/message.h"
 
 namespace bsub::metrics {
+
+/// A monotone event counter safe to bump from concurrent pool workers.
+/// Relaxed ordering suffices: the counters are pure tallies, read only
+/// after the run's final barrier.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter&) = delete;
+  RelaxedCounter& operator=(const RelaxedCounter&) = delete;
+
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(std::uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  std::uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
 
 /// Hot-path instrumentation for the contact-loop fast path. These counters
 /// describe *how* a run executed (cache hits, skipped scans), never *what*
@@ -33,6 +75,24 @@ struct HotPathStats {
     encode_cache_misses += o.encode_cache_misses;
     payload_copies_avoided += o.payload_copies_avoided;
     payload_copies_made += o.payload_copies_made;
+  }
+};
+
+/// The live (thread-safe) mirror of HotPathStats that protocols bump during
+/// a run; snapshot() flattens it into the plain struct for RunResults.
+struct HotPathCounters {
+  RelaxedCounter purge_scans_skipped;
+  RelaxedCounter purge_scans_run;
+  RelaxedCounter encode_cache_hits;
+  RelaxedCounter encode_cache_misses;
+  RelaxedCounter payload_copies_avoided;
+  RelaxedCounter payload_copies_made;
+
+  HotPathStats snapshot() const {
+    return HotPathStats{purge_scans_skipped.load(), purge_scans_run.load(),
+                        encode_cache_hits.load(),   encode_cache_misses.load(),
+                        payload_copies_avoided.load(),
+                        payload_copies_made.load()};
   }
 };
 
@@ -66,6 +126,11 @@ class Collector {
   void set_expected(std::uint64_t messages_created,
                     std::uint64_t expected_deliveries);
 
+  /// Pre-sizes the per-node partition for ids in [0, node_count). Required
+  /// before concurrent recording (the partition must not grow under the
+  /// workers' feet); optional for serial use, where it grows on demand.
+  void reserve_nodes(std::size_t node_count);
+
   /// A message body crossed a link (any hop, including final delivery).
   void record_forwarding(const workload::Message& msg);
 
@@ -86,26 +151,31 @@ class Collector {
 
   /// Mutable hot-path counters; protocols bump these directly (or merge
   /// per-store stats in on_end).
-  HotPathStats& hot_path() { return hot_path_; }
-  const HotPathStats& hot_path() const { return hot_path_; }
+  HotPathCounters& hot_path() { return hot_path_; }
+  const HotPathCounters& hot_path() const { return hot_path_; }
 
   RunResults results() const;
 
  private:
-  static std::uint64_t pair_key(workload::MessageId id, trace::NodeId node) {
-    return (id << 20) ^ static_cast<std::uint64_t>(node);
-  }
+  /// Everything order-sensitive about one destination node, written only
+  /// during that node's own contacts (hence race-free under node-disjoint
+  /// batches, and in the node's trace order under any schedule).
+  struct NodeLog {
+    std::unordered_set<workload::MessageId> delivered;
+    std::vector<double> delay_minutes;  ///< interested deliveries, in order
+    std::uint64_t interested = 0;
+    std::uint64_t false_deliveries = 0;
+  };
+
+  NodeLog& node_log(trace::NodeId node);
 
   std::uint64_t messages_created_ = 0;
   std::uint64_t expected_deliveries_ = 0;
-  std::uint64_t forwardings_ = 0;
-  std::uint64_t message_bytes_ = 0;
-  std::uint64_t control_bytes_ = 0;
-  std::uint64_t interested_deliveries_ = 0;
-  std::uint64_t false_deliveries_ = 0;
-  std::unordered_set<std::uint64_t> delivered_pairs_;
-  util::PercentileTracker delay_minutes_;
-  HotPathStats hot_path_;
+  RelaxedCounter forwardings_;
+  RelaxedCounter message_bytes_;
+  RelaxedCounter control_bytes_;
+  std::vector<NodeLog> logs_;
+  HotPathCounters hot_path_;
 };
 
 }  // namespace bsub::metrics

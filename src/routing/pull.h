@@ -28,6 +28,8 @@ class PullProtocol final : public sim::Protocol {
                   util::Time duration, sim::Link& link) override;
   void on_end(util::Time now) override;
   const char* name() const override { return "PULL"; }
+  /// All run state lives in per-node vectors; collector tallies commute.
+  bool parallel_contacts_safe() const override { return true; }
 
  private:
   /// `consumer` pulls matching messages produced by `producer`.

@@ -29,6 +29,8 @@ class PushProtocol final : public sim::Protocol {
   void on_contact(trace::NodeId a, trace::NodeId b, util::Time now,
                   util::Time duration, sim::Link& link) override;
   const char* name() const override { return "PUSH"; }
+  /// All run state lives in per-node vectors; collector tallies commute.
+  bool parallel_contacts_safe() const override { return true; }
 
  private:
   void transfer(trace::NodeId from, trace::NodeId to, util::Time now,

@@ -38,6 +38,8 @@ class SprayProtocol final : public sim::Protocol {
                   util::Time duration, sim::Link& link) override;
   void on_end(util::Time now) override;
   const char* name() const override { return "SPRAY"; }
+  /// All run state lives in per-node vectors; collector tallies commute.
+  bool parallel_contacts_safe() const override { return true; }
 
  private:
   struct SourceMessage {

@@ -1,0 +1,82 @@
+// Conflict-batch scheduling for parallel contact execution.
+//
+// The structural fact the whole parallel engine rests on (PAPER §VII's
+// evaluation model): an event — a contact {a, b} or a message creation at
+// its producer — mutates only the state of its endpoint node(s). Two events
+// with disjoint endpoint sets therefore commute exactly, while two events
+// sharing a node must run in trace order.
+//
+// The scheduler takes a window of events (already in trace order) and
+// greedily partitions it into *conflict batches*: event e lands in batch
+// 1 + max(batch of the previous event touching a, batch of the previous
+// event touching b). By construction:
+//   - every batch is node-disjoint (two events in one batch would otherwise
+//     have forced each other into a later batch), so a batch's events can
+//     run concurrently with no synchronization;
+//   - any two conflicting events land in strictly increasing batches, in
+//     trace order — executing batches sequentially with a barrier between
+//     them preserves each node's exact serial event subsequence.
+// This is greedy path coloring on the interval graph of endpoint reuse; the
+// batch count equals the longest chain of conflicting events in the window.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/contact.h"
+
+namespace bsub::sim {
+
+/// Endpoint set of one schedulable event. Single-node events (message
+/// creations) use b == kNoNode.
+struct EventNodes {
+  static constexpr trace::NodeId kNoNode = 0xffffffffu;
+  trace::NodeId a = kNoNode;
+  trace::NodeId b = kNoNode;
+};
+
+/// A window's events grouped into node-disjoint batches. Batch k holds the
+/// event indices order[offsets[k]] .. order[offsets[k+1]-1], each index
+/// referring to the input span. Within a batch, indices appear in input
+/// (trace) order — irrelevant for correctness (the batch is node-disjoint)
+/// but it keeps chunked execution cache-friendly.
+struct ConflictSchedule {
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t> offsets;  ///< size = batch_count() + 1
+
+  std::size_t batch_count() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::span<const std::uint32_t> batch(std::size_t k) const {
+    return {order.data() + offsets[k],
+            static_cast<std::size_t>(offsets[k + 1] - offsets[k])};
+  }
+};
+
+/// Reusable scheduler: the per-node "last batch" table persists across
+/// windows (reset between runs) so repeated scheduling does no allocation
+/// in steady state.
+class ConflictScheduler {
+ public:
+  explicit ConflictScheduler(std::size_t node_count);
+
+  /// Partitions `events` (in trace order) into conflict batches. The
+  /// result's indices refer to positions within `events`.
+  ConflictSchedule schedule(std::span<const EventNodes> events);
+
+  /// Same, reusing `out`'s storage to avoid reallocation across windows.
+  void schedule(std::span<const EventNodes> events, ConflictSchedule& out);
+
+ private:
+  /// last_batch_[n] - stamp_base_ = batch of the latest event touching n in
+  /// the current window; values below stamp_base_ mean "untouched", which
+  /// lets reset between windows be O(1) instead of O(node_count).
+  std::vector<std::uint64_t> last_batch_;
+  std::uint64_t stamp_base_ = 1;
+  std::vector<std::uint32_t> batch_of_;  ///< scratch: batch per event
+  std::vector<std::uint32_t> counts_;    ///< scratch: events per batch
+  std::vector<std::uint32_t> cursor_;    ///< scratch: fill cursor per batch
+};
+
+}  // namespace bsub::sim

@@ -37,6 +37,14 @@ class Protocol {
   /// Called once after the last event.
   virtual void on_end(util::Time /*now*/) {}
 
+  /// Opt-in to the conflict-batch parallel executor: return true iff
+  /// concurrent on_contact/on_message_created calls for *node-disjoint*
+  /// events are safe — all mutable state is per-node, and any global
+  /// tallies are commutative (relaxed atomics) or reduced canonically.
+  /// Defaults to false so external Protocol subclasses (e.g. test doubles
+  /// that log a global event order) keep the serial path untouched.
+  virtual bool parallel_contacts_safe() const { return false; }
+
   /// Human-readable protocol name for reports.
   virtual const char* name() const = 0;
 };

@@ -1,6 +1,44 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <cstdint>
+
 namespace bsub::sim {
+
+namespace {
+
+/// One entry of the merged event stream: a message creation (by workload
+/// index) or a contact (by trace index). Kept as a tagged index rather than
+/// a variant so the merged stream is 8 bytes/event.
+struct MergedEvent {
+  std::uint32_t index;
+  bool is_message;
+};
+
+/// Merges creations and contacts with the serial loop's exact tie rule:
+/// a creation at time t is visible to a contact starting at the same t.
+std::vector<MergedEvent> merge_events(
+    const std::vector<trace::Contact>& contacts,
+    const std::vector<workload::Message>& messages) {
+  std::vector<MergedEvent> events;
+  events.reserve(contacts.size() + messages.size());
+  std::size_t ci = 0, mi = 0;
+  while (ci < contacts.size() || mi < messages.size()) {
+    const bool take_message =
+        mi < messages.size() &&
+        (ci >= contacts.size() || messages[mi].created <= contacts[ci].start);
+    if (take_message) {
+      events.push_back({static_cast<std::uint32_t>(mi), true});
+      ++mi;
+    } else {
+      events.push_back({static_cast<std::uint32_t>(ci), false});
+      ++ci;
+    }
+  }
+  return events;
+}
+
+}  // namespace
 
 metrics::RunResults Simulator::run(const trace::ContactTrace& trace,
                                    const workload::Workload& workload,
@@ -8,30 +46,89 @@ metrics::RunResults Simulator::run(const trace::ContactTrace& trace,
   metrics::Collector collector;
   collector.set_expected(workload.messages().size(),
                          workload.expected_deliveries());
-  protocol.on_start(trace, workload, collector);
 
   const auto& contacts = trace.contacts();
   const auto& messages = workload.messages();
-  std::size_t ci = 0, mi = 0;
+
+  // Node-id space for the conflict scheduler: producers are trace nodes,
+  // but stay defensive against workloads that reference ids past the trace.
+  std::size_t node_count = trace.node_count();
+  for (const workload::Message& m : messages) {
+    node_count = std::max(node_count, static_cast<std::size_t>(m.producer) + 1);
+  }
+  collector.reserve_nodes(node_count);
+
+  protocol.on_start(trace, workload, collector);
+
+  const std::size_t threads =
+      config_.threads != 0 ? config_.threads : util::default_thread_count();
+
+  last_run_stats_ = ParallelRunStats{};
   util::Time now = trace.start_time();
 
-  // Two-way merge of the contact stream and the message-creation stream;
-  // creations at time t are visible to a contact starting at the same t.
-  while (ci < contacts.size() || mi < messages.size()) {
-    const bool take_message =
-        mi < messages.size() &&
-        (ci >= contacts.size() || messages[mi].created <= contacts[ci].start);
-    if (take_message) {
-      now = messages[mi].created;
-      protocol.on_message_created(messages[mi], now);
-      ++mi;
-    } else {
-      const trace::Contact& c = contacts[ci];
-      now = c.start;
-      Link link(c.duration(), config_.bandwidth_bytes_per_second);
-      protocol.on_contact(c.a, c.b, now, c.duration(), link);
-      ++ci;
+  if (threads <= 1 || !protocol.parallel_contacts_safe()) {
+    // Serial two-way merge — the reference order every parallel schedule
+    // must reproduce per node.
+    last_run_stats_.threads_used = 1;
+    std::size_t ci = 0, mi = 0;
+    while (ci < contacts.size() || mi < messages.size()) {
+      const bool take_message =
+          mi < messages.size() &&
+          (ci >= contacts.size() ||
+           messages[mi].created <= contacts[ci].start);
+      if (take_message) {
+        now = messages[mi].created;
+        protocol.on_message_created(messages[mi], now);
+        ++mi;
+      } else {
+        const trace::Contact& c = contacts[ci];
+        now = c.start;
+        Link link(c.duration(), config_.bandwidth_bytes_per_second);
+        protocol.on_contact(c.a, c.b, now, c.duration(), link);
+        ++ci;
+      }
+      last_run_stats_.events = ci + mi;
     }
+    protocol.on_end(now);
+    return collector.results();
+  }
+
+  const std::vector<MergedEvent> events = merge_events(contacts, messages);
+  std::vector<EventNodes> endpoints(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].is_message) {
+      endpoints[i] = {messages[events[i].index].producer, EventNodes::kNoNode};
+    } else {
+      const trace::Contact& c = contacts[events[i].index];
+      endpoints[i] = {c.a, c.b};
+    }
+  }
+
+  ParallelRunConfig pcfg;
+  pcfg.threads = threads;
+  pcfg.window_events = config_.window_events;
+  pcfg.min_batch_fanout = config_.min_batch_fanout;
+
+  const double bandwidth = config_.bandwidth_bytes_per_second;
+  last_run_stats_ = run_conflict_parallel(
+      events.size(), node_count, endpoints,
+      [&](std::size_t i) {
+        const MergedEvent& e = events[i];
+        if (e.is_message) {
+          const workload::Message& m = messages[e.index];
+          protocol.on_message_created(m, m.created);
+        } else {
+          const trace::Contact& c = contacts[e.index];
+          Link link(c.duration(), bandwidth);
+          protocol.on_contact(c.a, c.b, c.start, c.duration(), link);
+        }
+      },
+      pcfg);
+
+  if (!events.empty()) {
+    const MergedEvent& last = events.back();
+    now = last.is_message ? messages[last.index].created
+                          : contacts[last.index].start;
   }
   protocol.on_end(now);
   return collector.results();

@@ -3,11 +3,16 @@
 // Replays a contact trace against a materialized workload: message-creation
 // events and contact events are merged in time order and dispatched to the
 // protocol under test. Deterministic: same trace + workload + protocol state
-// gives identical results.
+// gives identical results — including across thread counts. When the
+// protocol opts in via Protocol::parallel_contacts_safe(), the merged event
+// stream is executed by the windowed conflict-batch executor
+// (parallel_executor.h), which preserves every node's serial event order;
+// BSUB_THREADS=1 and N-thread runs produce byte-identical RunResults.
 #pragma once
 
 #include "metrics/collector.h"
 #include "sim/link.h"
+#include "sim/parallel_executor.h"
 #include "sim/protocol.h"
 #include "trace/trace.h"
 #include "workload/workload.h"
@@ -16,6 +21,14 @@ namespace bsub::sim {
 
 struct SimulatorConfig {
   double bandwidth_bytes_per_second = kDefaultBandwidthBytesPerSecond;
+  /// Worker threads for the contact loop: 0 = util::default_thread_count()
+  /// (honors BSUB_THREADS), 1 = plain serial loop. Only takes effect when
+  /// the protocol reports parallel_contacts_safe().
+  std::size_t threads = 0;
+  /// Events per conflict-scheduling window (see ParallelRunConfig).
+  std::size_t window_events = 4096;
+  /// Inline-vs-fanout threshold per batch (see ParallelRunConfig).
+  std::size_t min_batch_fanout = 4;
 };
 
 class Simulator {
@@ -27,8 +40,14 @@ class Simulator {
                           const workload::Workload& workload,
                           Protocol& protocol);
 
+  /// Execution-shape stats of the most recent run() (windows, batches,
+  /// batch-size histogram). Serial runs report threads_used == 1 and no
+  /// batches.
+  const ParallelRunStats& last_run_stats() const { return last_run_stats_; }
+
  private:
   SimulatorConfig config_;
+  ParallelRunStats last_run_stats_;
 };
 
 }  // namespace bsub::sim

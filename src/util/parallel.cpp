@@ -41,8 +41,13 @@ void ThreadPool::submit(std::function<void()> job) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::worker_loop() {
@@ -56,9 +61,15 @@ void ThreadPool::worker_loop() {
       jobs_.pop();
       ++active_;
     }
-    job();
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
       --active_;
       if (jobs_.empty() && active_ == 0) cv_idle_.notify_all();
     }

@@ -39,11 +39,14 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a job. Jobs must not throw past their own frame; wrap user
-  /// code that can throw (parallel_for_index does).
+  /// Enqueues a job. A job that throws does not kill its worker: the first
+  /// exception of a batch is captured and rethrown by the next wait_idle().
   void submit(std::function<void()> job);
 
-  /// Blocks until the queue is empty and every worker is idle.
+  /// Blocks until the queue is empty and every worker is idle, then
+  /// rethrows the first exception any job of the batch threw (if any).
+  /// The pool stays usable afterwards: submit/wait_idle cycles can repeat
+  /// (one batch-barrier per cycle).
   void wait_idle();
 
  private:
@@ -53,6 +56,7 @@ class ThreadPool {
   std::condition_variable cv_job_;
   std::condition_variable cv_idle_;
   std::queue<std::function<void()>> jobs_;
+  std::exception_ptr first_error_;
   std::size_t active_ = 0;
   bool stop_ = false;
   std::vector<std::thread> workers_;

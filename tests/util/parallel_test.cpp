@@ -54,6 +54,43 @@ TEST(ThreadPoolTest, WaitIdleBlocksUntilDrained) {
   EXPECT_EQ(done.load(), 8);
 }
 
+TEST(ThreadPoolTest, WaitIdleRethrowsFirstBatchException) {
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  pool.submit([] { throw std::runtime_error("batch failure"); });
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&survivors] { survivors.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The throwing job must not have killed its worker: the rest of the
+  // batch still ran to completion before the barrier returned.
+  EXPECT_EQ(survivors.load(), 4);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossSubmitWaitIdleCycles) {
+  // Regression: the conflict-batch executor submits a batch, barriers on
+  // wait_idle(), and immediately submits the next batch on the same pool —
+  // hundreds of cycles per run. The pool must stay fully functional, and a
+  // batch's exception must not leak into later batches.
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int j = 0; j < 10; ++j) {
+      pool.submit([&total] { total.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(total.load(), (cycle + 1) * 10);
+  }
+
+  pool.submit([] { throw std::runtime_error("one bad batch"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+
+  // The error was consumed by the barrier; the next cycle starts clean.
+  pool.submit([&total] { total.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), 501);
+}
+
 TEST(ParallelForIndexTest, VisitsEveryIndexExactlyOnce) {
   constexpr std::size_t kN = 1000;
   std::vector<std::atomic<int>> visits(kN);
