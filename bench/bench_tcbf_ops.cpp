@@ -19,6 +19,7 @@
 #include "bloom/fpr.h"
 #include "bloom/tcbf.h"
 #include "bloom/tcbf_codec.h"
+#include "util/errors.h"
 #include "util/hash.h"
 #include "util/rng.h"
 
@@ -170,6 +171,31 @@ void BM_TcbfDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TcbfDecode);
+
+void BM_TcbfDecodeReject(benchmark::State& state) {
+  // Cost of turning away hostile bytes: a valid encoding truncated to the
+  // given fraction (x1000) of its length. The length-prefix sanity check
+  // should reject long-but-truncated buffers before any O(m) allocation,
+  // so this stays flat as the cut point moves.
+  bloom::Tcbf t({65536, 4}, 50.0);
+  const auto keys = make_keys(2000);
+  for (const auto& k : keys) t.insert(k);
+  auto enc = bloom::encode_tcbf(t, bloom::CounterEncoding::kFull);
+  enc.resize(enc.size() * static_cast<std::size_t>(state.range(0)) / 1000);
+  std::size_t rejected = 0;
+  for (auto _ : state) {
+    try {
+      auto dec = bloom::decode_tcbf(enc);
+      benchmark::DoNotOptimize(dec);
+    } catch (const util::DecodeError&) {
+      ++rejected;
+    }
+  }
+  if (rejected != static_cast<std::size_t>(state.iterations())) {
+    state.SkipWithError("truncated buffer unexpectedly decoded");
+  }
+}
+BENCHMARK(BM_TcbfDecodeReject)->Arg(10)->Arg(500)->Arg(999);
 
 // --- before/after comparison -----------------------------------------------
 

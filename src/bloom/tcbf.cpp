@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 namespace bsub::bloom {
@@ -49,10 +50,11 @@ void Tcbf::insert(const util::HashPair& hp) {
         "Tcbf::insert: cannot insert into a merged filter; insert into a "
         "fresh TCBF and merge it in");
   }
+  const double value = std::min(initial_counter_, kCounterSaturation);
   for (std::uint32_t i = 0; i < params_.k; ++i) {
     const std::size_t idx = util::km_index(hp, i, params_.m);
     if (effective(idx) <= 0.0) {
-      raw_[idx] = initial_counter_ + decay_base_;
+      raw_[idx] = value + decay_base_;
       mark_occupied(idx);
     }
   }
@@ -91,7 +93,7 @@ void Tcbf::m_merge(const Tcbf& other) {
       const std::size_t i =
           w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
       bits &= bits - 1;
-      const double v = other.effective(i);
+      const double v = std::min(other.effective(i), kCounterSaturation);
       if (v <= 0.0) continue;
       if (v > raw_[i]) {
         raw_[i] = v;
@@ -229,9 +231,20 @@ Tcbf Tcbf::from_counters(BloomParams params, double initial_counter,
   if (counters.size() != params.m) {
     throw std::invalid_argument("Tcbf::from_counters: size mismatch");
   }
+  if (!std::isfinite(initial_counter) || initial_counter <= 0.0) {
+    throw std::invalid_argument(
+        "Tcbf::from_counters: initial counter must be finite and positive");
+  }
   Tcbf t(params, initial_counter);
   t.raw_ = std::move(counters);
   for (std::size_t i = 0; i < t.raw_.size(); ++i) {
+    // Decoded state is untrusted: NaN would poison every later comparison,
+    // and values past the ceiling would defeat the saturation invariant on
+    // the next merge.
+    if (std::isnan(t.raw_[i])) {
+      throw std::invalid_argument("Tcbf::from_counters: NaN counter");
+    }
+    t.raw_[i] = std::clamp(t.raw_[i], 0.0, kCounterSaturation);
     if (t.raw_[i] > 0.0) t.mark_occupied(i);
   }
   t.merged_ = true;

@@ -63,7 +63,10 @@ inline constexpr double kDefaultInitialCounter = 50.0;
 /// Saturation ceiling for counters. Real deployments store counters in one
 /// byte (section VI-C), so values are inherently bounded; the in-memory
 /// ceiling is far above any genuine reinforcement level but stops the
-/// A-merge feedback loop (paper Fig. 6) from overflowing doubles.
+/// A-merge feedback loop (paper Fig. 6) from overflowing doubles. Every
+/// write path enforces it — insert, A-merge, M-merge, and from_counters
+/// (the decode path) — so no sequence of operations, including merging
+/// decoded wire state, can push a stored counter past the ceiling.
 inline constexpr double kCounterSaturation = 1e12;
 
 class Tcbf {

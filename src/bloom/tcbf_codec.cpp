@@ -44,6 +44,16 @@ void write_positions(util::ByteWriter& w, const std::vector<std::size_t>& bits,
   }
 }
 
+BitLayout read_layout(util::ByteReader& r) {
+  const std::size_t at = r.offset();
+  const std::uint8_t b = r.get_u8();
+  if (b > static_cast<std::uint8_t>(BitLayout::kBitmap)) {
+    throw util::CodecError("bad bit layout", at, "0 (locations) or 1 (bitmap)",
+                           std::to_string(b));
+  }
+  return static_cast<BitLayout>(b);
+}
+
 std::vector<std::size_t> read_positions(util::ByteReader& r, std::size_t m,
                                         std::size_t count, BitLayout layout) {
   std::vector<std::size_t> bits;
@@ -51,19 +61,42 @@ std::vector<std::size_t> read_positions(util::ByteReader& r, std::size_t m,
   if (layout == BitLayout::kLocations) {
     unsigned width = util::bits_for(m);
     for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t at = r.offset();
       std::size_t b = static_cast<std::size_t>(r.get_bits(width));
-      if (b >= m) throw util::DecodeError("bit position out of range");
+      if (b >= m) {
+        throw util::CodecError("bit position out of range", at,
+                               "position below " + std::to_string(m),
+                               std::to_string(b));
+      }
+      // Encoders emit positions strictly ascending; enforcing that rejects
+      // duplicates and keeps every valid encoding canonical (one byte
+      // sequence per filter, which the round-trip identity tests rely on).
+      if (!bits.empty() && b <= bits.back()) {
+        throw util::CodecError("non-canonical position list", at,
+                               "strictly ascending positions",
+                               std::to_string(b) + " after " +
+                                   std::to_string(bits.back()));
+      }
       bits.push_back(b);
     }
     r.align_bits();
   } else {
-    std::vector<std::uint8_t> bitmap((m + 7) / 8);
-    for (auto& byte : bitmap) byte = r.get_u8();
+    const auto bitmap = r.get_span((m + 7) / 8);
     for (std::size_t b = 0; b < m; ++b) {
       if ((bitmap[b / 8] >> (b % 8)) & 1u) bits.push_back(b);
     }
+    // Padding bits past m must be zero (canonical form).
+    for (std::size_t b = m; b < bitmap.size() * 8; ++b) {
+      if ((bitmap[b / 8] >> (b % 8)) & 1u) {
+        throw util::CodecError("bitmap padding bits set", r.offset(),
+                               "zero bits past position " + std::to_string(m),
+                               {});
+      }
+    }
     if (bits.size() != count) {
-      throw util::DecodeError("bitmap popcount mismatch");
+      throw util::CodecError("bitmap popcount mismatch", r.offset(),
+                             std::to_string(count) + " set bits",
+                             std::to_string(bits.size()));
     }
   }
   return bits;
@@ -154,39 +187,103 @@ void encode_tcbf_into(const Tcbf& filter, CounterEncoding encoding,
   out = std::move(w).take();
 }
 
+namespace {
+
+/// Validates a decoded counter scale: the encoder only emits scales in
+/// (0, kCounterSaturation/255], so anything else (NaN, inf, zero, negative,
+/// or absurdly large) is hostile input.
+double checked_scale(util::ByteReader& r) {
+  const std::size_t at = r.offset();
+  const double scale = r.get_double();
+  if (!std::isfinite(scale) || scale <= 0.0 ||
+      scale > kCounterSaturation / 255.0) {
+    throw util::CodecError("bad counter scale", at,
+                           "finite scale in (0, saturation/255]", {});
+  }
+  return scale;
+}
+
+}  // namespace
+
 Tcbf decode_tcbf(std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
-  if (r.get_u8() != kMagicTcbf) throw util::DecodeError("bad TCBF magic");
-  auto encoding = static_cast<CounterEncoding>(r.get_u8());
-  auto layout = static_cast<BitLayout>(r.get_u8());
+  if (r.get_u8() != kMagicTcbf) {
+    throw util::CodecError("bad TCBF magic", 0, "0xB5", {});
+  }
+  const std::size_t encoding_at = r.offset();
+  const std::uint8_t encoding_byte = r.get_u8();
+  if (encoding_byte > static_cast<std::uint8_t>(CounterEncoding::kCounterLess)) {
+    throw util::CodecError("bad TCBF counter encoding", encoding_at,
+                           "0, 1, or 2", std::to_string(encoding_byte));
+  }
+  const auto encoding = static_cast<CounterEncoding>(encoding_byte);
+  const BitLayout layout = read_layout(r);
   BloomParams params;
   params.m = static_cast<std::size_t>(r.get_varint());
   params.k = static_cast<std::uint32_t>(r.get_varint());
   if (params.m == 0 || params.m > kMaxDecodedBits || params.k == 0 ||
       params.k > kMaxDecodedHashes) {
-    throw util::DecodeError("bad TCBF parameters");
+    throw util::CodecError("bad TCBF parameters", r.offset(),
+                           "0 < m <= 2^26 and 0 < k <= 64",
+                           "m=" + std::to_string(params.m) +
+                               " k=" + std::to_string(params.k));
   }
+  const std::size_t initial_at = r.offset();
   double initial_counter = r.get_double();
-  if (!(initial_counter > 0.0)) {
-    throw util::DecodeError("bad TCBF initial counter");
+  if (!std::isfinite(initial_counter) || initial_counter <= 0.0 ||
+      initial_counter > kCounterSaturation) {
+    throw util::CodecError("bad TCBF initial counter", initial_at,
+                           "finite value in (0, saturation]", {});
   }
   std::size_t count = static_cast<std::size_t>(r.get_varint());
-  if (count > params.m) throw util::DecodeError("too many set bits");
+  if (count > params.m) {
+    throw util::CodecError("too many set bits", r.offset(),
+                           "at most m=" + std::to_string(params.m),
+                           std::to_string(count));
+  }
+  // Length-prefix sanity: the header fully determines the minimum body size,
+  // so a truncated buffer is rejected here — before the O(m) counter array
+  // is allocated for it.
+  std::size_t need = position_bytes(count, params.m, layout);
+  if (encoding == CounterEncoding::kFull) {
+    need += 8 + count;  // scale + one counter byte per set bit
+  } else if (encoding == CounterEncoding::kUniform) {
+    need += 8 + 1;  // scale + shared counter byte
+  }
+  if (need > r.remaining()) {
+    throw util::CodecError("TCBF encoding shorter than its header implies",
+                           r.offset(), std::to_string(need) + " more byte(s)",
+                           std::to_string(r.remaining()));
+  }
 
   std::vector<double> counters(params.m, 0.0);
   switch (encoding) {
     case CounterEncoding::kFull: {
-      double scale = r.get_double();
+      const double scale = checked_scale(r);
       auto bits = read_positions(r, params.m, count, layout);
       for (std::size_t b : bits) {
-        counters[b] = static_cast<double>(r.get_u8()) * scale;
+        const std::size_t at = r.offset();
+        const std::uint8_t q = r.get_u8();
+        // quantize() never emits 0 for a live bit; a zero here would make
+        // the bit silently vanish and break popcount == count.
+        if (q == 0) {
+          throw util::CodecError("zero quantized counter", at,
+                                 "byte in [1, 255]", "0");
+        }
+        counters[b] = static_cast<double>(q) * scale;
       }
       break;
     }
     case CounterEncoding::kUniform: {
-      double scale = r.get_double();
+      const double scale = checked_scale(r);
       auto bits = read_positions(r, params.m, count, layout);
-      double value = static_cast<double>(r.get_u8()) * scale;
+      const std::size_t at = r.offset();
+      const std::uint8_t q = r.get_u8();
+      if (q == 0 && count > 0) {
+        throw util::CodecError("zero quantized counter", at,
+                               "byte in [1, 255]", "0");
+      }
+      double value = static_cast<double>(q) * scale;
       for (std::size_t b : bits) counters[b] = value;
       break;
     }
@@ -195,9 +292,8 @@ Tcbf decode_tcbf(std::span<const std::uint8_t> data) {
       for (std::size_t b : bits) counters[b] = initial_counter;
       break;
     }
-    default:
-      throw util::DecodeError("bad TCBF counter encoding");
   }
+  r.expect_end("TCBF encoding");
   return Tcbf::from_counters(params, initial_counter, std::move(counters));
 }
 
@@ -257,21 +353,37 @@ const std::vector<std::uint8_t>& encode_bloom_cached(const BloomFilter& filter,
 
 BloomFilter decode_bloom(std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
-  if (r.get_u8() != kMagicBloom) throw util::DecodeError("bad BF magic");
-  auto layout = static_cast<BitLayout>(r.get_u8());
+  if (r.get_u8() != kMagicBloom) {
+    throw util::CodecError("bad BF magic", 0, "0xBF", {});
+  }
+  const BitLayout layout = read_layout(r);
   BloomParams params;
   params.m = static_cast<std::size_t>(r.get_varint());
   params.k = static_cast<std::uint32_t>(r.get_varint());
   if (params.m == 0 || params.m > kMaxDecodedBits || params.k == 0 ||
       params.k > kMaxDecodedHashes) {
-    throw util::DecodeError("bad BF parameters");
+    throw util::CodecError("bad BF parameters", r.offset(),
+                           "0 < m <= 2^26 and 0 < k <= 64",
+                           "m=" + std::to_string(params.m) +
+                               " k=" + std::to_string(params.k));
   }
   std::size_t count = static_cast<std::size_t>(r.get_varint());
-  if (count > params.m) throw util::DecodeError("too many set bits");
+  if (count > params.m) {
+    throw util::CodecError("too many set bits", r.offset(),
+                           "at most m=" + std::to_string(params.m),
+                           std::to_string(count));
+  }
+  if (const std::size_t need = position_bytes(count, params.m, layout);
+      need > r.remaining()) {
+    throw util::CodecError("BF encoding shorter than its header implies",
+                           r.offset(), std::to_string(need) + " more byte(s)",
+                           std::to_string(r.remaining()));
+  }
   BloomFilter bf(params);
   for (std::size_t b : read_positions(r, params.m, count, layout)) {
     bf.set_bit(b);
   }
+  r.expect_end("BF encoding");
   return bf;
 }
 

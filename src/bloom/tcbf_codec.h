@@ -10,6 +10,13 @@
 //   Full          per-set-bit counter bytes        (relay-filter exchange)
 //   Uniform       one shared counter byte          (freshly built filters)
 //   CounterLess   no counters at all               (interest reports / BF)
+//
+// Decoding treats its input as attacker-controlled: every structural claim
+// (magic, enums, geometry, length prefixes, position ordering, counter
+// ranges) is validated — before any allocation it implies — and violations
+// throw util::CodecError with the failing byte offset (see DESIGN.md §7).
+// Valid encodings are canonical: encode(decode(encode(f))) == encode(f)
+// byte-for-byte.
 #pragma once
 
 #include <cstdint>

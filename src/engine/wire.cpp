@@ -11,6 +11,9 @@ namespace {
 constexpr std::uint8_t kFrameMagic = 0x5B;  // '['
 constexpr std::size_t kMaxBodyBytes = 1 << 20;
 constexpr std::size_t kMaxKeyBytes = 4096;
+// Generous bound on a whole frame payload (body + two filter blobs + slack):
+// reject absurd length claims before any allocation sized from them.
+constexpr std::size_t kMaxPayloadBytes = 4u << 20;
 
 /// Header: magic, type, payload length; trailer: FNV checksum of payload.
 /// Fills `out` (cleared, capacity reused).
@@ -65,27 +68,59 @@ void put_message(util::ByteWriter& w, const ContentMessage& m) {
   w.put_u64(static_cast<std::uint64_t>(m.ttl));
 }
 
+/// Reads a u64 that must be a valid non-negative util::Time.
+util::Time get_time(util::ByteReader& r, const char* what) {
+  const std::size_t at = r.offset();
+  const std::uint64_t raw = r.get_u64();
+  if (raw > static_cast<std::uint64_t>(util::kTimeMax)) {
+    throw util::CodecError(std::string("bad ") + what, at,
+                           "non-negative time below 2^63",
+                           std::to_string(raw));
+  }
+  return static_cast<util::Time>(raw);
+}
+
 ContentMessage get_message(util::ByteReader& r) {
   ContentMessage m;
   m.id = r.get_u64();
+  const std::size_t key_at = r.offset();
   m.key = r.get_string();
-  if (m.key.size() > kMaxKeyBytes) throw util::DecodeError("key too long");
+  if (m.key.size() > kMaxKeyBytes) {
+    throw util::CodecError("key too long", key_at,
+                           "at most " + std::to_string(kMaxKeyBytes) +
+                               " bytes",
+                           std::to_string(m.key.size()));
+  }
+  const std::size_t body_at = r.offset();
   const std::uint64_t body_len = r.get_varint();
-  if (body_len > kMaxBodyBytes) throw util::DecodeError("body too long");
-  m.body.resize(body_len);
-  for (auto& b : m.body) b = r.get_u8();
+  if (body_len > kMaxBodyBytes) {
+    throw util::CodecError("body too long", body_at,
+                           "at most " + std::to_string(kMaxBodyBytes) +
+                               " bytes",
+                           std::to_string(body_len));
+  }
+  const auto body = r.get_span(static_cast<std::size_t>(body_len));
+  m.body.assign(body.begin(), body.end());
   m.producer = r.get_u64();
-  m.created = static_cast<util::Time>(r.get_u64());
-  m.ttl = static_cast<util::Time>(r.get_u64());
+  m.created = get_time(r, "message creation time");
+  m.ttl = get_time(r, "message TTL");
+  if (m.created > util::kTimeMax - m.ttl) {
+    throw util::CodecError("message expiry overflows", r.offset(),
+                           "created + ttl below 2^63", {});
+  }
   return m;
 }
 
-std::vector<std::uint8_t> get_blob(util::ByteReader& r) {
+std::span<const std::uint8_t> get_blob(util::ByteReader& r) {
+  const std::size_t at = r.offset();
   const std::uint64_t len = r.get_varint();
-  if (len > kMaxBodyBytes) throw util::DecodeError("blob too long");
-  std::vector<std::uint8_t> blob(len);
-  for (auto& b : blob) b = r.get_u8();
-  return blob;
+  if (len > kMaxBodyBytes) {
+    throw util::CodecError("blob too long", at,
+                           "at most " + std::to_string(kMaxBodyBytes) +
+                               " bytes",
+                           std::to_string(len));
+  }
+  return r.get_span(static_cast<std::size_t>(len));
 }
 
 }  // namespace
@@ -222,22 +257,41 @@ const std::vector<std::uint8_t>& encode_relay_cached(NodeId sender,
 
 Frame decode(std::span<const std::uint8_t> bytes) {
   util::ByteReader r(bytes);
-  if (r.get_u8() != kFrameMagic) throw util::DecodeError("bad frame magic");
-  const auto type = static_cast<FrameType>(r.get_u8());
+  if (r.get_u8() != kFrameMagic) {
+    throw util::CodecError("bad frame magic", 0, "0x5B", {});
+  }
+  const std::uint8_t type_byte = r.get_u8();
+  if (type_byte < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type_byte > static_cast<std::uint8_t>(FrameType::kCustodyAck)) {
+    throw util::CodecError("unknown frame type", 1, "type in [1, 5]",
+                           std::to_string(type_byte));
+  }
+  const auto type = static_cast<FrameType>(type_byte);
+  const std::size_t len_at = r.offset();
   const std::uint64_t payload_len = r.get_varint();
+  if (payload_len > kMaxPayloadBytes) {
+    throw util::CodecError("frame payload too long", len_at,
+                           "at most " + std::to_string(kMaxPayloadBytes) +
+                               " bytes",
+                           std::to_string(payload_len));
+  }
   if (payload_len > r.remaining()) {
-    throw util::DecodeError("frame payload truncated");
+    throw util::CodecError("frame payload truncated", r.offset(),
+                           std::to_string(payload_len) + " payload bytes",
+                           std::to_string(r.remaining()));
   }
 
-  // Slice the payload, verify the trailing checksum, then parse.
-  std::vector<std::uint8_t> payload(payload_len);
-  for (auto& b : payload) b = r.get_u8();
+  // Slice the payload (zero-copy), verify the trailing checksum, then parse.
+  const auto payload = r.get_span(static_cast<std::size_t>(payload_len));
   const std::uint32_t declared = r.get_u32();
   const std::string_view view(reinterpret_cast<const char*>(payload.data()),
                               payload.size());
   if (declared != static_cast<std::uint32_t>(util::fnv1a64(view))) {
-    throw util::DecodeError("frame checksum mismatch");
+    throw util::CodecError("frame checksum mismatch");
   }
+  // A frame is a complete unit: callers hand decode() exactly one frame, so
+  // bytes past the checksum mean a framing bug or tampering.
+  r.expect_end("frame");
 
   util::ByteReader p(payload);
   Frame frame;
@@ -278,9 +332,8 @@ Frame decode(std::span<const std::uint8_t> bytes) {
       frame.custody_ack = a;
       break;
     }
-    default:
-      throw util::DecodeError("unknown frame type");
   }
+  p.expect_end("frame payload");
   return frame;
 }
 

@@ -13,8 +13,11 @@
 //                   broker replica (pickup / preferential transfer) from a
 //                   final delivery.
 //
-// Frames survive hostile bytes: decode() throws util::DecodeError on any
-// malformed, truncated, or checksum-failing input.
+// Frames survive hostile bytes: decode() treats its input as
+// attacker-controlled and throws util::CodecError (alias util::DecodeError)
+// on any malformed, truncated, oversized, out-of-range, trailing-garbage,
+// or checksum-failing input, with the failing byte offset attached. Length
+// claims are capped before any allocation they imply (see DESIGN.md §7).
 #pragma once
 
 #include <cstdint>

@@ -1,45 +1,197 @@
 #include "trace/trace_io.h"
 
-#include <fstream>
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/errors.h"
+#include "util/logging.h"
 
 namespace bsub::trace {
+
+namespace {
+
+// Largest |seconds| the parser accepts. Chosen so the millisecond value
+// stays below 2^53 and is therefore exactly representable as a double:
+// write_trace's seconds output then reparses to the identical util::Time
+// (about 285 millennia of range — far beyond any trace).
+constexpr double kMaxAbsSeconds = 9.0e12;
+
+/// Parses a full token as an unsigned node id; rejects signs, partial
+/// consumption ("1e3"), and ids that collide with kInvalidNode.
+NodeId parse_node_id(const std::string& tok, std::size_t line_no) {
+  if (tok.empty() || tok[0] == '-' || tok[0] == '+') {
+    throw util::ParseError("bad node id", line_no, "unsigned integer",
+                           "'" + tok + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size() || errno == ERANGE ||
+      v >= kInvalidNode) {
+    throw util::ParseError("bad node id", line_no,
+                           "integer in [0, " + std::to_string(kInvalidNode) +
+                               ")",
+                           "'" + tok + "'");
+  }
+  return static_cast<NodeId>(v);
+}
+
+/// Parses a full token as a finite timestamp in seconds within the
+/// representable millisecond range.
+double parse_seconds(const std::string& tok, std::size_t line_no) {
+  errno = 0;
+  char* end = nullptr;
+  const double s = tok.empty() ? 0.0 : std::strtod(tok.c_str(), &end);
+  if (tok.empty() || end != tok.c_str() + tok.size()) {
+    throw util::ParseError("bad timestamp", line_no, "decimal seconds",
+                           "'" + tok + "'");
+  }
+  if (!std::isfinite(s) || std::abs(s) > kMaxAbsSeconds) {
+    throw util::ParseError("timestamp out of range", line_no,
+                           "finite |seconds| <= 9.0e12", "'" + tok + "'");
+  }
+  return s;
+}
+
+/// Seconds -> milliseconds, rounded to nearest. Rounding (rather than the
+/// truncation of util::from_seconds) makes the text format exact for
+/// millisecond-resolution times: write_trace prints 3 decimals, and the
+/// nearest double to "X.YYY" rounds back to exactly X*1000+YYY ms.
+util::Time seconds_to_time(double s) {
+  return static_cast<util::Time>(std::llround(s * 1000.0));
+}
+
+/// Parses the value of a "# nodes N" / "# contacts N" header strictly.
+std::size_t parse_header_count(std::istringstream& hs, const char* header,
+                               std::size_t line_no) {
+  std::string tok, extra;
+  if (!(hs >> tok)) {
+    throw util::ParseError(std::string("bad '# ") + header + "' header",
+                           line_no, "a count", "nothing");
+  }
+  if (hs >> extra) {
+    throw util::ParseError(std::string("bad '# ") + header + "' header",
+                           line_no, "a single count",
+                           "trailing token '" + extra + "'");
+  }
+  if (tok[0] == '-' || tok[0] == '+') {
+    throw util::ParseError(std::string("bad '# ") + header + "' header",
+                           line_no, "unsigned count", "'" + tok + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size() || errno == ERANGE) {
+    throw util::ParseError(std::string("bad '# ") + header + "' header",
+                           line_no, "unsigned count", "'" + tok + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
 
 ContactTrace read_trace(std::istream& in, std::string name) {
   std::vector<Contact> contacts;
   std::size_t node_count = 0;
   bool explicit_nodes = false;
+  std::size_t declared_contacts = 0;
+  bool explicit_contacts = false;
   NodeId max_id = 0;
+  util::Time prev_start = std::numeric_limits<util::Time>::min();
+  bool warned_nonmonotonic = false;
 
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (line[0] == '#') {
       std::istringstream hs(line.substr(1));
       std::string word;
-      if (hs >> word && word == "nodes") {
-        if (hs >> node_count) explicit_nodes = true;
+      if (hs >> word) {
+        if (word == "nodes") {
+          if (explicit_nodes) {
+            throw util::ParseError("duplicate '# nodes' header", line_no);
+          }
+          node_count = parse_header_count(hs, "nodes", line_no);
+          explicit_nodes = true;
+        } else if (word == "contacts") {
+          if (explicit_contacts) {
+            throw util::ParseError("duplicate '# contacts' header", line_no);
+          }
+          declared_contacts = parse_header_count(hs, "contacts", line_no);
+          explicit_contacts = true;
+        }
+        // Any other '#' line is a free-form comment.
       }
       continue;
     }
+
     std::istringstream ls(line);
-    std::uint64_t a = 0, b = 0;
-    double start_s = 0.0, end_s = 0.0;
-    if (!(ls >> a >> b >> start_s >> end_s)) {
-      throw std::runtime_error("trace parse error at line " +
-                               std::to_string(line_no));
+    std::string ta, tb, tstart, tend, extra;
+    if (!(ls >> ta >> tb >> tstart >> tend)) {
+      int fields = 0;
+      std::istringstream count(line);
+      std::string tok;
+      while (count >> tok) ++fields;
+      throw util::ParseError("malformed contact line", line_no,
+                             "4 fields (a b start end)",
+                             std::to_string(fields) + " field(s)");
     }
+    if (ls >> extra) {
+      throw util::ParseError("malformed contact line", line_no,
+                             "4 fields (a b start end)",
+                             "trailing token '" + extra + "'");
+    }
+
     Contact c;
-    c.a = static_cast<NodeId>(a);
-    c.b = static_cast<NodeId>(b);
-    c.start = util::from_seconds(start_s);
-    c.end = util::from_seconds(end_s);
+    c.a = parse_node_id(ta, line_no);
+    c.b = parse_node_id(tb, line_no);
+    const double start_s = parse_seconds(tstart, line_no);
+    const double end_s = parse_seconds(tend, line_no);
+    if (end_s < start_s) {
+      throw util::ParseError("contact ends before it starts", line_no,
+                             "end >= start",
+                             "start=" + tstart + " end=" + tend);
+    }
+    if (explicit_nodes && (c.a >= node_count || c.b >= node_count)) {
+      throw util::ParseError(
+          "node id exceeds declared node count", line_no,
+          "ids below " + std::to_string(node_count),
+          std::to_string(std::max(c.a, c.b)));
+    }
+    c.start = seconds_to_time(start_s);
+    c.end = seconds_to_time(end_s);
+
+    if (c.start < prev_start && !warned_nonmonotonic) {
+      util::log_warn("trace ", name.empty() ? "<stream>" : name, " line ",
+                     line_no,
+                     ": contact starts before its predecessor; timestamps "
+                     "are not monotone (contacts will be sorted)");
+      warned_nonmonotonic = true;
+    }
+    prev_start = c.start;
+
     max_id = std::max({max_id, c.a, c.b});
     contacts.push_back(c);
+  }
+
+  if (in.bad()) {
+    throw util::ParseError("I/O error while reading trace", line_no);
+  }
+  if (explicit_contacts && declared_contacts != contacts.size()) {
+    throw util::ParseError(
+        "contact count mismatch", 0,
+        std::to_string(declared_contacts) + " per '# contacts' header",
+        std::to_string(contacts.size()) + " contact line(s)");
   }
   if (!explicit_nodes) {
     node_count = contacts.empty() ? 0 : static_cast<std::size_t>(max_id) + 1;
@@ -49,23 +201,32 @@ ContactTrace read_trace(std::istream& in, std::string name) {
 
 ContactTrace load_trace(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  if (!in) throw util::ParseError("cannot open trace file: " + path);
   return read_trace(in, path);
 }
 
 void write_trace(std::ostream& out, const ContactTrace& trace) {
   out << "# nodes " << trace.node_count() << "\n";
   out << "# contacts " << trace.contacts().size() << "\n";
+  // Fixed 3-decimal seconds are exact for millisecond-resolution times, so
+  // save -> load -> save is byte-identical (see read_trace's rounding).
+  const auto flags = out.flags();
+  const auto precision = out.precision();
+  out << std::fixed << std::setprecision(3);
   for (const Contact& c : trace.contacts()) {
     out << c.a << ' ' << c.b << ' ' << util::to_seconds(c.start) << ' '
         << util::to_seconds(c.end) << "\n";
   }
+  out.flags(flags);
+  out.precision(precision);
 }
 
 void save_trace(const std::string& path, const ContactTrace& trace) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write trace file: " + path);
+  if (!out) throw util::ParseError("cannot write trace file: " + path);
   write_trace(out, trace);
+  out.flush();
+  if (!out) throw util::ParseError("I/O error while writing trace: " + path);
 }
 
 }  // namespace bsub::trace

@@ -2,28 +2,45 @@
 //
 // Format: one contact per line, "<a> <b> <start_seconds> <end_seconds>",
 // '#' introduces comments. A header line "# nodes <n>" fixes the node count;
-// otherwise it is inferred as max id + 1. This matches the shape of the
+// otherwise it is inferred as max id + 1. An optional "# contacts <n>"
+// header declares the contact-line count. This matches the shape of the
 // published Haggle / Reality contact exports, so real CRAWDAD data can be
 // used in place of the synthetic traces.
+//
+// Parsing is strict (see DESIGN.md "Input validation & error taxonomy"):
+// every rejected input carries a line-numbered util::ParseError. A contact
+// line must have exactly 4 fields; node ids must be unsigned, below
+// kInvalidNode, and — when a "# nodes" header is present — below the
+// declared count (an id at or above it would silently undersize every
+// per-node array downstream). Timestamps must be finite, in range, and
+// satisfy end >= start. A "# contacts" header must match the number of
+// contact lines. Non-monotone start times are legal (contacts are sorted)
+// but logged once per file as a warning.
+//
+// Timestamps are written with fixed 3-decimal seconds and read back by
+// rounding to the nearest millisecond, so save -> load -> save is
+// byte-identical for the engine's millisecond-resolution times.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "trace/trace.h"
+#include "util/errors.h"
 
 namespace bsub::trace {
 
-/// Parses a trace from a stream. Throws std::runtime_error on parse errors.
+/// Parses a trace from a stream. Throws util::ParseError (with the failing
+/// line number and expected-vs-found context) on malformed input.
 ContactTrace read_trace(std::istream& in, std::string name = "");
 
-/// Parses a trace from a file. Throws std::runtime_error if unreadable.
+/// Parses a trace from a file. Throws util::ParseError if unreadable.
 ContactTrace load_trace(const std::string& path);
 
-/// Writes a trace in the same format (seconds resolution).
+/// Writes a trace in the same format (millisecond-exact seconds).
 void write_trace(std::ostream& out, const ContactTrace& trace);
 
-/// Writes to a file. Throws std::runtime_error if unwritable.
+/// Writes to a file. Throws util::ParseError if unwritable.
 void save_trace(const std::string& path, const ContactTrace& trace);
 
 }  // namespace bsub::trace

@@ -69,7 +69,26 @@ void ByteWriter::flush_bits() {
 }
 
 void ByteReader::require(std::size_t n) const {
-  if (remaining() < n) throw DecodeError("byte buffer underflow");
+  if (remaining() < n) {
+    throw CodecError("byte buffer underflow", pos_,
+                     std::to_string(n) + " more byte(s)",
+                     std::to_string(remaining()));
+  }
+}
+
+void ByteReader::expect_end(const char* what) const {
+  if (!at_end()) {
+    throw CodecError(std::string("trailing bytes after ") + what, pos_,
+                     "end of buffer",
+                     std::to_string(remaining()) + " byte(s) left");
+  }
+}
+
+std::span<const std::uint8_t> ByteReader::get_span(std::size_t n) {
+  require(n);
+  auto s = data_.subspan(pos_, n);
+  pos_ += n;
+  return s;
 }
 
 std::uint8_t ByteReader::get_u8() {
@@ -77,29 +96,45 @@ std::uint8_t ByteReader::get_u8() {
   return data_[pos_++];
 }
 
+// Fixed-width reads require the whole field up front, so an underflow
+// reports the field's start offset and full size and consumes nothing.
 std::uint16_t ByteReader::get_u16() {
-  std::uint16_t lo = get_u8();
-  std::uint16_t hi = get_u8();
-  return static_cast<std::uint16_t>(lo | (hi << 8));
+  require(2);
+  std::uint16_t v = 0;
+  for (unsigned i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(v | (std::uint16_t{data_[pos_ + i]} << (8 * i)));
+  }
+  pos_ += 2;
+  return v;
 }
 
 std::uint32_t ByteReader::get_u32() {
-  std::uint32_t lo = get_u16();
-  std::uint32_t hi = get_u16();
-  return lo | (hi << 16);
+  require(4);
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    v |= std::uint32_t{data_[pos_ + i]} << (8 * i);
+  }
+  pos_ += 4;
+  return v;
 }
 
 std::uint64_t ByteReader::get_u64() {
-  std::uint64_t lo = get_u32();
-  std::uint64_t hi = get_u32();
-  return lo | (hi << 32);
+  require(8);
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    v |= std::uint64_t{data_[pos_ + i]} << (8 * i);
+  }
+  pos_ += 8;
+  return v;
 }
 
 std::uint64_t ByteReader::get_varint() {
   std::uint64_t v = 0;
   unsigned shift = 0;
   for (;;) {
-    if (shift >= 64) throw DecodeError("varint too long");
+    if (shift >= 64) {
+      throw CodecError("varint too long", pos_, "at most 10 bytes", {});
+    }
     std::uint8_t b = get_u8();
     v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
     if ((b & 0x80) == 0) break;
@@ -117,10 +152,8 @@ double ByteReader::get_double() {
 
 std::string ByteReader::get_string() {
   std::uint64_t n = get_varint();
-  require(n);
-  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
-  pos_ += n;
-  return s;
+  auto s = get_span(static_cast<std::size_t>(n));
+  return std::string(reinterpret_cast<const char*>(s.data()), s.size());
 }
 
 std::uint64_t ByteReader::get_bits(unsigned bits) {

@@ -7,18 +7,13 @@
 
 #include <cstdint>
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
-namespace bsub::util {
+#include "util/errors.h"
 
-/// Thrown on malformed input during decoding.
-class DecodeError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+namespace bsub::util {
 
 /// Appends primitive values to a growable byte buffer.
 class ByteWriter {
@@ -58,7 +53,9 @@ class ByteWriter {
   unsigned bit_count_ = 0;
 };
 
-/// Reads primitive values from a byte span; throws DecodeError on underflow.
+/// Bounds-checked cursor over a byte span; every accessor throws CodecError
+/// (with the failing byte offset and expected-vs-found sizes) on underflow,
+/// so no decode path can ever read past the buffer.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
@@ -71,6 +68,10 @@ class ByteReader {
   double get_double();
   std::string get_string();
 
+  /// Slices the next `n` bytes without copying; the cursor advances past
+  /// them. The span aliases the underlying buffer.
+  std::span<const std::uint8_t> get_span(std::size_t n);
+
   /// Reads `bits` bits (1..64), MSB-first, from the packing stream.
   /// Call `align_bits()` before resuming byte-aligned reads.
   std::uint64_t get_bits(unsigned bits);
@@ -78,6 +79,14 @@ class ByteReader {
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool at_end() const { return remaining() == 0 && bit_count_ == 0; }
+
+  /// Current byte offset from the start of the buffer (for error context).
+  std::size_t offset() const { return pos_; }
+
+  /// Throws CodecError("trailing bytes...") unless the cursor consumed the
+  /// buffer exactly. Decoders call this last so that a valid prefix followed
+  /// by garbage is rejected instead of silently accepted.
+  void expect_end(const char* what) const;
 
  private:
   void require(std::size_t n) const;

@@ -1,0 +1,49 @@
+#include "util/errors.h"
+
+namespace bsub::util {
+
+namespace {
+
+std::string format_parse(const std::string& what, std::size_t line,
+                         const std::string& expected,
+                         const std::string& found) {
+  std::string s = what;
+  if (line > 0) s += " at line " + std::to_string(line);
+  if (!expected.empty() || !found.empty()) {
+    s += ": expected " + (expected.empty() ? "?" : expected);
+    if (!found.empty()) s += ", found " + found;
+  }
+  return s;
+}
+
+std::string format_codec(const std::string& what, std::size_t offset,
+                         const std::string& expected,
+                         const std::string& found) {
+  std::string s = what;
+  if (offset != CodecError::kNoOffset) {
+    s += " at offset " + std::to_string(offset);
+  }
+  if (!expected.empty() || !found.empty()) {
+    s += ": expected " + (expected.empty() ? "?" : expected);
+    if (!found.empty()) s += ", found " + found;
+  }
+  return s;
+}
+
+}  // namespace
+
+ParseError::ParseError(const std::string& what, std::size_t line,
+                       std::string expected, std::string found)
+    : InputError(format_parse(what, line, expected, found)),
+      line_(line),
+      expected_(std::move(expected)),
+      found_(std::move(found)) {}
+
+CodecError::CodecError(const std::string& what, std::size_t offset,
+                       std::string expected, std::string found)
+    : InputError(format_codec(what, offset, expected, found)),
+      offset_(offset),
+      expected_(std::move(expected)),
+      found_(std::move(found)) {}
+
+}  // namespace bsub::util

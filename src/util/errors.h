@@ -1,0 +1,78 @@
+// Error taxonomy for the ingestion & wire boundary.
+//
+// Every byte entering the system — contact-trace text, TCBF/BF wire
+// encodings, engine frames — is parsed through one of two typed failures:
+//
+//   ParseError  malformed *text* input (trace files). Carries the 1-based
+//               line number plus what the parser expected vs. found.
+//   CodecError  malformed *binary* input (byte_io cursor, tcbf_codec,
+//               engine/wire). Carries the byte offset of the failure plus
+//               expected vs. found.
+//
+// Both derive from InputError (and transitively std::runtime_error), so
+// callers that only care about "the input was bad" catch one type, while
+// diagnostics and tests can assert on the structured context. The what()
+// string always embeds the context ("... at line 12: expected 4 fields,
+// found 3"), so untyped logging stays informative.
+//
+// bsub::util::DecodeError predates this taxonomy; it is now an alias for
+// CodecError, so all existing `catch (const DecodeError&)` sites and tests
+// keep working unchanged.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace bsub::util {
+
+/// Root of the input-failure taxonomy. Never thrown directly.
+class InputError : public std::runtime_error {
+ protected:
+  explicit InputError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed text input (one-record-per-line formats such as trace files).
+class ParseError : public InputError {
+ public:
+  /// `line` is 1-based; 0 means "no specific line" (e.g. a file-level
+  /// failure such as an unreadable path or a header/body mismatch).
+  ParseError(const std::string& what, std::size_t line = 0,
+             std::string expected = {}, std::string found = {});
+
+  std::size_t line() const { return line_; }
+  const std::string& expected() const { return expected_; }
+  const std::string& found() const { return found_; }
+
+ private:
+  std::size_t line_;
+  std::string expected_;
+  std::string found_;
+};
+
+/// Malformed binary input (wire frames, filter encodings, byte cursors).
+class CodecError : public InputError {
+ public:
+  static constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
+
+  CodecError(const std::string& what, std::size_t offset = kNoOffset,
+             std::string expected = {}, std::string found = {});
+
+  /// Byte offset into the decoded buffer at which the failure was detected,
+  /// or kNoOffset when the failure is not positional (e.g. a checksum over
+  /// the whole payload).
+  std::size_t offset() const { return offset_; }
+  const std::string& expected() const { return expected_; }
+  const std::string& found() const { return found_; }
+
+ private:
+  std::size_t offset_;
+  std::string expected_;
+  std::string found_;
+};
+
+/// Pre-taxonomy name for binary decode failures; kept as an alias so every
+/// existing throw/catch site remains valid.
+using DecodeError = CodecError;
+
+}  // namespace bsub::util

@@ -80,6 +80,41 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<std::size_t>(64, 256, 1000),
                        ::testing::Values(0, 1, 38, 500)));
 
+TEST_P(CodecRoundTrip, EncodeDecodeEncodeIsByteIdentical) {
+  // Wire canonicality: decoding and re-encoding must reproduce the exact
+  // byte sequence. The max counter always quantizes to byte 255, so the
+  // recovered scale equals the original and every counter byte survives.
+  auto [m, k, keys, enc_i] = GetParam();
+  const auto encoding = static_cast<CounterEncoding>(enc_i);
+  util::Rng rng(static_cast<std::uint64_t>(m * 2246822519u + k * 3266489917u +
+                                           static_cast<unsigned>(keys)));
+  for (int trial = 0; trial < 4; ++trial) {
+    Tcbf t({m, k}, 50.0);
+    for (int i = 0; i < keys; ++i) t.insert("key" + std::to_string(rng()));
+    if (encoding == CounterEncoding::kFull && trial % 2 == 1) {
+      Tcbf extra({m, k}, 50.0);
+      extra.insert("extra" + std::to_string(rng()));
+      t.decay(rng.next_double(0.0, 20.0));
+      t.a_merge(extra);
+    }
+    const auto first = encode_tcbf(t, encoding);
+    const auto second = encode_tcbf(decode_tcbf(first), encoding);
+    EXPECT_EQ(first, second);
+  }
+}
+
+TEST_P(BloomCodecRoundTrip, EncodeDecodeEncodeIsByteIdentical) {
+  auto [m, keys] = GetParam();
+  util::Rng rng(m * 37 + static_cast<unsigned>(keys));
+  for (int trial = 0; trial < 4; ++trial) {
+    BloomFilter bf({m, 4});
+    for (int i = 0; i < keys; ++i) bf.insert("k" + std::to_string(rng()));
+    const auto first = encode_bloom(bf);
+    const auto second = encode_bloom(decode_bloom(first));
+    EXPECT_EQ(first, second);
+  }
+}
+
 TEST(CodecFuzz, RandomBytesNeverCrash) {
   // Decoding attacker-controlled bytes must throw DecodeError or produce a
   // valid filter — never crash or hang.

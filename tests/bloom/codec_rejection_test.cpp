@@ -1,0 +1,207 @@
+// Decoder rejection suite: hand-crafted truncated / oversized / garbage
+// buffers for the TCBF & BF codec must fail with a typed util::CodecError —
+// never read out of bounds (the CI ASan job runs this suite) and never
+// accept a non-canonical encoding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bloom/tcbf_codec.h"
+#include "util/byte_io.h"
+
+namespace bsub::bloom {
+namespace {
+
+Tcbf sample_tcbf(int keys, BloomParams params = {256, 4}) {
+  Tcbf t(params, 50.0);
+  for (int i = 0; i < keys; ++i) t.insert("key" + std::to_string(i));
+  return t;
+}
+
+/// Crafts a TCBF wire header with arbitrary (possibly hostile) fields.
+util::ByteWriter tcbf_header(std::uint8_t encoding, std::uint8_t layout,
+                             std::uint64_t m, std::uint64_t k, double initial,
+                             std::uint64_t count) {
+  util::ByteWriter w;
+  w.put_u8(0xB5);
+  w.put_u8(encoding);
+  w.put_u8(layout);
+  w.put_varint(m);
+  w.put_varint(k);
+  w.put_double(initial);
+  w.put_varint(count);
+  return w;
+}
+
+void expect_offset_known(const std::vector<std::uint8_t>& bytes) {
+  try {
+    (void)decode_tcbf(bytes);
+    FAIL() << "expected CodecError";
+  } catch (const util::CodecError& e) {
+    EXPECT_NE(e.offset(), util::CodecError::kNoOffset) << e.what();
+  }
+}
+
+TEST(CodecRejection, BadLayoutByte) {
+  auto enc = encode_tcbf(sample_tcbf(3), CounterEncoding::kFull);
+  enc[2] = 7;  // layout must be 0 or 1
+  EXPECT_THROW(decode_tcbf(enc), util::CodecError);
+  expect_offset_known(enc);
+}
+
+TEST(CodecRejection, BadEncodingByte) {
+  auto enc = encode_tcbf(sample_tcbf(3), CounterEncoding::kFull);
+  enc[1] = 9;  // encoding must be 0, 1, or 2
+  EXPECT_THROW(decode_tcbf(enc), util::CodecError);
+}
+
+TEST(CodecRejection, NonFiniteInitialCounter) {
+  for (double bad : {std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<double>::quiet_NaN(), -1.0, 0.0,
+                     kCounterSaturation * 2.0}) {
+    auto w = tcbf_header(2 /*counter-less*/, 0, 256, 4, bad, 0);
+    EXPECT_THROW(decode_tcbf(w.bytes()), util::CodecError) << bad;
+  }
+}
+
+TEST(CodecRejection, NonFiniteOrHostileScale) {
+  // kFull layout: header, then scale double, then positions/counters.
+  for (double bad : {std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<double>::quiet_NaN(), -3.0, 0.0,
+                     kCounterSaturation}) {  // > saturation/255
+    auto w = tcbf_header(0 /*full*/, 0, 256, 4, 50.0, 0);
+    w.put_double(bad);
+    EXPECT_THROW(decode_tcbf(w.bytes()), util::CodecError) << bad;
+  }
+}
+
+TEST(CodecRejection, GeometryClaimsAreCappedBeforeAllocation) {
+  // m beyond the decode cap must be rejected from the tiny header alone —
+  // no multi-gigabyte counter array may be allocated for it.
+  auto w = tcbf_header(0, 0, std::uint64_t{1} << 40, 4, 50.0, 0);
+  EXPECT_THROW(decode_tcbf(w.bytes()), util::CodecError);
+  auto w2 = tcbf_header(0, 0, 256, 1000 /*k*/, 50.0, 0);
+  EXPECT_THROW(decode_tcbf(w2.bytes()), util::CodecError);
+  auto w3 = tcbf_header(0, 0, 0 /*m*/, 4, 50.0, 0);
+  EXPECT_THROW(decode_tcbf(w3.bytes()), util::CodecError);
+}
+
+TEST(CodecRejection, CountAboveMIsRejected) {
+  auto w = tcbf_header(2, 0, 64, 4, 50.0, 65);
+  EXPECT_THROW(decode_tcbf(w.bytes()), util::CodecError);
+}
+
+TEST(CodecRejection, NonAscendingPositionsRejected) {
+  // m=256 -> 8-bit positions. Duplicate and descending lists are both
+  // non-canonical and must be rejected.
+  for (auto positions : {std::vector<std::uint8_t>{5, 5},
+                         std::vector<std::uint8_t>{9, 3}}) {
+    auto w = tcbf_header(2, 0 /*locations*/, 256, 4, 50.0, positions.size());
+    for (std::uint8_t p : positions) w.put_bits(p, 8);
+    w.flush_bits();
+    EXPECT_THROW(decode_tcbf(w.bytes()), util::CodecError);
+  }
+}
+
+TEST(CodecRejection, PositionPastMRejected) {
+  // m=200 -> 8-bit positions, but 250 >= m.
+  auto w = tcbf_header(2, 0, 200, 4, 50.0, 1);
+  w.put_bits(250, 8);
+  w.flush_bits();
+  EXPECT_THROW(decode_tcbf(w.bytes()), util::CodecError);
+}
+
+TEST(CodecRejection, BitmapPopcountMismatch) {
+  // Bitmap layout, count=1, but the bitmap is all zeros.
+  auto w = tcbf_header(2, 1 /*bitmap*/, 64, 4, 50.0, 1);
+  for (int i = 0; i < 8; ++i) w.put_u8(0);
+  EXPECT_THROW(decode_tcbf(w.bytes()), util::CodecError);
+}
+
+TEST(CodecRejection, BitmapPaddingBitsRejected) {
+  // m=4: one bitmap byte, bits 4..7 are padding and must be zero.
+  auto w = tcbf_header(2, 1, 4, 2, 50.0, 1);
+  w.put_u8(0b0001'0001);  // bit 0 set (valid) + padding bit 4 set (hostile)
+  EXPECT_THROW(decode_tcbf(w.bytes()), util::CodecError);
+}
+
+TEST(CodecRejection, ZeroQuantizedCounterRejected) {
+  // A zero counter byte would silently drop the bit during re-inflation.
+  Tcbf t = sample_tcbf(1);
+  auto enc = encode_tcbf(t, CounterEncoding::kFull);
+  const std::size_t set_bits = t.popcount();
+  // Counter bytes are the trailing s bytes of the kFull encoding.
+  enc[enc.size() - set_bits] = 0;
+  EXPECT_THROW(decode_tcbf(enc), util::CodecError);
+}
+
+TEST(CodecRejection, TrailingGarbageRejected) {
+  for (auto encoding : {CounterEncoding::kFull, CounterEncoding::kUniform,
+                        CounterEncoding::kCounterLess}) {
+    auto enc = encode_tcbf(sample_tcbf(5), encoding);
+    enc.push_back(0xEE);
+    EXPECT_THROW(decode_tcbf(enc), util::CodecError)
+        << static_cast<int>(encoding);
+  }
+  auto bloom = encode_bloom(sample_tcbf(5).to_bloom_filter());
+  bloom.push_back(0xEE);
+  EXPECT_THROW(decode_bloom(bloom), util::CodecError);
+}
+
+TEST(CodecRejection, EveryTruncationThrowsTyped) {
+  for (auto encoding : {CounterEncoding::kFull, CounterEncoding::kUniform,
+                        CounterEncoding::kCounterLess}) {
+    const auto full = encode_tcbf(sample_tcbf(12), encoding);
+    for (std::size_t len = 0; len < full.size(); ++len) {
+      std::vector<std::uint8_t> cut(full.begin(),
+                                    full.begin() + static_cast<long>(len));
+      EXPECT_THROW(decode_tcbf(cut), util::CodecError)
+          << "enc=" << static_cast<int>(encoding) << " len=" << len;
+    }
+  }
+}
+
+TEST(CodecRejection, BloomBadLayoutAndTruncation) {
+  BloomFilter bf({256, 4});
+  bf.insert("alpha");
+  auto enc = encode_bloom(bf);
+  auto bad = enc;
+  bad[1] = 3;  // layout byte
+  EXPECT_THROW(decode_bloom(bad), util::CodecError);
+  for (std::size_t len = 0; len < enc.size(); ++len) {
+    std::vector<std::uint8_t> cut(enc.begin(),
+                                  enc.begin() + static_cast<long>(len));
+    EXPECT_THROW(decode_bloom(cut), util::CodecError) << len;
+  }
+}
+
+TEST(CodecRejection, OverlongVarintRejected) {
+  // 11 continuation bytes: more than any uint64 varint can need.
+  util::ByteWriter w;
+  w.put_u8(0xB5);
+  w.put_u8(0);
+  w.put_u8(0);
+  for (int i = 0; i < 11; ++i) w.put_u8(0x80);
+  EXPECT_THROW(decode_tcbf(w.bytes()), util::CodecError);
+}
+
+TEST(CodecRejection, DecodedCountersNeverExceedSaturation) {
+  // Even a maximal legal scale cannot reconstruct counters past the
+  // in-memory ceiling (from_counters clamps; scale is capped at
+  // saturation/255 so 255 * scale == saturation exactly).
+  auto w = tcbf_header(1 /*uniform*/, 0, 256, 4, 50.0, 1);
+  w.put_double(kCounterSaturation / 255.0);
+  w.put_bits(17, 8);
+  w.flush_bits();
+  w.put_u8(255);
+  Tcbf t = decode_tcbf(w.bytes());
+  EXPECT_LE(t.counter(17), kCounterSaturation);
+  EXPECT_GT(t.counter(17), 0.0);
+}
+
+}  // namespace
+}  // namespace bsub::bloom

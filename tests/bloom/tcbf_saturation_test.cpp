@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "bloom/tcbf.h"
 
@@ -44,6 +46,61 @@ TEST(TcbfSaturation, NormalValuesUnaffected) {
   b.insert("key");
   a.a_merge(b);
   EXPECT_DOUBLE_EQ(*a.min_counter("key"), 100.0);
+}
+
+TEST(TcbfSaturation, InsertClampsOversizedInitialCounter) {
+  // An initial counter above the ceiling must be stored clamped, or the
+  // very first A-merge would overshoot the representable max.
+  Tcbf a({256, 4}, kCounterSaturation * 8.0);
+  a.insert("key");
+  EXPECT_DOUBLE_EQ(*a.min_counter("key"), kCounterSaturation);
+}
+
+TEST(TcbfSaturation, AMergeAtExactBoundaryStaysAtCeiling) {
+  Tcbf a({256, 4}, kCounterSaturation), b({256, 4}, kCounterSaturation);
+  a.insert("key");
+  b.insert("key");
+  a.a_merge(b);  // sum would be 2x ceiling
+  EXPECT_DOUBLE_EQ(*a.min_counter("key"), kCounterSaturation);
+  a.a_merge(b);  // and it must be idempotent at the boundary
+  EXPECT_DOUBLE_EQ(*a.min_counter("key"), kCounterSaturation);
+}
+
+TEST(TcbfSaturation, MMergeClampsOversizedSource) {
+  // from_counters clamps, so a decoded filter can carry at most the
+  // ceiling; m_merge must uphold the invariant even for a hostile source.
+  std::vector<double> counters(256, 0.0);
+  counters[7] = kCounterSaturation * 3.0;  // pre-clamp value
+  Tcbf hostile = Tcbf::from_counters({256, 4}, 50.0, std::move(counters));
+  EXPECT_DOUBLE_EQ(hostile.counter(7), kCounterSaturation);
+
+  Tcbf a({256, 4}, 50.0);
+  a.insert("key");
+  a.m_merge(hostile);
+  EXPECT_LE(a.counter(7), kCounterSaturation);
+}
+
+TEST(TcbfSaturation, FromCountersRejectsNaNAndNegativeClampsToZero) {
+  std::vector<double> nan_counters(256, 0.0);
+  nan_counters[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Tcbf::from_counters({256, 4}, 50.0, std::move(nan_counters)),
+               std::invalid_argument);
+
+  std::vector<double> neg(256, 0.0);
+  neg[3] = -5.0;
+  Tcbf t = Tcbf::from_counters({256, 4}, 50.0, std::move(neg));
+  EXPECT_DOUBLE_EQ(t.counter(3), 0.0);
+  EXPECT_EQ(t.popcount(), 0u);
+}
+
+TEST(TcbfSaturation, FromCountersRejectsBadInitialCounter) {
+  for (double bad : {0.0, -1.0, std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<double>::quiet_NaN()}) {
+    EXPECT_THROW(
+        Tcbf::from_counters({64, 2}, bad, std::vector<double>(64, 0.0)),
+        std::invalid_argument)
+        << bad;
+  }
 }
 
 }  // namespace

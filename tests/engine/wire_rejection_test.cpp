@@ -1,0 +1,187 @@
+// Decoder rejection suite for engine frames: hand-crafted truncated,
+// oversized, and garbage buffers must fail with a typed util::CodecError —
+// never read out of bounds (the CI ASan job runs this suite), never accept
+// trailing bytes, and never admit out-of-range message timestamps.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "engine/wire.h"
+#include "util/byte_io.h"
+#include "util/hash.h"
+#include "util/time.h"
+
+namespace bsub::engine {
+namespace {
+
+constexpr std::uint8_t kMagic = 0x5B;
+
+/// Seals an arbitrary payload into a frame with a *correct* checksum, so
+/// the tests below reach the payload validators rather than the checksum.
+std::vector<std::uint8_t> seal(std::uint8_t type,
+                               const std::vector<std::uint8_t>& payload) {
+  util::ByteWriter w;
+  w.put_u8(kMagic);
+  w.put_u8(type);
+  w.put_varint(payload.size());
+  w.put_bytes(payload);
+  const std::string_view view(reinterpret_cast<const char*>(payload.data()),
+                              payload.size());
+  w.put_u32(static_cast<std::uint32_t>(util::fnv1a64(view)));
+  return std::move(w).take();
+}
+
+util::ByteWriter message_payload(std::uint64_t created, std::uint64_t ttl,
+                                 std::size_t key_len = 3,
+                                 std::uint64_t body_len = 2) {
+  util::ByteWriter w;
+  w.put_u64(7);  // sender
+  w.put_u64(42);  // message id
+  w.put_string(std::string(key_len, 'k'));
+  w.put_varint(body_len);
+  for (std::uint64_t i = 0; i < body_len && i < 1024; ++i) w.put_u8(0xAB);
+  w.put_u64(9);  // producer
+  w.put_u64(created);
+  w.put_u64(ttl);
+  w.put_u8(0);  // custody flag
+  return w;
+}
+
+ContentMessage sample_message() {
+  ContentMessage m;
+  m.id = 42;
+  m.key = "NewMoon";
+  m.body = {1, 2, 3};
+  m.producer = 7;
+  m.created = util::from_minutes(10);
+  m.ttl = util::kHour;
+  return m;
+}
+
+TEST(WireRejection, AbsurdPayloadLengthClaimRejectedBeforeUse) {
+  // A 6-byte buffer claiming a 1 GiB payload must die on the length check.
+  util::ByteWriter w;
+  w.put_u8(kMagic);
+  w.put_u8(4);  // kData
+  w.put_varint(std::uint64_t{1} << 30);
+  try {
+    (void)decode(std::move(w).take());
+    FAIL() << "expected CodecError";
+  } catch (const util::CodecError& e) {
+    EXPECT_NE(std::string(e.what()).find("payload too long"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WireRejection, TrailingBytesAfterFrameRejected) {
+  auto bytes = encode(CustodyAckFrame{1, 99, true});
+  bytes.push_back(0x00);
+  EXPECT_THROW(decode(bytes), util::CodecError);
+}
+
+TEST(WireRejection, TrailingBytesInsidePayloadRejected) {
+  // Valid custody-ack payload plus one stray byte, re-sealed with a correct
+  // checksum: the payload parser itself must notice the leftover.
+  util::ByteWriter p;
+  p.put_u64(1);   // sender
+  p.put_u64(99);  // message id
+  p.put_u8(1);    // accepted
+  p.put_u8(0xEE);  // stray
+  EXPECT_THROW(decode(seal(5, std::move(p).take())), util::CodecError);
+}
+
+TEST(WireRejection, NegativeMessageTimesRejected) {
+  // A u64 with the sign bit set is not a valid util::Time.
+  const std::uint64_t negative = std::uint64_t{1} << 63;
+  EXPECT_THROW(decode(seal(4, std::move(message_payload(negative, 5)).take())),
+               util::CodecError);
+  EXPECT_THROW(decode(seal(4, std::move(message_payload(5, negative)).take())),
+               util::CodecError);
+}
+
+TEST(WireRejection, ExpiryOverflowRejected) {
+  const auto max = static_cast<std::uint64_t>(util::kTimeMax);
+  EXPECT_THROW(
+      decode(seal(4, std::move(message_payload(max - 10, 11)).take())),
+      util::CodecError);
+  // Boundary: created + ttl == kTimeMax is still representable.
+  Frame f = decode(seal(4, std::move(message_payload(max - 10, 10)).take()));
+  EXPECT_EQ(f.data->message.expiry(), util::kTimeMax);
+}
+
+TEST(WireRejection, OversizedKeyRejected) {
+  auto p = message_payload(0, 5, /*key_len=*/5000);
+  EXPECT_THROW(decode(seal(4, std::move(p).take())), util::CodecError);
+}
+
+TEST(WireRejection, OversizedBodyClaimRejected) {
+  // Claims a body just past the cap; the writer emits only 1024 bytes, so
+  // acceptance would mean a huge allocation plus an out-of-bounds read.
+  auto p = message_payload(0, 5, 3, (std::uint64_t{1} << 20) + 1);
+  EXPECT_THROW(decode(seal(4, std::move(p).take())), util::CodecError);
+}
+
+TEST(WireRejection, BlobLengthLiesRejected) {
+  // Hello frame whose interest-report blob claims more bytes than exist.
+  util::ByteWriter p;
+  p.put_u64(3);
+  p.put_u8(0);
+  p.put_varint(200);  // blob length claim
+  p.put_u8(0xBF);     // ...but only one byte follows
+  EXPECT_THROW(decode(seal(1, std::move(p).take())), util::CodecError);
+}
+
+TEST(WireRejection, EmbeddedFilterGarbageRejected) {
+  // Structurally valid frame + checksum, but the TCBF blob is garbage: the
+  // codec error must surface as a typed failure, not a crash.
+  util::ByteWriter p;
+  p.put_u64(3);
+  p.put_varint(3);
+  p.put_u8(0x00);
+  p.put_u8(0x01);
+  p.put_u8(0x02);
+  EXPECT_THROW(decode(seal(2, std::move(p).take())), util::CodecError);
+}
+
+TEST(WireRejection, EveryTruncationOfEveryFrameTypeThrowsTyped) {
+  GenuineFrame g;
+  g.sender = 3;
+  g.filter = bloom::Tcbf({256, 4}, 50.0);
+  g.filter.insert("alpha");
+  RelayFrame rf;
+  rf.sender = 4;
+  rf.filter = bloom::Tcbf({256, 4}, 50.0);
+  rf.filter.insert("beta");
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      encode(g), encode(rf), encode(DataFrame{5, sample_message(), true}),
+      encode(CustodyAckFrame{1, 2, false})};
+  for (const auto& bytes : frames) {
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      std::vector<std::uint8_t> cut(bytes.begin(),
+                                    bytes.begin() + static_cast<long>(len));
+      EXPECT_THROW(decode(cut), util::CodecError) << len;
+    }
+  }
+}
+
+TEST(WireRejection, FrameTypeZeroAndUnknownRejected) {
+  auto bytes = encode(CustodyAckFrame{1, 2, true});
+  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{6},
+                           std::uint8_t{0xFF}}) {
+    auto mutated = bytes;
+    mutated[1] = bad;
+    EXPECT_THROW(decode(mutated), util::CodecError) << int(bad);
+  }
+}
+
+TEST(WireRejection, ChecksumMismatchStillRejected) {
+  auto bytes = encode(DataFrame{5, sample_message(), false});
+  bytes[bytes.size() - 1] ^= 0x01;  // corrupt the checksum itself
+  EXPECT_THROW(decode(bytes), util::CodecError);
+}
+
+}  // namespace
+}  // namespace bsub::engine

@@ -1,0 +1,58 @@
+// Fuzz target for the contact-trace text parser (trace/trace_io.h).
+//
+// Invariants checked on every input:
+//   - read_trace either returns a trace or throws util::ParseError — any
+//     other exception or a crash is a finding;
+//   - an accepted trace survives write_trace -> read_trace with identical
+//     contacts and node count (the save/load identity the sweep tooling
+//     relies on).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "trace/trace_io.h"
+#include "util/errors.h"
+#include "util/logging.h"
+
+namespace {
+
+[[noreturn]] void fail(const char* invariant) {
+  std::fprintf(stderr, "fuzz invariant violated: %s\n", invariant);
+  std::abort();
+}
+
+// The parser warns (once per call) on non-monotone traces; at fuzzing
+// throughput that would flood stderr.
+const bool g_quiet = [] {
+  bsub::util::set_log_level(bsub::util::LogLevel::Error);
+  return true;
+}();
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)g_quiet;
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  bsub::trace::ContactTrace first;
+  try {
+    first = bsub::trace::read_trace(in, "fuzz");
+  } catch (const bsub::util::ParseError&) {
+    return 0;  // typed rejection is the expected outcome for garbage
+  }
+
+  std::ostringstream out;
+  bsub::trace::write_trace(out, first);
+  std::istringstream back(out.str());
+  bsub::trace::ContactTrace second;
+  try {
+    second = bsub::trace::read_trace(back, "fuzz");
+  } catch (const bsub::util::ParseError&) {
+    fail("written trace failed to re-parse");
+  }
+  if (second.contacts() != first.contacts()) fail("contact drift");
+  return 0;
+}

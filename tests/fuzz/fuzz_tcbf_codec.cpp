@@ -1,0 +1,66 @@
+// Fuzz target for the TCBF / BF wire codec (bloom/tcbf_codec.h).
+//
+// Invariants checked on every input:
+//   - decode_tcbf / decode_bloom either return a valid filter or throw
+//     util::CodecError — any other exception or a crash is a finding;
+//   - a successfully decoded filter re-encodes to a buffer that decodes
+//     again (everything we emit must be re-readable);
+//   - the re-decode agrees with the first decode on geometry and set bits.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+
+#include "bloom/tcbf_codec.h"
+#include "util/errors.h"
+
+namespace {
+
+[[noreturn]] void fail(const char* invariant) {
+  // abort() so both libFuzzer and the replay driver report the input.
+  std::fprintf(stderr, "fuzz invariant violated: %s\n", invariant);
+  std::abort();
+}
+
+void check_tcbf(std::span<const std::uint8_t> bytes) {
+  bsub::bloom::Tcbf first(bsub::bloom::BloomParams{8, 1}, 1.0);
+  try {
+    first = bsub::bloom::decode_tcbf(bytes);
+  } catch (const bsub::util::CodecError&) {
+    return;  // typed rejection is the expected outcome for garbage
+  }
+  // Accepted input: the filter must survive a re-encode under its own
+  // declared encoding (bytes[1] is valid, or decode would have thrown).
+  const auto encoding = static_cast<bsub::bloom::CounterEncoding>(bytes[1]);
+  const auto re = bsub::bloom::encode_tcbf(first, encoding);
+  bsub::bloom::Tcbf second(bsub::bloom::BloomParams{8, 1}, 1.0);
+  try {
+    second = bsub::bloom::decode_tcbf(re);
+  } catch (const bsub::util::CodecError&) {
+    fail("re-encoded TCBF failed to decode");
+  }
+  if (second.params() != first.params()) fail("TCBF params drift");
+  if (second.set_bits() != first.set_bits()) fail("TCBF set-bit drift");
+}
+
+void check_bloom(std::span<const std::uint8_t> bytes) {
+  try {
+    const bsub::bloom::BloomFilter bf = bsub::bloom::decode_bloom(bytes);
+    // A decoder may accept the non-preferred bit layout, so assert semantic
+    // (not byte) round-trip identity: re-encode must decode back equal.
+    if (bsub::bloom::decode_bloom(bsub::bloom::encode_bloom(bf)) != bf) {
+      fail("BF re-encode round trip drift");
+    }
+  } catch (const bsub::util::CodecError&) {
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  check_tcbf(bytes);
+  check_bloom(bytes);
+  return 0;
+}

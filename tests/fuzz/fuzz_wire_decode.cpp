@@ -1,0 +1,58 @@
+// Fuzz target for the engine frame codec (engine/wire.h).
+//
+// Invariants checked on every input:
+//   - decode either returns a frame or throws util::CodecError — any other
+//     exception or a crash is a finding;
+//   - an accepted frame re-encodes, and the re-encoded bytes decode again
+//     (everything the engine emits must be re-readable by a peer).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "engine/wire.h"
+#include "util/errors.h"
+
+namespace {
+
+[[noreturn]] void fail(const char* invariant) {
+  std::fprintf(stderr, "fuzz invariant violated: %s\n", invariant);
+  std::abort();
+}
+
+std::vector<std::uint8_t> reencode(const bsub::engine::Frame& f) {
+  using bsub::engine::FrameType;
+  switch (f.type) {
+    case FrameType::kHello:
+      return bsub::engine::encode(*f.hello);
+    case FrameType::kGenuineFilter:
+      return bsub::engine::encode(*f.genuine);
+    case FrameType::kRelayFilter:
+      return bsub::engine::encode(*f.relay);
+    case FrameType::kData:
+      return bsub::engine::encode(*f.data);
+    case FrameType::kCustodyAck:
+      return bsub::engine::encode(*f.custody_ack);
+  }
+  fail("decoded frame has no payload variant");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  try {
+    const bsub::engine::Frame f = bsub::engine::decode(bytes);
+    const auto re = reencode(f);
+    try {
+      (void)bsub::engine::decode(re);
+    } catch (const bsub::util::CodecError&) {
+      fail("re-encoded frame failed to decode");
+    }
+  } catch (const bsub::util::CodecError&) {
+    // typed rejection is the expected outcome for garbage
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Writes the seed corpus for the fuzz targets: well-formed traces, TCBF/BF
+// encodings, and engine frames (plus a few near-miss mutants, which sit on
+// the interesting side of the validators). Outputs are checked in under
+// tests/fuzz/corpus/; rerun after a wire-format change:
+//
+//   ./gen_fuzz_corpus <repo>/tests/fuzz/corpus
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bloom/tcbf_codec.h"
+#include "engine/wire.h"
+#include "trace/trace_io.h"
+#include "util/rng.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void write_file(const fs::path& dir, const std::string& name,
+                const std::vector<std::uint8_t>& bytes) {
+  fs::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void write_file(const fs::path& dir, const std::string& name,
+                const std::string& text) {
+  write_file(dir, name,
+             std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+void gen_traces(const fs::path& dir) {
+  write_file(dir, "minimal.txt", std::string("0 1 0 10\n"));
+  write_file(dir, "headers.txt",
+             std::string("# nodes 4\n# contacts 2\n0 1 0.5 10.25\n"
+                         "2 3 100 160.125\n"));
+  write_file(dir, "comments_crlf.txt",
+             std::string("# exported by tool\r\n\r\n0 1 0 10\r\n"));
+
+  bsub::util::Rng rng(0xBEEF);
+  std::ostringstream synth;
+  synth << "# nodes 12\n";
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    const unsigned a = static_cast<unsigned>(rng.next_below(12));
+    unsigned b = static_cast<unsigned>(rng.next_below(12));
+    if (a == b) b = (b + 1) % 12;
+    t += 0.001 * static_cast<double>(1 + rng.next_below(5000));
+    const double dur = 0.001 * static_cast<double>(1 + rng.next_below(600000));
+    synth << a << ' ' << b << ' ' << t << ' ' << t + dur << '\n';
+  }
+  write_file(dir, "synthetic.txt", synth.str());
+
+  // Near-misses: each trips exactly one validator.
+  write_file(dir, "bad_end_before_start.txt", std::string("0 1 50 10\n"));
+  write_file(dir, "bad_id_vs_header.txt",
+             std::string("# nodes 2\n0 2 0 10\n"));
+  write_file(dir, "bad_nan_time.txt", std::string("0 1 nan 10\n"));
+}
+
+void gen_filters(const fs::path& dir) {
+  using bsub::bloom::CounterEncoding;
+  for (int keys : {0, 3, 40, 200}) {
+    bsub::bloom::Tcbf t({512, 4}, 50.0);
+    for (int i = 0; i < keys; ++i) t.insert("key" + std::to_string(i));
+    if (keys >= 40) {
+      bsub::bloom::Tcbf extra({512, 4}, 50.0);
+      extra.insert("other");
+      t.decay(7.5);
+      t.a_merge(extra);  // non-uniform counters for the kFull path
+    }
+    for (auto enc : {CounterEncoding::kFull, CounterEncoding::kUniform,
+                     CounterEncoding::kCounterLess}) {
+      write_file(dir,
+                 "tcbf_k" + std::to_string(keys) + "_e" +
+                     std::to_string(static_cast<int>(enc)) + ".bin",
+                 encode_tcbf(t, enc));
+    }
+    write_file(dir, "bloom_k" + std::to_string(keys) + ".bin",
+               encode_bloom(t.to_bloom_filter()));
+  }
+
+  // Near-misses: valid prefix, one corrupted byte.
+  bsub::bloom::Tcbf t({256, 4}, 50.0);
+  t.insert("alpha");
+  auto enc = encode_tcbf(t, CounterEncoding::kFull);
+  auto bad = enc;
+  bad[1] = 9;  // encoding byte
+  write_file(dir, "bad_encoding_byte.bin", bad);
+  bad = enc;
+  bad[2] = 7;  // layout byte
+  write_file(dir, "bad_layout_byte.bin", bad);
+  enc.pop_back();
+  write_file(dir, "truncated.bin", enc);
+}
+
+void gen_frames(const fs::path& dir) {
+  using namespace bsub::engine;
+
+  HelloFrame h;
+  h.sender = 3;
+  h.is_broker = true;
+  h.interest_report = bsub::bloom::BloomFilter({256, 4});
+  h.interest_report.insert("news");
+  h.relay_report = bsub::bloom::BloomFilter({256, 4});
+  h.relay_report.insert("sports");
+  write_file(dir, "hello.bin", encode(h));
+
+  GenuineFrame g;
+  g.sender = 4;
+  g.filter = bsub::bloom::Tcbf({256, 4}, 50.0);
+  g.filter.insert("news");
+  write_file(dir, "genuine.bin", encode(g));
+
+  RelayFrame r;
+  r.sender = 5;
+  r.filter = bsub::bloom::Tcbf({256, 4}, 50.0);
+  r.filter.insert("weather");
+  r.filter.decay(3.0);
+  write_file(dir, "relay.bin", encode(r));
+
+  DataFrame d;
+  d.sender = 6;
+  d.custody = true;
+  d.message.id = 42;
+  d.message.key = "news";
+  d.message.body = {1, 2, 3, 4};
+  d.message.producer = 7;
+  d.message.created = bsub::util::from_minutes(10);
+  d.message.ttl = bsub::util::kHour;
+  write_file(dir, "data.bin", encode(d));
+
+  write_file(dir, "custody_ack.bin", encode(CustodyAckFrame{6, 42, true}));
+
+  // Near-misses.
+  auto bytes = encode(d);
+  bytes[1] = 0;  // frame type
+  write_file(dir, "bad_frame_type.bin", bytes);
+  bytes = encode(d);
+  bytes.back() ^= 0x01;  // checksum
+  write_file(dir, "bad_checksum.bin", bytes);
+  bytes = encode(d);
+  bytes.resize(bytes.size() / 2);
+  write_file(dir, "truncated.bin", bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  gen_traces(root / "read_trace");
+  gen_filters(root / "tcbf_codec");
+  gen_frames(root / "wire_decode");
+  std::printf("corpus written under %s\n", root.c_str());
+  return 0;
+}

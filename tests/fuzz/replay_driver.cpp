@@ -1,0 +1,56 @@
+// Standalone corpus-replay driver, used when libFuzzer is unavailable (the
+// fuzz targets export the standard LLVMFuzzerTestOneInput entry point; clang
+// links them against -fsanitize=fuzzer instead of this file).
+//
+// Usage: <target> <corpus-file-or-dir>...
+// Every regular file found (directories are walked recursively) is fed to
+// the target once; a crash or abort in the target fails the run.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int run_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::size_t ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        if (run_file(entry.path()) != 0) return 1;
+        ++ran;
+      }
+    } else {
+      if (run_file(arg) != 0) return 1;
+      ++ran;
+    }
+  }
+  std::printf("replayed %zu input(s) without a finding\n", ran);
+  return ran == 0 ? 2 : 0;
+}

@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "trace/synthetic.h"
+#include "util/errors.h"
+#include "util/rng.h"
 
 namespace bsub::trace {
 namespace {
@@ -98,6 +100,148 @@ TEST(TraceIo, FileSaveLoadRoundTrip) {
 
 TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(load_trace("/nonexistent/path/trace.txt"), std::runtime_error);
+}
+
+// --- strict validation (ingestion hardening) --------------------------------
+
+TEST(TraceIoValidation, NodeIdAboveDeclaredCountRejected) {
+  // Id 3 with "# nodes 3" would undersize every per-node vector downstream.
+  std::istringstream in("# nodes 3\n0 1 0 10\n0 3 20 30\n");
+  try {
+    read_trace(in);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("declared node count"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceIoValidation, EndBeforeStartRejected) {
+  std::istringstream in("0 1 100 40\n");
+  try {
+    read_trace(in);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_EQ(e.expected(), "end >= start");
+  }
+}
+
+TEST(TraceIoValidation, NonFiniteTimestampsRejected) {
+  for (const char* bad : {"0 1 nan 10\n", "0 1 0 inf\n", "0 1 -inf 0\n",
+                          "0 1 0 1e300\n"}) {
+    std::istringstream in(bad);
+    EXPECT_THROW(read_trace(in), util::ParseError) << bad;
+  }
+}
+
+TEST(TraceIoValidation, NegativeNodeIdRejected) {
+  std::istringstream in("-1 1 0 10\n");
+  EXPECT_THROW(read_trace(in), util::ParseError);
+}
+
+TEST(TraceIoValidation, TrailingTokensRejected) {
+  std::istringstream in("0 1 0 10 junk\n");
+  EXPECT_THROW(read_trace(in), util::ParseError);
+}
+
+TEST(TraceIoValidation, TooFewFieldsReportsCount) {
+  std::istringstream in("0 1 5\n");
+  try {
+    read_trace(in);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.found(), "3 field(s)");
+  }
+}
+
+TEST(TraceIoValidation, BadNodesHeaderRejected) {
+  for (const char* bad : {"# nodes\n", "# nodes abc\n", "# nodes -3\n",
+                          "# nodes 3 extra\n"}) {
+    std::istringstream in(bad);
+    EXPECT_THROW(read_trace(in), util::ParseError) << bad;
+  }
+}
+
+TEST(TraceIoValidation, DuplicateNodesHeaderRejected) {
+  std::istringstream in("# nodes 3\n# nodes 4\n0 1 0 10\n");
+  EXPECT_THROW(read_trace(in), util::ParseError);
+}
+
+TEST(TraceIoValidation, ContactCountMismatchRejected) {
+  std::istringstream in("# nodes 3\n# contacts 2\n0 1 0 10\n");
+  try {
+    read_trace(in);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("contact count mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceIoValidation, FreeFormCommentsStillIgnored) {
+  std::istringstream in(
+      "# exported by some tool\n#nodes-not-a-header ok\n0 1 0 10\n");
+  ContactTrace t = read_trace(in);
+  EXPECT_EQ(t.contacts().size(), 1u);
+}
+
+TEST(TraceIoValidation, CrlfLineEndingsAccepted) {
+  std::istringstream in("# nodes 2\r\n0 1 0 10\r\n");
+  ContactTrace t = read_trace(in);
+  EXPECT_EQ(t.node_count(), 2u);
+  ASSERT_EQ(t.contacts().size(), 1u);
+  EXPECT_EQ(t.contacts()[0].end, util::from_seconds(10));
+}
+
+TEST(TraceIoValidation, EqualStartEndAcceptedByParser) {
+  // A zero-duration contact is valid input (the ContactTrace container
+  // normalizes it away); the parser must not reject it.
+  std::istringstream in("0 1 10 10\n");
+  EXPECT_NO_THROW(read_trace(in));
+}
+
+// --- timestamp precision (save -> load -> save identity) --------------------
+
+TEST(TraceIoPrecision, SubSecondTimesSurviveRoundTripExactly) {
+  // Millisecond-resolution times at large offsets used to drift through the
+  // default 6-significant-digit ostream precision.
+  std::vector<Contact> contacts = {
+      {0, 1, 123456789 /*ms*/, 123457300},
+      {1, 2, util::kDay + 1 /*ms*/, 2 * util::kDay + 999},
+  };
+  ContactTrace original(3, std::move(contacts), "precision");
+  std::ostringstream out;
+  write_trace(out, original);
+  std::istringstream in(out.str());
+  ContactTrace parsed = read_trace(in);
+  EXPECT_EQ(parsed.contacts(), original.contacts());
+}
+
+TEST(TraceIoPrecision, SaveLoadSaveIsByteIdentical) {
+  util::Rng rng(0xC0FFEE);
+  std::vector<Contact> contacts;
+  for (int i = 0; i < 500; ++i) {
+    Contact c;
+    c.a = static_cast<NodeId>(rng.next_below(40));
+    c.b = static_cast<NodeId>(rng.next_below(40));
+    if (c.a == c.b) c.b = c.a + 1;
+    c.start = static_cast<util::Time>(rng.next_below(30 * util::kDay));
+    c.end = c.start + 1 + static_cast<util::Time>(rng.next_below(util::kHour));
+    contacts.push_back(c);
+  }
+  ContactTrace original(41, std::move(contacts), "prop");
+
+  std::ostringstream first;
+  write_trace(first, original);
+  std::istringstream in(first.str());
+  ContactTrace reloaded = read_trace(in, "prop");
+  std::ostringstream second;
+  write_trace(second, reloaded);
+  EXPECT_EQ(first.str(), second.str());
+  EXPECT_EQ(reloaded.contacts(), original.contacts());
+  EXPECT_EQ(reloaded.node_count(), original.node_count());
 }
 
 }  // namespace

@@ -1,0 +1,93 @@
+#include "util/errors.h"
+
+#include <gtest/gtest.h>
+
+#include "util/byte_io.h"
+
+namespace bsub::util {
+namespace {
+
+TEST(Errors, ParseErrorCarriesContext) {
+  ParseError e("malformed contact line", 12, "4 fields", "3 field(s)");
+  EXPECT_EQ(e.line(), 12u);
+  EXPECT_EQ(e.expected(), "4 fields");
+  EXPECT_EQ(e.found(), "3 field(s)");
+  const std::string what = e.what();
+  EXPECT_NE(what.find("line 12"), std::string::npos);
+  EXPECT_NE(what.find("expected 4 fields"), std::string::npos);
+  EXPECT_NE(what.find("found 3 field(s)"), std::string::npos);
+}
+
+TEST(Errors, ParseErrorWithoutLineOmitsIt) {
+  ParseError e("cannot open trace file: /nope");
+  EXPECT_EQ(e.line(), 0u);
+  EXPECT_EQ(std::string(e.what()).find("line"), std::string::npos);
+}
+
+TEST(Errors, CodecErrorCarriesOffset) {
+  CodecError e("byte buffer underflow", 17, "4 more byte(s)", "2");
+  EXPECT_EQ(e.offset(), 17u);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("offset 17"), std::string::npos);
+  EXPECT_NE(what.find("expected 4 more byte(s)"), std::string::npos);
+}
+
+TEST(Errors, CodecErrorWithoutOffset) {
+  CodecError e("frame checksum mismatch");
+  EXPECT_EQ(e.offset(), CodecError::kNoOffset);
+  EXPECT_EQ(std::string(e.what()).find("offset"), std::string::npos);
+}
+
+TEST(Errors, TaxonomyRootsAreCatchable) {
+  // Both branches are InputErrors and std::runtime_errors, so boundary
+  // callers can catch at whichever altitude they need.
+  EXPECT_THROW(throw ParseError("x", 1), InputError);
+  EXPECT_THROW(throw CodecError("x", 1), InputError);
+  EXPECT_THROW(throw ParseError("x", 1), std::runtime_error);
+  EXPECT_THROW(throw CodecError("x", 1), std::runtime_error);
+}
+
+TEST(Errors, DecodeErrorAliasesCodecError) {
+  // Pre-taxonomy catch sites use DecodeError; they must keep catching
+  // everything the byte layer throws.
+  static_assert(std::is_same_v<DecodeError, CodecError>);
+  EXPECT_THROW(throw CodecError("x"), DecodeError);
+}
+
+TEST(Errors, ByteReaderUnderflowReportsOffsetAndSizes) {
+  const std::uint8_t bytes[] = {1, 2, 3};
+  ByteReader r(bytes);
+  r.get_u8();
+  try {
+    r.get_u64();
+    FAIL() << "expected CodecError";
+  } catch (const CodecError& e) {
+    EXPECT_EQ(e.offset(), 1u);
+    EXPECT_EQ(e.expected(), "8 more byte(s)");
+    EXPECT_EQ(e.found(), "2");
+  }
+}
+
+TEST(Errors, ByteReaderExpectEndFlagsTrailingBytes) {
+  const std::uint8_t bytes[] = {1, 2, 3};
+  ByteReader r(bytes);
+  r.get_u8();
+  EXPECT_THROW(r.expect_end("unit"), CodecError);
+  r.get_u16();
+  EXPECT_NO_THROW(r.expect_end("unit"));
+}
+
+TEST(Errors, ByteReaderGetSpanIsBoundsChecked) {
+  const std::uint8_t bytes[] = {9, 8, 7, 6};
+  ByteReader r(bytes);
+  auto s = r.get_span(3);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 9);
+  EXPECT_EQ(r.offset(), 3u);
+  EXPECT_THROW(r.get_span(2), CodecError);
+  EXPECT_NO_THROW(r.get_span(1));
+  EXPECT_TRUE(r.at_end());
+}
+
+}  // namespace
+}  // namespace bsub::util
