@@ -90,6 +90,21 @@ class BsubNode {
   /// Drops expired state; safe to call any time.
   void purge(util::Time now);
 
+  /// Timer-driven maintenance for the live runtime: purges expired state
+  /// and applies pending relay decay eagerly. TCBF decay is additive in
+  /// elapsed time, so ticking is state-equivalent to the lazy on-access
+  /// decay — a runtime with any tick cadence computes identical results.
+  void decay_tick(util::Time now) {
+    purge(now);
+    relay_now(now);
+  }
+
+  /// True if this node ever took broker custody of message `id` (survives
+  /// handoff and expiry; used for per-message hop-count accounting).
+  bool ever_carried(std::uint64_t id) const {
+    return carried_ever_.contains(id);
+  }
+
   // Introspection.
   std::size_t produced_count() const { return produced_.size(); }
   std::size_t carried_count() const { return carried_.size(); }

@@ -8,19 +8,19 @@ namespace bsub::engine {
 
 namespace {
 
-constexpr std::uint8_t kFrameMagic = 0x5B;  // '['
 constexpr std::size_t kMaxBodyBytes = 1 << 20;
 constexpr std::size_t kMaxKeyBytes = 4096;
 // Generous bound on a whole frame payload (body + two filter blobs + slack):
 // reject absurd length claims before any allocation sized from them.
 constexpr std::size_t kMaxPayloadBytes = 4u << 20;
 
-/// Header: magic, type, payload length; trailer: FNV checksum of payload.
-/// Fills `out` (cleared, capacity reused).
+/// Header: magic, version, type, payload length; trailer: FNV checksum of
+/// payload. Fills `out` (cleared, capacity reused).
 void seal_into(FrameType type, const util::ByteWriter& payload,
                std::vector<std::uint8_t>& out) {
   util::ByteWriter w(std::move(out));
   w.put_u8(kFrameMagic);
+  w.put_u8(kWireVersion);
   w.put_u8(static_cast<std::uint8_t>(type));
   w.put_varint(payload.size());
   w.put_bytes(payload.bytes());
@@ -260,10 +260,16 @@ Frame decode(std::span<const std::uint8_t> bytes) {
   if (r.get_u8() != kFrameMagic) {
     throw util::CodecError("bad frame magic", 0, "0x5B", {});
   }
+  const std::uint8_t version = r.get_u8();
+  if (version != kWireVersion) {
+    throw util::CodecError("unsupported wire version", 1,
+                           std::to_string(kWireVersion),
+                           std::to_string(version));
+  }
   const std::uint8_t type_byte = r.get_u8();
   if (type_byte < static_cast<std::uint8_t>(FrameType::kHello) ||
       type_byte > static_cast<std::uint8_t>(FrameType::kCustodyAck)) {
-    throw util::CodecError("unknown frame type", 1, "type in [1, 5]",
+    throw util::CodecError("unknown frame type", 2, "type in [1, 5]",
                            std::to_string(type_byte));
   }
   const auto type = static_cast<FrameType>(type_byte);

@@ -1,8 +1,10 @@
 // Wire protocol for the live B-SUB node engine (the paper's future-work
 // "prototype HUNET system").
 //
-// Everything two devices exchange during a contact is a length-prefixed,
-// checksummed frame. The frame types mirror the protocol steps of section V:
+// Everything two devices exchange during a contact is a versioned,
+// length-prefixed, checksummed frame (magic, version, type, payload length,
+// payload, FNV checksum). The frame types mirror the protocol steps of
+// section V:
 //
 //   kHello          opens a contact: sender id, broker flag, and the
 //                   counter-less interest/relay reports the peer needs to
@@ -34,6 +36,13 @@ namespace bsub::engine {
 
 /// Engine node identifier (independent of trace NodeId).
 using NodeId = std::uint64_t;
+
+/// First header byte of every frame ('[').
+inline constexpr std::uint8_t kFrameMagic = 0x5B;
+/// Wire format revision, the second header byte. Decoders reject any other
+/// value with util::CodecError: a version bump is a deliberate compatibility
+/// break, never a silent reinterpretation of old bytes.
+inline constexpr std::uint8_t kWireVersion = 1;
 
 enum class FrameType : std::uint8_t {
   kHello = 1,

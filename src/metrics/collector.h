@@ -78,6 +78,60 @@ struct HotPathStats {
   }
 };
 
+/// Transport-layer instrumentation for the live runtime (src/net): what the
+/// datagram substrate did to move protocol frames. Like HotPathStats these
+/// describe *how* traffic flowed (retries, losses, reassembly trouble) —
+/// two runs may differ here while computing identical semantic results.
+struct TransportStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t datagrams_dropped = 0;     ///< malformed, stale, or refused
+  std::uint64_t frames_sent = 0;           ///< protocol frames offered OK
+  std::uint64_t frames_received = 0;       ///< delivered in-order to a node
+  std::uint64_t frames_retransmitted = 0;  ///< RTO-driven resends
+  std::uint64_t frames_dropped = 0;        ///< contact byte budget exhausted
+  std::uint64_t session_opens = 0;
+  std::uint64_t session_timeouts = 0;      ///< peers declared lost
+  std::uint64_t reassembly_failures = 0;   ///< inconsistent fragment sets
+
+  void merge(const TransportStats& o) {
+    datagrams_sent += o.datagrams_sent;
+    datagrams_received += o.datagrams_received;
+    datagrams_dropped += o.datagrams_dropped;
+    frames_sent += o.frames_sent;
+    frames_received += o.frames_received;
+    frames_retransmitted += o.frames_retransmitted;
+    frames_dropped += o.frames_dropped;
+    session_opens += o.session_opens;
+    session_timeouts += o.session_timeouts;
+    reassembly_failures += o.reassembly_failures;
+  }
+};
+
+/// The live (thread-safe) mirror of TransportStats; sessions and runtimes
+/// bump these, snapshot() flattens them for RunResults.
+struct TransportCounters {
+  RelaxedCounter datagrams_sent;
+  RelaxedCounter datagrams_received;
+  RelaxedCounter datagrams_dropped;
+  RelaxedCounter frames_sent;
+  RelaxedCounter frames_received;
+  RelaxedCounter frames_retransmitted;
+  RelaxedCounter frames_dropped;
+  RelaxedCounter session_opens;
+  RelaxedCounter session_timeouts;
+  RelaxedCounter reassembly_failures;
+
+  TransportStats snapshot() const {
+    return TransportStats{
+        datagrams_sent.load(),      datagrams_received.load(),
+        datagrams_dropped.load(),   frames_sent.load(),
+        frames_received.load(),     frames_retransmitted.load(),
+        frames_dropped.load(),      session_opens.load(),
+        session_timeouts.load(),    reassembly_failures.load()};
+  }
+};
+
 /// The live (thread-safe) mirror of HotPathStats that protocols bump during
 /// a run; snapshot() flattens it into the plain struct for RunResults.
 struct HotPathCounters {
@@ -118,6 +172,10 @@ struct RunResults {
 
   /// Execution-shape counters; excluded from semantic-equality comparisons.
   HotPathStats hot_path;
+  /// Transport-shape counters (live runtime runs only; all-zero for the
+  /// trace-driven simulator substrates). Also excluded from semantic
+  /// equality.
+  TransportStats transport;
 };
 
 /// Accumulates events during a run; protocols report through this.
@@ -154,6 +212,10 @@ class Collector {
   HotPathCounters& hot_path() { return hot_path_; }
   const HotPathCounters& hot_path() const { return hot_path_; }
 
+  /// Mutable transport counters; the live runtime's sessions bump these.
+  TransportCounters& transport() { return transport_; }
+  const TransportCounters& transport() const { return transport_; }
+
   RunResults results() const;
 
  private:
@@ -176,6 +238,7 @@ class Collector {
   RelaxedCounter control_bytes_;
   std::vector<NodeLog> logs_;
   HotPathCounters hot_path_;
+  TransportCounters transport_;
 };
 
 }  // namespace bsub::metrics

@@ -1,0 +1,143 @@
+#include "net/fragment.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/byte_io.h"
+
+namespace bsub::net {
+
+namespace {
+
+void put_header(util::ByteWriter& w, DatagramKind kind, std::uint32_t epoch) {
+  w.put_u8(kNetMagic);
+  w.put_u8(kNetVersion);
+  w.put_u8(static_cast<std::uint8_t>(kind));
+  w.put_u32(epoch);
+}
+
+}  // namespace
+
+DatagramView parse_datagram(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.get_u8() != kNetMagic) {
+    throw util::CodecError("bad datagram magic", 0, "0xB5", {});
+  }
+  const std::uint8_t version = r.get_u8();
+  if (version != kNetVersion) {
+    throw util::CodecError("unsupported datagram version", 1,
+                           std::to_string(kNetVersion),
+                           std::to_string(version));
+  }
+  const std::size_t kind_at = r.offset();
+  const std::uint8_t kind_byte = r.get_u8();
+  if (kind_byte < static_cast<std::uint8_t>(DatagramKind::kData) ||
+      kind_byte > static_cast<std::uint8_t>(DatagramKind::kFinAck)) {
+    throw util::CodecError("unknown datagram kind", kind_at, "kind in [1, 4]",
+                           std::to_string(kind_byte));
+  }
+  DatagramView v;
+  v.kind = static_cast<DatagramKind>(kind_byte);
+  v.epoch = r.get_u32();
+  switch (v.kind) {
+    case DatagramKind::kData: {
+      v.seq = r.get_varint();
+      const std::size_t geom_at = r.offset();
+      v.frag_count = r.get_varint();
+      v.frag_index = r.get_varint();
+      v.frame_len = r.get_varint();
+      v.offset = r.get_varint();
+      if (v.frag_count == 0 || v.frag_index >= v.frag_count) {
+        throw util::CodecError("bad fragment geometry", geom_at,
+                               "0 <= index < count, count >= 1",
+                               std::to_string(v.frag_index) + "/" +
+                                   std::to_string(v.frag_count));
+      }
+      if (v.frame_len == 0 || v.frame_len > kMaxFrameBytes) {
+        throw util::CodecError("bad frame length", geom_at,
+                               "1.." + std::to_string(kMaxFrameBytes),
+                               std::to_string(v.frame_len));
+      }
+      if (v.frag_count > v.frame_len) {
+        throw util::CodecError("more fragments than frame bytes", geom_at,
+                               "count <= frame length",
+                               std::to_string(v.frag_count));
+      }
+      const std::size_t n = r.remaining();
+      if (n == 0) {
+        throw util::CodecError("empty fragment payload", r.offset(),
+                               "at least 1 payload byte", "0");
+      }
+      if (v.offset > v.frame_len || n > v.frame_len - v.offset) {
+        throw util::CodecError("fragment exceeds frame bounds", r.offset(),
+                               "offset + payload <= frame length",
+                               std::to_string(v.offset) + "+" +
+                                   std::to_string(n));
+      }
+      v.payload = r.get_span(n);
+      break;
+    }
+    case DatagramKind::kAck:
+      v.ack_next = r.get_varint();
+      break;
+    case DatagramKind::kFin:
+    case DatagramKind::kFinAck:
+      break;
+  }
+  r.expect_end("datagram");
+  return v;
+}
+
+void fragment_frame(std::uint32_t epoch, std::uint64_t seq,
+                    std::span<const std::uint8_t> frame, std::size_t mtu,
+                    std::vector<std::vector<std::uint8_t>>& out) {
+  const std::size_t chunk = mtu - kDataHeaderReserve;
+  const std::size_t count = (frame.size() + chunk - 1) / chunk;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t offset = i * chunk;
+    const std::size_t len = std::min(chunk, frame.size() - offset);
+    util::ByteWriter w;
+    put_header(w, DatagramKind::kData, epoch);
+    w.put_varint(seq);
+    w.put_varint(count);
+    w.put_varint(i);
+    w.put_varint(frame.size());
+    w.put_varint(offset);
+    w.put_bytes(frame.subspan(offset, len));
+    out.push_back(std::move(w).take());
+  }
+}
+
+std::vector<std::uint8_t> encode_ack(std::uint32_t epoch,
+                                     std::uint64_t ack_next) {
+  util::ByteWriter w;
+  put_header(w, DatagramKind::kAck, epoch);
+  w.put_varint(ack_next);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> encode_fin(std::uint32_t epoch, bool is_ack) {
+  util::ByteWriter w;
+  put_header(w, is_ack ? DatagramKind::kFinAck : DatagramKind::kFin, epoch);
+  return std::move(w).take();
+}
+
+FragmentBuffer::Add FragmentBuffer::add(const DatagramView& view) {
+  if (frag_count_ == 0) {
+    frag_count_ = view.frag_count;
+    frame_len_ = view.frame_len;
+    bytes_.assign(frame_len_, 0);
+    have_.assign(frag_count_, false);
+  } else if (view.frag_count != frag_count_ || view.frame_len != frame_len_) {
+    return Add::kMismatch;
+  }
+  if (have_[view.frag_index]) return Add::kDuplicate;
+  // parse_datagram already guaranteed offset + payload <= frame_len.
+  std::copy(view.payload.begin(), view.payload.end(),
+            bytes_.begin() + static_cast<std::ptrdiff_t>(view.offset));
+  have_[view.frag_index] = true;
+  ++placed_;
+  return complete() ? Add::kComplete : Add::kIncomplete;
+}
+
+}  // namespace bsub::net

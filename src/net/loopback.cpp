@@ -1,0 +1,69 @@
+#include "net/loopback.h"
+
+#include <stdexcept>
+
+namespace bsub::net {
+
+LoopbackHub::LoopbackHub() : LoopbackHub(Config{}) {}
+
+LoopbackHub::LoopbackHub(Config config)
+    : config_(config), loss_rng_(config.loss_seed) {}
+
+LoopbackHub::~LoopbackHub() = default;
+
+LoopbackTransport& LoopbackHub::attach(Endpoint ep) {
+  auto [it, inserted] = transports_.emplace(
+      ep, std::unique_ptr<LoopbackTransport>(new LoopbackTransport(*this, ep)));
+  if (!inserted) {
+    throw std::invalid_argument("LoopbackHub: duplicate endpoint");
+  }
+  return *it->second;
+}
+
+bool LoopbackHub::enqueue(Endpoint from, Endpoint to,
+                          std::span<const std::uint8_t> bytes) {
+  if (bytes.size() > config_.mtu) return false;
+  queue_.push_back(
+      Datagram{from, to, std::vector<std::uint8_t>(bytes.begin(), bytes.end())});
+  ++enqueued_;
+  return true;
+}
+
+bool LoopbackHub::deliver_one() {
+  if (queue_.empty()) return false;
+  Datagram d = std::move(queue_.front());
+  queue_.pop_front();
+  // The loss draw happens even for unroutable datagrams so the drop
+  // sequence depends only on send order, not on topology.
+  const bool lost = config_.loss_probability > 0.0 &&
+                    loss_rng_.next_bool(config_.loss_probability);
+  if (lost) {
+    ++dropped_loss_;
+    return true;
+  }
+  auto it = transports_.find(d.to);
+  if (it == transports_.end() || !it->second->handler_) {
+    ++dropped_unroutable_;
+    return true;
+  }
+  ++delivered_;
+  it->second->handler_(d.from, d.bytes);
+  return true;
+}
+
+std::size_t LoopbackHub::deliver_all() {
+  std::size_t n = 0;
+  while (deliver_one()) ++n;
+  return n;
+}
+
+bool LoopbackTransport::send(Endpoint to,
+                             std::span<const std::uint8_t> datagram) {
+  return hub_.enqueue(endpoint_, to, datagram);
+}
+
+std::size_t LoopbackTransport::max_datagram_bytes() const {
+  return hub_.config_.mtu;
+}
+
+}  // namespace bsub::net

@@ -1,0 +1,141 @@
+#include "net/node_runtime.h"
+
+namespace bsub::net {
+
+NodeRuntime::NodeRuntime(engine::NodeId id, RuntimeConfig config,
+                         Transport& transport, Reactor& reactor,
+                         metrics::TransportCounters& counters)
+    : node_(id, config.node), config_(config), transport_(transport),
+      reactor_(reactor), counters_(counters) {
+  transport_.set_receive_handler(
+      [this](Endpoint from, std::span<const std::uint8_t> bytes) {
+        on_transport_datagram(from, bytes);
+      });
+  if (config_.decay_tick > 0) arm_decay_tick();
+}
+
+NodeRuntime::~NodeRuntime() {
+  if (decay_timer_ != TimerWheel::kInvalidTimer) {
+    reactor_.cancel(decay_timer_);
+  }
+  transport_.set_receive_handler({});
+}
+
+void NodeRuntime::arm_decay_tick() {
+  decay_timer_ = reactor_.schedule_after(config_.decay_tick, [this] {
+    node_.decay_tick(reactor_.now());
+    arm_decay_tick();
+  });
+}
+
+Session& NodeRuntime::make_session(Endpoint peer,
+                                   std::shared_ptr<sim::Link> budget) {
+  // Epoch 0 means "unknown" on the receive side, so incarnations start at
+  // 1 and grow per runtime; a later contact with the same peer outranks
+  // any straggler datagrams from an earlier one.
+  const std::uint32_t epoch = ++next_epoch_;
+  auto session = std::make_unique<Session>(peer, epoch, config_.session,
+                                           transport_, reactor_, counters_);
+  Session* raw = session.get();
+  raw->set_budget(std::move(budget));
+  raw->set_frame_handler([this, raw](std::span<const std::uint8_t> frame) {
+    // The node consumes the frame and answers on the same session; the
+    // response frames are the protocol's next step (filters, data,
+    // custody acks).
+    for (auto& response : node_.handle(frame, reactor_.now())) {
+      raw->offer(response);
+    }
+  });
+  raw->set_closed_handler([this, peer](SessionCloseReason reason) {
+    auto it = sessions_.find(peer);
+    if (it != sessions_.end()) {
+      graveyard_.push_back(std::move(it->second));
+      sessions_.erase(it);
+    }
+    if (on_session_closed_) on_session_closed_(peer, reason);
+  });
+  auto [it, inserted] = sessions_.emplace(peer, std::move(session));
+  (void)inserted;  // caller guarantees no live session for `peer`
+  return *it->second;
+}
+
+Session& NodeRuntime::connect(Endpoint peer,
+                              std::shared_ptr<sim::Link> budget) {
+  graveyard_.clear();
+  if (auto it = sessions_.find(peer); it != sessions_.end()) {
+    return *it->second;
+  }
+  Session& s = make_session(peer, std::move(budget));
+  for (auto& frame : node_.begin_contact(reactor_.now())) {
+    s.offer(frame);
+  }
+  return s;
+}
+
+void NodeRuntime::on_transport_datagram(Endpoint from,
+                                        std::span<const std::uint8_t> bytes) {
+  graveyard_.clear();
+  auto it = sessions_.find(from);
+  if (it == sessions_.end()) {
+    // Passive open: only a plausible session datagram may create state
+    // (anything else is counted and dropped without allocating).
+    try {
+      const DatagramView probe = parse_datagram(bytes);
+      if (probe.kind != DatagramKind::kData) {
+        ++counters_.datagrams_received;
+        ++counters_.datagrams_dropped;
+        return;
+      }
+    } catch (const util::CodecError&) {
+      ++counters_.datagrams_received;
+      ++counters_.datagrams_dropped;
+      return;
+    }
+    // The encounter is symmetric: the passive side says HELLO too.
+    Session& s = make_session(from, nullptr);
+    for (auto& frame : node_.begin_contact(reactor_.now())) {
+      s.offer(frame);
+    }
+    s.on_datagram(bytes);
+    return;
+  }
+  it->second->on_datagram(bytes);
+}
+
+Session* NodeRuntime::session(Endpoint peer) {
+  auto it = sessions_.find(peer);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+void NodeRuntime::close(Endpoint peer) {
+  graveyard_.clear();
+  if (auto it = sessions_.find(peer); it != sessions_.end()) {
+    it->second->close();
+  }
+}
+
+void NodeRuntime::abort(Endpoint peer) {
+  graveyard_.clear();
+  if (auto it = sessions_.find(peer); it != sessions_.end()) {
+    it->second->abort(SessionCloseReason::kPeerLost);
+  }
+}
+
+void NodeRuntime::close_all() {
+  graveyard_.clear();
+  // close() mutates sessions_ via the closed handler only after FIN_ACK,
+  // but be defensive: snapshot the peers first.
+  std::vector<Endpoint> peers;
+  peers.reserve(sessions_.size());
+  for (const auto& [peer, s] : sessions_) peers.push_back(peer);
+  for (Endpoint p : peers) close(p);
+}
+
+bool NodeRuntime::all_sessions_idle() const {
+  for (const auto& [peer, s] : sessions_) {
+    if (!s->idle()) return false;
+  }
+  return true;
+}
+
+}  // namespace bsub::net

@@ -1,0 +1,206 @@
+#include "net/orchestrator.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/link.h"
+
+namespace bsub::net {
+
+namespace {
+
+struct MergedEvent {
+  std::uint32_t index;
+  bool is_message;
+};
+
+}  // namespace
+
+ContactOrchestrator::ContactOrchestrator(OrchestratorConfig config)
+    : config_(config) {}
+
+ContactOrchestrator::~ContactOrchestrator() = default;
+
+const engine::BsubNode& ContactOrchestrator::node(trace::NodeId id) const {
+  if (id >= runtimes_.size()) {
+    throw std::out_of_range("ContactOrchestrator: unknown node");
+  }
+  return runtimes_[id]->node();
+}
+
+const std::vector<engine::DeliveryRecord>&
+ContactOrchestrator::deliveries() const {
+  flattened_.clear();
+  for (const auto& log : per_node_deliveries_) {
+    flattened_.insert(flattened_.end(), log.begin(), log.end());
+  }
+  return flattened_;
+}
+
+void ContactOrchestrator::pump(util::Time cap) {
+  for (;;) {
+    hub_->deliver_all();
+    bool idle = true;
+    for (const auto& rt : runtimes_) {
+      if (!rt->all_sessions_idle()) {
+        idle = false;
+        break;
+      }
+    }
+    if (idle && hub_->idle()) return;
+    // Something is still in flight with nothing left to deliver: only a
+    // retransmit deadline can move the contact forward. (Timers always
+    // include the decay ticks, so firing may be a no-op for the contact —
+    // the loop just advances to the next deadline again.)
+    const util::Time next = reactor_->next_deadline();
+    if (next == util::kTimeMax || next > cap) return;
+    reactor_->advance_to(clock_, next);
+  }
+}
+
+LiveRunResults ContactOrchestrator::run(const trace::ContactTrace& trace,
+                                        const workload::Workload& workload) {
+  if (!runtimes_.empty()) {
+    throw std::logic_error("ContactOrchestrator: run() may be called once");
+  }
+  reactor_ = std::make_unique<Reactor>(clock_);
+  LoopbackHub::Config hub_config;
+  hub_config.mtu = config_.runtime.session.mtu;
+  hub_config.loss_probability = config_.loss_probability;
+  hub_config.loss_seed = config_.loss_seed;
+  hub_ = std::make_unique<LoopbackHub>(hub_config);
+
+  core::BrokerElection election(trace.node_count(), config_.election);
+
+  // Endpoints are node ids; per-node delivery logs give the same canonical
+  // node-major order the engine harness reports.
+  per_node_deliveries_.assign(trace.node_count(), {});
+  runtimes_.reserve(trace.node_count());
+  for (trace::NodeId n = 0; n < trace.node_count(); ++n) {
+    LoopbackTransport& transport = hub_->attach(n);
+    runtimes_.push_back(std::make_unique<NodeRuntime>(
+        n, config_.runtime, transport, *reactor_, counters_));
+    engine::BsubNode& node = runtimes_.back()->node();
+    for (workload::KeyId k : workload.interests_of(n)) {
+      node.subscribe(workload.keys().name(k));
+    }
+    node.set_delivery_handler(
+        [this, n](const engine::ContentMessage& msg, util::Time at) {
+          per_node_deliveries_[n].push_back(
+              engine::DeliveryRecord{n, msg.id, msg.key, at});
+        });
+  }
+
+  const auto& contacts = trace.contacts();
+  const auto& messages = workload.messages();
+
+  std::unordered_map<std::uint64_t, util::Time> created_at;
+  created_at.reserve(messages.size());
+  for (const workload::Message& m : messages) {
+    created_at.emplace(m.id, m.created);
+  }
+
+  // Merge creations and contacts with the simulator's exact tie rule.
+  std::vector<MergedEvent> events;
+  events.reserve(contacts.size() + messages.size());
+  {
+    std::size_t ci = 0, mi = 0;
+    while (ci < contacts.size() || mi < messages.size()) {
+      const bool take_message =
+          mi < messages.size() &&
+          (ci >= contacts.size() ||
+           messages[mi].created <= contacts[ci].start);
+      if (take_message) {
+        events.push_back({static_cast<std::uint32_t>(mi++), true});
+      } else {
+        events.push_back({static_cast<std::uint32_t>(ci++), false});
+      }
+    }
+  }
+
+  LiveRunResults results;
+  for (const MergedEvent& e : events) {
+    if (e.is_message) {
+      const workload::Message& m = messages[e.index];
+      reactor_->advance_to(clock_, m.created);
+      engine::ContentMessage cm;
+      cm.id = m.id;
+      cm.key = workload.keys().name(m.key);
+      cm.body.assign(m.size_bytes, 0x5A);
+      cm.created = m.created;
+      cm.ttl = m.ttl;
+      runtimes_[m.producer]->node().publish(std::move(cm), m.created);
+      continue;
+    }
+
+    const trace::Contact& c = contacts[e.index];
+    reactor_->advance_to(clock_, c.start);
+    election.on_contact(c.a, c.b, c.start);
+    runtimes_[c.a]->node().set_broker(election.is_broker(c.a));
+    runtimes_[c.b]->node().set_broker(election.is_broker(c.b));
+
+    // One shared byte budget per contact, charged frame-by-frame by the two
+    // sessions in the same order the engine harness charges its FIFO.
+    auto budget = std::make_shared<sim::Link>(
+        c.duration(), config_.bandwidth_bytes_per_second);
+    runtimes_[c.a]->connect(c.b, budget);
+    runtimes_[c.b]->connect(c.a, budget);
+
+    // The window's wall-clock room: lossless contacts quiesce at c.start
+    // without moving the clock at all; lossy ones may burn retransmit
+    // deadlines until the peers drift out of range.
+    const util::Time contact_end = c.start + c.duration();
+    pump(contact_end);
+
+    // Goodbye handshake (FIN / FIN_ACK, retried like data). Whatever is
+    // still alive when the window shuts is torn down as a lost peer.
+    runtimes_[c.a]->close(c.b);
+    runtimes_[c.b]->close(c.a);
+    for (;;) {
+      hub_->deliver_all();
+      if (!runtimes_[c.a]->has_session(c.b) &&
+          !runtimes_[c.b]->has_session(c.a)) {
+        break;
+      }
+      const util::Time next = reactor_->next_deadline();
+      if (next == util::kTimeMax || next > contact_end) {
+        runtimes_[c.a]->abort(c.b);
+        runtimes_[c.b]->abort(c.a);
+        break;
+      }
+      reactor_->advance_to(clock_, next);
+    }
+    hub_->deliver_all();  // stray FIN_ACKs to already-gone sessions
+
+    ++results.protocol.contacts_processed;
+    results.protocol.bytes_used += budget->used_bytes();
+  }
+
+  // Frame-level tallies map 1:1 onto the harness report: every frame the
+  // budget admitted was delivered in-order to the peer node, every frame it
+  // refused was dropped.
+  results.transport = counters_.snapshot();
+  results.protocol.frames_delivered = results.transport.frames_received;
+  results.protocol.frames_dropped = results.transport.frames_dropped;
+  results.datagrams_lost = hub_->dropped_loss();
+
+  const auto& delivered = deliveries();
+  results.protocol.deliveries = delivered.size();
+  results.protocol.expected_deliveries = workload.expected_deliveries();
+  if (results.protocol.expected_deliveries > 0) {
+    results.protocol.delivery_ratio =
+        static_cast<double>(results.protocol.deliveries) /
+        static_cast<double>(results.protocol.expected_deliveries);
+  }
+  double delay_sum = 0.0;
+  for (const engine::DeliveryRecord& d : delivered) {
+    delay_sum += util::to_minutes(d.at - created_at.at(d.message_id));
+  }
+  if (results.protocol.deliveries > 0) {
+    results.protocol.mean_delay_minutes =
+        delay_sum / static_cast<double>(results.protocol.deliveries);
+  }
+  return results;
+}
+
+}  // namespace bsub::net

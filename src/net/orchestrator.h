@@ -1,0 +1,92 @@
+// Contact orchestrator: replays a contact trace + workload as *real
+// transport contacts* between live NodeRuntimes.
+//
+// This is the third substrate for the same scenario, after the
+// strategy-object simulator (sim::Simulator) and the in-memory frame engine
+// (engine::TraceRunner). Here every trace contact becomes an actual
+// session: HELLO handshake, fragmentation to the MTU, acks, optional loss
+// with retransmission — over the loopback hub in deterministic virtual
+// time (tests, differential validation), with the same code paths the UDP
+// daemon runs in real time.
+//
+// Determinism & equivalence contract (loss_probability == 0): a contact is
+// pumped to quiescence at its start instant, sessions charge each protocol
+// frame against the shared contact byte budget in the same order the
+// engine::Network harness does, and the hub's FIFO reproduces the
+// harness's alternating frame processing — so LiveRunResults.protocol is
+// bit-for-bit identical to TraceRunner's TraceRunResults on the same
+// scenario (the live_loopback_differential test enforces this across
+// seeds). Bitwise comparison additionally requires runtime.decay_tick = 0:
+// periodic ticks split each TCBF decay interval into segments, and the
+// segmented floating-point sum differs in the last bits from the harness's
+// single lazy decay (same protocol semantics, different counter bits).
+// With loss enabled the run stays deterministic in (trace, seed) but is no
+// longer comparable to the lossless harness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/broker_allocation.h"
+#include "engine/trace_runner.h"
+#include "metrics/collector.h"
+#include "net/clock.h"
+#include "net/loopback.h"
+#include "net/node_runtime.h"
+#include "net/reactor.h"
+#include "trace/trace.h"
+#include "workload/workload.h"
+
+namespace bsub::net {
+
+struct OrchestratorConfig {
+  RuntimeConfig runtime;
+  core::BrokerElection::Config election{3, 5, 5 * util::kHour};
+  double bandwidth_bytes_per_second = sim::kDefaultBandwidthBytesPerSecond;
+  /// Per-datagram loss on the loopback hub (0 = lossless, bit-for-bit
+  /// comparable to the engine harness).
+  double loss_probability = 0.0;
+  std::uint64_t loss_seed = 1;
+};
+
+struct LiveRunResults {
+  /// Same semantic fields as the engine substrate, for direct comparison.
+  engine::TraceRunResults protocol;
+  /// How the datagram layer moved those frames.
+  metrics::TransportStats transport;
+  std::uint64_t datagrams_lost = 0;  ///< injected loopback loss
+};
+
+class ContactOrchestrator {
+ public:
+  explicit ContactOrchestrator(OrchestratorConfig config = {});
+  ~ContactOrchestrator();
+
+  /// Replays the whole scenario. The runtimes stay alive afterwards for
+  /// introspection (node(), deliveries()).
+  LiveRunResults run(const trace::ContactTrace& trace,
+                     const workload::Workload& workload);
+
+  /// Valid after run().
+  const engine::BsubNode& node(trace::NodeId id) const;
+  /// All consumer deliveries, node-major (per node in arrival order) —
+  /// the same canonical order the engine harness reports.
+  const std::vector<engine::DeliveryRecord>& deliveries() const;
+
+ private:
+  /// Drains the hub and any due retransmit deadlines up to `cap`; returns
+  /// when every session is idle/closed or deadlines pass the cap.
+  void pump(util::Time cap);
+
+  OrchestratorConfig config_;
+  ManualClock clock_;
+  std::unique_ptr<Reactor> reactor_;
+  std::unique_ptr<LoopbackHub> hub_;
+  metrics::TransportCounters counters_;
+  std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
+  std::vector<std::vector<engine::DeliveryRecord>> per_node_deliveries_;
+  mutable std::vector<engine::DeliveryRecord> flattened_;
+};
+
+}  // namespace bsub::net

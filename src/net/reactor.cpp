@@ -1,0 +1,88 @@
+#include "net/reactor.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cassert>
+
+namespace bsub::net {
+
+Reactor::Reactor(Clock& clock) : clock_(clock), wheel_(clock.now()) {}
+
+Reactor::TimerId Reactor::schedule_at(util::Time deadline,
+                                      TimerWheel::Callback cb) {
+  return wheel_.schedule(deadline, std::move(cb));
+}
+
+Reactor::TimerId Reactor::schedule_after(util::Time delay,
+                                         TimerWheel::Callback cb) {
+  return wheel_.schedule(clock_.now() + std::max<util::Time>(delay, 0),
+                         std::move(cb));
+}
+
+bool Reactor::cancel(TimerId id) { return wheel_.cancel(id); }
+
+void Reactor::add_fd(int fd, std::function<void()> on_readable) {
+  fds_.push_back(FdEntry{fd, std::move(on_readable)});
+}
+
+void Reactor::remove_fd(int fd) {
+  std::erase_if(fds_, [fd](const FdEntry& e) { return e.fd == fd; });
+}
+
+void Reactor::advance_to(ManualClock& clock, util::Time t) {
+  assert(&clock == &clock_);
+  // Step deadline by deadline so every timer fires with the clock reading
+  // exactly its own deadline — the property the deterministic differential
+  // tests rely on.
+  while (true) {
+    const util::Time d = wheel_.next_deadline();
+    if (d > t) break;
+    clock.set(d);
+    wheel_.advance(d);
+  }
+  clock.set(t);
+  wheel_.advance(t);
+}
+
+bool Reactor::run_once(util::Time max_wait) {
+  if (stopped_) return false;
+  util::Time wait = max_wait;
+  const util::Time next = wheel_.next_deadline();
+  if (next != util::kTimeMax) {
+    const util::Time until = std::max<util::Time>(next - clock_.now(), 0);
+    wait = (wait < 0) ? until : std::min(wait, until);
+  } else if (wait < 0) {
+    wait = 100 * util::kMillisecond;  // no deadline: wake up periodically
+  }
+
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (const FdEntry& e : fds_) {
+    pfds.push_back(pollfd{e.fd, POLLIN, 0});
+  }
+  const int timeout_ms =
+      static_cast<int>(std::min<util::Time>(wait, 60 * util::kSecond));
+  const int ready =
+      ::poll(pfds.empty() ? nullptr : pfds.data(),
+             static_cast<nfds_t>(pfds.size()), timeout_ms);
+  if (ready > 0) {
+    // Snapshot the callbacks: a handler may add/remove fds underneath us.
+    std::vector<std::function<void()>> to_run;
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if (pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+        to_run.push_back(fds_[i].on_readable);
+      }
+    }
+    for (auto& cb : to_run) cb();
+  }
+  wheel_.advance(clock_.now());
+  return !stopped_;
+}
+
+void Reactor::run() {
+  while (run_once()) {
+  }
+}
+
+}  // namespace bsub::net

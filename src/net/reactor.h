@@ -1,0 +1,82 @@
+// Poll-based event loop for the live runtime.
+//
+// One reactor drives everything a node endpoint does: socket readiness
+// (poll(2) over registered fds) and deadlines (a hierarchical TimerWheel —
+// retransmits, session teardown, TCBF decay ticks). Two driving modes share
+// the same registration API:
+//
+//   real time   run()/run_once() poll the fds with a timeout bounded by the
+//               next timer deadline, then fire due timers. Used by the
+//               bsub_node daemon and the UDP transport (SteadyClock).
+//   virtual time advance_to(t) moves a ManualClock through every timer
+//               deadline up to t in deterministic order without ever
+//               blocking. Used by the loopback tests and the contact
+//               orchestrator; fds are not polled (loopback has none).
+//
+// The reactor is single-threaded by design: every callback runs on the
+// loop, so sessions and nodes need no locks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/clock.h"
+#include "net/timer_wheel.h"
+#include "util/time.h"
+
+namespace bsub::net {
+
+class Reactor {
+ public:
+  using TimerId = TimerWheel::TimerId;
+
+  explicit Reactor(Clock& clock);
+
+  Clock& clock() { return clock_; }
+  util::Time now() const { return clock_.now(); }
+
+  /// Schedules `cb` at an absolute instant / after a delay from now.
+  TimerId schedule_at(util::Time deadline, TimerWheel::Callback cb);
+  TimerId schedule_after(util::Time delay, TimerWheel::Callback cb);
+  bool cancel(TimerId id);
+
+  util::Time next_deadline() const { return wheel_.next_deadline(); }
+  std::size_t pending_timers() const { return wheel_.pending(); }
+
+  /// Registers `fd` for readability callbacks (real-time mode). The fd must
+  /// stay valid until remove_fd().
+  void add_fd(int fd, std::function<void()> on_readable);
+  void remove_fd(int fd);
+
+  /// Fires every timer due at the clock's current instant. Returns count.
+  std::size_t fire_due() { return wheel_.advance(clock_.now()); }
+
+  /// Virtual-time driving (ManualClock): steps the clock through each due
+  /// deadline in order up to `t`, firing timers as it goes, and leaves the
+  /// clock at `t`. Requires the clock passed at construction to be the same
+  /// ManualClock.
+  void advance_to(ManualClock& clock, util::Time t);
+
+  /// Real-time driving: waits (poll) until a registered fd is readable or
+  /// the next timer is due, capped at `max_wait`; dispatches both. Returns
+  /// false only on stop(). `max_wait < 0` means "until the next deadline".
+  bool run_once(util::Time max_wait = 100 * util::kMillisecond);
+
+  /// Loops run_once() until stop() is called (from a callback or a signal
+  /// handler flag checked by the caller between iterations).
+  void run();
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+ private:
+  Clock& clock_;
+  TimerWheel wheel_;
+  struct FdEntry {
+    int fd;
+    std::function<void()> on_readable;
+  };
+  std::vector<FdEntry> fds_;
+  bool stopped_ = false;
+};
+
+}  // namespace bsub::net

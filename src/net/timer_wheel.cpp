@@ -1,0 +1,137 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+
+namespace bsub::net {
+
+namespace {
+
+/// Slot granularity (in ms) of a level: 1, 64, 4096, 262144.
+constexpr unsigned level_shift(unsigned level) { return 6 * level; }
+
+}  // namespace
+
+TimerWheel::TimerWheel(util::Time start) : now_(start) {}
+
+unsigned TimerWheel::level_for(util::Time deadline) const {
+  const util::Time delta = deadline > now_ ? deadline - now_ : 0;
+  for (unsigned level = 0; level < kLevels; ++level) {
+    const util::Time span = static_cast<util::Time>(1)
+                            << level_shift(level + 1);
+    if (delta < span) return level;
+  }
+  return kLevels;  // overflow
+}
+
+void TimerWheel::place(Entry entry) {
+  const unsigned level = level_for(entry.deadline);
+  if (level == kLevels) {
+    overflow_.push_back(entry);
+    return;
+  }
+  // Overdue deadlines clamp to the current instant so they sit in a slot
+  // the next advance() is guaranteed to drain.
+  const util::Time at = std::max(entry.deadline, now_);
+  const std::uint64_t slot =
+      (static_cast<std::uint64_t>(at) >> level_shift(level)) & (kSlots - 1);
+  slots_[level][slot].push_back(entry);
+}
+
+TimerWheel::TimerId TimerWheel::schedule(util::Time deadline, Callback cb) {
+  const TimerId id = next_id_++;
+  callbacks_.emplace(id, std::move(cb));
+  ++live_;
+  place(Entry{id, deadline});
+  heap_.emplace_back(deadline, id);
+  std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  // Lazy: the slot entry becomes a tombstone, skipped when its slot drains.
+  if (callbacks_.erase(id) == 0) return false;
+  --live_;
+  return true;
+}
+
+util::Time TimerWheel::next_deadline() const {
+  while (!heap_.empty() && !callbacks_.contains(heap_.front().second)) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+    heap_.pop_back();
+  }
+  return heap_.empty() ? util::kTimeMax : heap_.front().first;
+}
+
+void TimerWheel::drain(std::vector<Entry>& slot, util::Time now,
+                       std::vector<Entry>& due) {
+  for (Entry& e : slot) {
+    if (!callbacks_.contains(e.id)) continue;  // cancelled tombstone
+    if (e.deadline <= now) {
+      due.push_back(e);
+    } else {
+      place(e);  // cascade down: now_ has advanced, so it lands finer
+    }
+  }
+  slot.clear();
+}
+
+std::size_t TimerWheel::advance(util::Time now) {
+  if (now < now_) now = now_;
+  std::size_t fired = 0;
+  bool first_pass = true;
+  while (true) {
+    std::vector<Entry> due;
+    const util::Time from = now_;
+    // Re-placement during drain must use the *new* instant so surviving
+    // entries cascade into the right finer-grained slot.
+    now_ = now;
+    if (first_pass) {
+      for (unsigned level = 0; level < kLevels; ++level) {
+        const unsigned shift = level_shift(level);
+        const std::uint64_t begin = static_cast<std::uint64_t>(from) >> shift;
+        const std::uint64_t end = static_cast<std::uint64_t>(now) >> shift;
+        const std::uint64_t count = std::min<std::uint64_t>(
+            end - begin + 1, kSlots);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          drain(slots_[level][(begin + i) & (kSlots - 1)], now, due);
+        }
+      }
+      // Entries park in overflow while they are >= one full horizon out, so
+      // any advance that could strand one necessarily crosses a top-level
+      // slot; re-examining overflow on those crossings is sufficient.
+      if ((static_cast<std::uint64_t>(from) >> level_shift(kLevels - 1)) !=
+              (static_cast<std::uint64_t>(now) >> level_shift(kLevels - 1)) &&
+          !overflow_.empty()) {
+        std::vector<Entry> parked;
+        parked.swap(overflow_);
+        drain(parked, now, due);
+      }
+      first_pass = false;
+    } else {
+      // Later passes only catch timers (re)scheduled by callbacks with
+      // deadlines at or before `now`; place() clamps those into the current
+      // level-0 slot.
+      drain(slots_[0][static_cast<std::uint64_t>(now) & (kSlots - 1)], now,
+            due);
+    }
+    if (due.empty()) break;
+    // Deterministic firing order: deadline, then schedule order (ids are
+    // handed out monotonically).
+    std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+      return a.deadline != b.deadline ? a.deadline < b.deadline
+                                      : a.id < b.id;
+    });
+    for (const Entry& e : due) {
+      auto it = callbacks_.find(e.id);
+      if (it == callbacks_.end()) continue;  // cancelled by an earlier cb
+      Callback cb = std::move(it->second);
+      callbacks_.erase(it);
+      --live_;
+      ++fired;
+      cb();
+    }
+  }
+  return fired;
+}
+
+}  // namespace bsub::net

@@ -1,0 +1,60 @@
+#include "net/transport.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace bsub::net {
+
+bool parse_udp_endpoint(const std::string& text, Endpoint& out) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    return false;
+  }
+  const std::string host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+
+  std::uint32_t ip = 0;
+  std::size_t pos = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (pos >= host.size()) return false;
+    std::size_t used = 0;
+    unsigned long v = 0;
+    try {
+      v = std::stoul(host.substr(pos), &used, 10);
+    } catch (...) {
+      return false;
+    }
+    if (used == 0 || v > 255) return false;
+    ip = (ip << 8) | static_cast<std::uint32_t>(v);
+    pos += used;
+    if (octet < 3) {
+      if (pos >= host.size() || host[pos] != '.') return false;
+      ++pos;
+    }
+  }
+  if (pos != host.size()) return false;
+
+  std::size_t used = 0;
+  unsigned long port = 0;
+  try {
+    port = std::stoul(port_text, &used, 10);
+  } catch (...) {
+    return false;
+  }
+  // Port 0 is legal: "bind to an ephemeral port".
+  if (used != port_text.size() || port > 65535) return false;
+
+  out = make_udp_endpoint(ip, static_cast<std::uint16_t>(port));
+  return true;
+}
+
+std::string format_udp_endpoint(Endpoint ep) {
+  const std::uint32_t ip = endpoint_ipv4(ep);
+  return std::to_string((ip >> 24) & 0xFF) + "." +
+         std::to_string((ip >> 16) & 0xFF) + "." +
+         std::to_string((ip >> 8) & 0xFF) + "." + std::to_string(ip & 0xFF) +
+         ":" + std::to_string(endpoint_port(ep));
+}
+
+}  // namespace bsub::net

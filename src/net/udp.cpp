@@ -1,0 +1,110 @@
+#include "net/udp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace bsub::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("UdpTransport: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(Reactor& reactor, Endpoint bind_endpoint)
+    : UdpTransport(reactor, bind_endpoint, Config{}) {}
+
+UdpTransport::UdpTransport(Reactor& reactor, Endpoint bind_endpoint,
+                           Config config)
+    : reactor_(reactor), config_(config) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(endpoint_ipv4(bind_endpoint));
+  addr.sin_port = htons(endpoint_port(bind_endpoint));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw_errno("bind");
+  }
+
+  // Learn the actual binding (port 0 -> kernel-assigned ephemeral port).
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  local_ = make_udp_endpoint(ntohl(bound.sin_addr.s_addr),
+                             ntohs(bound.sin_port));
+
+  recv_buffer_.resize(config_.mtu + 1);  // +1 detects oversized datagrams
+  reactor_.add_fd(fd_, [this] { on_readable(); });
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) {
+    reactor_.remove_fd(fd_);
+    ::close(fd_);
+  }
+}
+
+bool UdpTransport::send(Endpoint to, std::span<const std::uint8_t> datagram) {
+  if (datagram.size() > config_.mtu) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(endpoint_ipv4(to));
+  addr.sin_port = htons(endpoint_port(to));
+  const ssize_t n =
+      ::sendto(fd_, datagram.data(), datagram.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  return n == static_cast<ssize_t>(datagram.size());
+}
+
+void UdpTransport::on_readable() {
+  for (;;) {
+    sockaddr_in from{};
+    socklen_t len = sizeof(from);
+    const ssize_t n =
+        ::recvfrom(fd_, recv_buffer_.data(), recv_buffer_.size(), 0,
+                   reinterpret_cast<sockaddr*>(&from), &len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient socket error; the next poll round retries
+    }
+    if (n == 0 || static_cast<std::size_t>(n) > config_.mtu) continue;
+    if (!handler_) continue;
+    const Endpoint peer = make_udp_endpoint(ntohl(from.sin_addr.s_addr),
+                                            ntohs(from.sin_port));
+    handler_(peer,
+             std::span<const std::uint8_t>(recv_buffer_.data(),
+                                           static_cast<std::size_t>(n)));
+  }
+}
+
+}  // namespace bsub::net

@@ -1,0 +1,60 @@
+// Real-socket transport backend: one non-blocking IPv4/UDP socket driven by
+// the reactor.
+//
+// The socket registers its fd with the reactor; when poll(2) reports it
+// readable, every queued datagram is drained (recvfrom until EAGAIN) and
+// handed to the receive handler with the sender packed as a UDP Endpoint.
+// Sends are fire-and-forget sendto(2): UDP's native loss model is exactly
+// the unreliability the Session layer is built to repair.
+//
+// Binding to port 0 picks an ephemeral port; local_endpoint() reports the
+// actual binding (getsockname), which is what the daemon prints so peers
+// can be pointed at it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/reactor.h"
+#include "net/transport.h"
+
+namespace bsub::net {
+
+class UdpTransport final : public Transport {
+ public:
+  struct Config {
+    std::size_t mtu = 1400;  ///< max datagram bytes accepted by send()
+  };
+
+  /// Opens and binds the socket (throws std::runtime_error on socket(),
+  /// bind(), or fcntl() failure — a daemon that cannot open its socket
+  /// cannot run) and registers it with the reactor.
+  UdpTransport(Reactor& reactor, Endpoint bind_endpoint);
+  UdpTransport(Reactor& reactor, Endpoint bind_endpoint, Config config);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  bool send(Endpoint to, std::span<const std::uint8_t> datagram) override;
+  std::size_t max_datagram_bytes() const override { return config_.mtu; }
+  Endpoint local_endpoint() const override { return local_; }
+  void set_receive_handler(ReceiveHandler handler) override {
+    handler_ = std::move(handler);
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  void on_readable();
+
+  Reactor& reactor_;
+  Config config_;
+  int fd_ = -1;
+  Endpoint local_ = 0;
+  ReceiveHandler handler_;
+  std::vector<std::uint8_t> recv_buffer_;
+};
+
+}  // namespace bsub::net

@@ -16,14 +16,13 @@
 namespace bsub::engine {
 namespace {
 
-constexpr std::uint8_t kMagic = 0x5B;
-
 /// Seals an arbitrary payload into a frame with a *correct* checksum, so
 /// the tests below reach the payload validators rather than the checksum.
 std::vector<std::uint8_t> seal(std::uint8_t type,
                                const std::vector<std::uint8_t>& payload) {
   util::ByteWriter w;
-  w.put_u8(kMagic);
+  w.put_u8(kFrameMagic);
+  w.put_u8(kWireVersion);
   w.put_u8(type);
   w.put_varint(payload.size());
   w.put_bytes(payload);
@@ -63,7 +62,8 @@ ContentMessage sample_message() {
 TEST(WireRejection, AbsurdPayloadLengthClaimRejectedBeforeUse) {
   // A 6-byte buffer claiming a 1 GiB payload must die on the length check.
   util::ByteWriter w;
-  w.put_u8(kMagic);
+  w.put_u8(kFrameMagic);
+  w.put_u8(kWireVersion);
   w.put_u8(4);  // kData
   w.put_varint(std::uint64_t{1} << 30);
   try {
@@ -172,8 +172,57 @@ TEST(WireRejection, FrameTypeZeroAndUnknownRejected) {
   for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{6},
                            std::uint8_t{0xFF}}) {
     auto mutated = bytes;
-    mutated[1] = bad;
+    mutated[2] = bad;
     EXPECT_THROW(decode(mutated), util::CodecError) << int(bad);
+  }
+}
+
+TEST(WireRejection, WireVersionMismatchRejected) {
+  auto bytes = encode(CustodyAckFrame{1, 2, true});
+  ASSERT_EQ(bytes[1], kWireVersion);
+  for (std::uint8_t bad :
+       {std::uint8_t{0}, std::uint8_t{kWireVersion + 1}, std::uint8_t{0xFF}}) {
+    auto mutated = bytes;
+    mutated[1] = bad;
+    try {
+      (void)decode(mutated);
+      FAIL() << "expected CodecError for version " << int(bad);
+    } catch (const util::CodecError& e) {
+      EXPECT_EQ(e.offset(), 1u);
+      EXPECT_NE(std::string(e.what()).find("unsupported wire version"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(WireRejection, EncodeDecodeEncodeByteIdentity) {
+  // The version byte must round-trip: re-encoding a decoded frame yields
+  // the exact original bytes.
+  GenuineFrame g;
+  g.sender = 3;
+  g.filter = bloom::Tcbf({256, 4}, 50.0);
+  g.filter.insert("alpha");
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      encode(g), encode(DataFrame{5, sample_message(), true}),
+      encode(CustodyAckFrame{1, 2, false})};
+  for (const auto& bytes : frames) {
+    const Frame f = decode(bytes);
+    std::vector<std::uint8_t> again;
+    switch (f.type) {
+      case FrameType::kGenuineFilter:
+        again = encode(*f.genuine);
+        break;
+      case FrameType::kData:
+        again = encode(*f.data);
+        break;
+      case FrameType::kCustodyAck:
+        again = encode(*f.custody_ack);
+        break;
+      default:
+        FAIL() << "unexpected type";
+    }
+    EXPECT_EQ(again, bytes);
   }
 }
 

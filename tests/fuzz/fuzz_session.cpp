@@ -1,0 +1,113 @@
+// Fuzz target for the contact-session state machine (net/session.h).
+//
+// The input is a little op program driving one Session through hostile
+// territory: arbitrary datagrams (the attacker-controlled receive path),
+// local offers, graceful close, and virtual-time jumps that fire RTO
+// retransmits — interleaved in any order the fuzzer likes.
+//
+//   op 0x00 L   advance the clock by (L+1)*50ms (fires due timers)
+//   op 0x01 L   offer a (L % 64 + 1)-byte frame for reliable delivery
+//   op 0x02     close() (graceful FIN teardown)
+//   op L>=3     feed the next min(L, remaining) input bytes to
+//               on_datagram() as one datagram
+//
+// Invariants checked on every input:
+//   - no crash, no uncaught exception: on_datagram() swallows every codec
+//     error (hostile bytes must never propagate);
+//   - the state machine only moves forward (a closed session stays closed);
+//   - per-session receive caps hold (bounded partial/held-back frames).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "metrics/collector.h"
+#include "net/clock.h"
+#include "net/reactor.h"
+#include "net/session.h"
+#include "net/transport.h"
+
+namespace {
+
+[[noreturn]] void fail(const char* invariant) {
+  std::fprintf(stderr, "fuzz invariant violated: %s\n", invariant);
+  std::abort();
+}
+
+/// Transport that accepts every datagram and drops it on the floor: the
+/// fuzzer plays the entire network side through on_datagram().
+class SinkTransport final : public bsub::net::Transport {
+ public:
+  bool send(bsub::net::Endpoint,
+            std::span<const std::uint8_t> datagram) override {
+    return datagram.size() <= max_datagram_bytes();
+  }
+  std::size_t max_datagram_bytes() const override { return 96; }
+  bsub::net::Endpoint local_endpoint() const override { return 1; }
+  void set_receive_handler(ReceiveHandler) override {}
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace bsub::net;
+
+  ManualClock clock;
+  Reactor reactor(clock);
+  SinkTransport transport;
+  bsub::metrics::TransportCounters counters;
+
+  SessionConfig config;
+  config.mtu = 96;
+  config.rto_initial = 50 * bsub::util::kMillisecond;
+  config.max_retries = 3;
+  config.max_partial_frames = 4;  // keeps hostile frag_count claims cheap
+  config.max_out_of_order = 8;
+
+  Session session(/*peer=*/2, /*local_epoch=*/1, config, transport, reactor,
+                  counters);
+  bool closed_seen = false;
+  session.set_closed_handler([&](SessionCloseReason) {
+    if (closed_seen) fail("closed handler fired twice");
+    closed_seen = true;
+  });
+  session.set_frame_handler([&](std::span<const std::uint8_t> frame) {
+    if (frame.empty()) fail("delivered frame is empty");
+    // Answer like a node would: the response rides the same session.
+    const std::vector<std::uint8_t> reply(frame.begin(),
+                                          frame.begin() + 1);
+    (void)session.offer(reply);
+  });
+
+  std::size_t pos = 0;
+  while (pos < size) {
+    const std::uint8_t op = data[pos++];
+    const bool was_closed = session.state() == SessionState::kClosed;
+    if (op == 0x00) {
+      const std::uint8_t steps = pos < size ? data[pos++] : 0;
+      reactor.advance_to(clock, clock.now() + (steps + 1) *
+                                                  (50 * bsub::util::kMillisecond));
+    } else if (op == 0x01) {
+      const std::uint8_t len = pos < size ? data[pos++] : 0;
+      const std::vector<std::uint8_t> frame(len % 64 + 1, 0xAB);
+      (void)session.offer(frame);
+    } else if (op == 0x02) {
+      session.close();
+    } else {
+      const std::size_t len =
+          op < size - pos ? static_cast<std::size_t>(op) : size - pos;
+      session.on_datagram(std::span<const std::uint8_t>(data + pos, len));
+      pos += len;
+    }
+    if (was_closed && session.state() != SessionState::kClosed) {
+      fail("session reopened after close");
+    }
+  }
+
+  if ((session.state() == SessionState::kClosed) != closed_seen) {
+    fail("closed state and closed handler disagree");
+  }
+  return 0;
+}

@@ -13,6 +13,7 @@
 
 #include "bloom/tcbf_codec.h"
 #include "engine/wire.h"
+#include "net/fragment.h"
 #include "trace/trace_io.h"
 #include "util/rng.h"
 
@@ -139,14 +140,69 @@ void gen_frames(const fs::path& dir) {
 
   // Near-misses.
   auto bytes = encode(d);
-  bytes[1] = 0;  // frame type
+  bytes[2] = 0;  // frame type
   write_file(dir, "bad_frame_type.bin", bytes);
+  bytes = encode(d);
+  bytes[1] ^= 0xFF;  // wire version
+  write_file(dir, "bad_version.bin", bytes);
   bytes = encode(d);
   bytes.back() ^= 0x01;  // checksum
   write_file(dir, "bad_checksum.bin", bytes);
   bytes = encode(d);
   bytes.resize(bytes.size() / 2);
   write_file(dir, "truncated.bin", bytes);
+}
+
+/// Session fuzz seeds use the fuzz_session op encoding: 0x00 = time jump,
+/// 0x01 = local offer, 0x02 = close, op >= 3 = "feed op bytes to
+/// on_datagram". A datagram is seeded as [size u8][bytes], so its size byte
+/// doubles as the op.
+void gen_session(const fs::path& dir) {
+  using namespace bsub::net;
+
+  auto push_datagram = [](std::vector<std::uint8_t>& ops,
+                          const std::vector<std::uint8_t>& d) {
+    ops.push_back(static_cast<std::uint8_t>(d.size()));
+    ops.insert(ops.end(), d.begin(), d.end());
+  };
+
+  // A whole handshake: the peer's hello frame arrives in fragments, gets
+  // acked, then the peer says goodbye.
+  bsub::engine::HelloFrame h;
+  h.sender = 9;
+  h.interest_report = bsub::bloom::BloomFilter({256, 4});
+  h.interest_report.insert("news");
+  h.relay_report = bsub::bloom::BloomFilter({256, 4});
+  const auto hello = bsub::engine::encode(h);
+  std::vector<std::vector<std::uint8_t>> frags;
+  fragment_frame(/*epoch=*/7, /*seq=*/0, hello, /*mtu=*/96, frags);
+
+  std::vector<std::uint8_t> ops;
+  for (const auto& d : frags) push_datagram(ops, d);
+  push_datagram(ops, encode_ack(7, 1));
+  push_datagram(ops, encode_fin(7, /*is_ack=*/false));
+  write_file(dir, "handshake.bin", ops);
+
+  // Local activity with retransmit pressure: offer, jump time (RTO fires),
+  // stray ack from a *newer* epoch (receive-state reset), close.
+  ops.clear();
+  ops.push_back(0x01);
+  ops.push_back(40);  // offer a 41-byte frame
+  ops.push_back(0x00);
+  ops.push_back(5);  // +300ms: several RTO backoffs
+  push_datagram(ops, encode_ack(9, 1));
+  ops.push_back(0x02);  // close
+  ops.push_back(0x00);
+  ops.push_back(255);  // ride the FIN retry ladder to peer-lost
+  write_file(dir, "retransmit_close.bin", ops);
+
+  // Near-misses: a corrupted fragment, and geometry that lies.
+  ops.clear();
+  auto bad = frags.front();
+  bad[bad.size() / 2] ^= 0xFF;
+  push_datagram(ops, bad);
+  push_datagram(ops, frags.front());
+  write_file(dir, "corrupt_fragment.bin", ops);
 }
 
 }  // namespace
@@ -160,6 +216,7 @@ int main(int argc, char** argv) {
   gen_traces(root / "read_trace");
   gen_filters(root / "tcbf_codec");
   gen_frames(root / "wire_decode");
+  gen_session(root / "session");
   std::printf("corpus written under %s\n", root.c_str());
   return 0;
 }

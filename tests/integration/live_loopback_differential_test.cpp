@@ -1,0 +1,196 @@
+// Loopback runtime vs engine harness: the live transport substrate
+// (sessions, fragmentation, acks, budget charging at the datagram layer)
+// must reproduce the engine::TraceRunner's results *bit for bit* on the
+// same scenario — identical delivery sets, frame tallies, byte usage, and
+// per-message hop counts — across seeds.
+//
+// One deliberate knob: periodic decay ticks are disabled (decay_tick = 0)
+// so both substrates decay TCBF counters lazily over identical intervals.
+// Splitting a decay interval across ticks changes the floating-point sum
+// (df*t1 + df*t2 != df*(t1+t2) bitwise), which would perturb counter
+// values without changing protocol semantics. Tick-driven decay semantics
+// are covered separately in tests/net/loopback_runtime_test.cpp.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/df_tuning.h"
+#include "engine/network.h"
+#include "engine/trace_runner.h"
+#include "net/orchestrator.h"
+#include "trace/synthetic.h"
+#include "workload/workload.h"
+
+namespace bsub::net {
+namespace {
+
+struct Scenario {
+  trace::ContactTrace trace;
+  workload::KeySet keys;
+  workload::Workload workload;
+
+  explicit Scenario(std::uint64_t seed)
+      : trace([&] {
+          trace::SyntheticTraceConfig cfg;
+          cfg.node_count = 12;
+          cfg.contact_count = 600;
+          cfg.duration = 8 * util::kHour;
+          cfg.seed = seed;
+          return trace::generate_trace(cfg);
+        }()),
+        keys(workload::twitter_trend_keys()), workload([&] {
+          workload::WorkloadConfig wcfg;
+          wcfg.ttl = 3 * util::kHour;
+          wcfg.seed = seed + 1;
+          return workload::Workload(trace, keys, wcfg);
+        }()) {}
+};
+
+engine::NodeConfig node_config_for(const Scenario& s, util::Time ttl) {
+  engine::NodeConfig cfg;
+  cfg.df_per_minute =
+      core::compute_df(s.trace, ttl, cfg.filter_params, cfg.initial_counter)
+          .df_per_minute;
+  return cfg;
+}
+
+using DeliveryTuple =
+    std::tuple<engine::NodeId, std::uint64_t, std::string, util::Time>;
+
+std::vector<DeliveryTuple> tuples(
+    const std::vector<engine::DeliveryRecord>& records) {
+  std::vector<DeliveryTuple> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    out.emplace_back(r.consumer, r.message_id, r.key, r.at);
+  }
+  return out;
+}
+
+/// Replays the scenario on the raw engine::Network substrate (serially,
+/// with the TraceRunner's exact event merge) so per-node custody history
+/// stays inspectable — TraceRunner itself discards its Network.
+class EngineReplay {
+ public:
+  EngineReplay(const Scenario& s, engine::NodeConfig node_config,
+               core::BrokerElection::Config election_config)
+      : net_(node_config), election_(s.trace.node_count(), election_config) {
+    net_.use_per_node_delivery_log(s.trace.node_count());
+    for (trace::NodeId n = 0; n < s.trace.node_count(); ++n) {
+      engine::BsubNode& node = net_.add_node(n);
+      for (workload::KeyId k : s.workload.interests_of(n)) {
+        node.subscribe(s.workload.keys().name(k));
+      }
+    }
+    const auto& contacts = s.trace.contacts();
+    const auto& messages = s.workload.messages();
+    std::size_t ci = 0, mi = 0;
+    while (ci < contacts.size() || mi < messages.size()) {
+      const bool take_message =
+          mi < messages.size() &&
+          (ci >= contacts.size() ||
+           messages[mi].created <= contacts[ci].start);
+      if (take_message) {
+        const workload::Message& m = messages[mi++];
+        engine::ContentMessage cm;
+        cm.id = m.id;
+        cm.key = s.workload.keys().name(m.key);
+        cm.body.assign(m.size_bytes, 0x5A);
+        cm.created = m.created;
+        cm.ttl = m.ttl;
+        net_.node(m.producer).publish(std::move(cm), m.created);
+        continue;
+      }
+      const trace::Contact& c = contacts[ci++];
+      election_.on_contact(c.a, c.b, c.start);
+      net_.node(c.a).set_broker(election_.is_broker(c.a));
+      net_.node(c.b).set_broker(election_.is_broker(c.b));
+      net_.contact(c.a, c.b, c.start, c.duration());
+    }
+  }
+
+  engine::Network& net() { return net_; }
+
+ private:
+  engine::Network net_;
+  core::BrokerElection election_;
+};
+
+TEST(LiveLoopbackDifferential, BitForBitAcrossSeeds) {
+  for (std::uint64_t seed : {101u, 202u, 303u, 404u, 505u, 606u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Scenario s(seed);
+    const util::Time ttl = 3 * util::kHour;
+    const engine::NodeConfig node_config = node_config_for(s, ttl);
+    const core::BrokerElection::Config election{3, 5, 5 * util::kHour};
+
+    engine::TraceRunner runner(node_config, election);
+    const engine::TraceRunResults expect = runner.run(s.trace, s.workload);
+    ASSERT_GT(expect.deliveries, 0u);
+
+    OrchestratorConfig config;
+    config.runtime.node = node_config;
+    config.runtime.decay_tick = 0;  // see file header
+    config.election = election;
+    ContactOrchestrator orch(config);
+    const LiveRunResults live = orch.run(s.trace, s.workload);
+
+    // Scalar results: integers exactly, floats bitwise (same summation
+    // order over identical delivery logs).
+    EXPECT_EQ(live.protocol.deliveries, expect.deliveries);
+    EXPECT_EQ(live.protocol.expected_deliveries, expect.expected_deliveries);
+    EXPECT_EQ(live.protocol.contacts_processed, expect.contacts_processed);
+    EXPECT_EQ(live.protocol.frames_delivered, expect.frames_delivered);
+    EXPECT_EQ(live.protocol.frames_dropped, expect.frames_dropped);
+    EXPECT_EQ(live.protocol.bytes_used, expect.bytes_used);
+    EXPECT_EQ(live.protocol.delivery_ratio, expect.delivery_ratio);
+    EXPECT_EQ(live.protocol.mean_delay_minutes, expect.mean_delay_minutes);
+    EXPECT_EQ(live.datagrams_lost, 0u);
+  }
+}
+
+TEST(LiveLoopbackDifferential, DeliverySetsAndHopCountsMatch) {
+  Scenario s(707);
+  const util::Time ttl = 3 * util::kHour;
+  const engine::NodeConfig node_config = node_config_for(s, ttl);
+  const core::BrokerElection::Config election{3, 5, 5 * util::kHour};
+
+  // Serial engine replay that keeps its Network for introspection.
+  EngineReplay replay(s, node_config, election);
+
+  OrchestratorConfig config;
+  config.runtime.node = node_config;
+  config.runtime.decay_tick = 0;
+  config.election = election;
+  ContactOrchestrator orch(config);
+  const LiveRunResults live = orch.run(s.trace, s.workload);
+
+  // The full delivery logs — consumer, message, key, timestamp — agree
+  // record for record in the canonical node-major order.
+  ASSERT_GT(live.protocol.deliveries, 0u);
+  EXPECT_EQ(tuples(orch.deliveries()), tuples(replay.net().deliveries()));
+
+  // Per-message hop counts: the set of nodes that ever took broker custody
+  // of each message is identical, so every message traveled the same path
+  // through the same brokers on both substrates.
+  std::set<std::uint64_t> message_ids;
+  for (const workload::Message& m : s.workload.messages()) {
+    message_ids.insert(m.id);
+  }
+  std::size_t custody_hops = 0;
+  for (std::uint64_t id : message_ids) {
+    for (trace::NodeId n = 0; n < s.trace.node_count(); ++n) {
+      const bool live_carried = orch.node(n).ever_carried(id);
+      EXPECT_EQ(live_carried, replay.net().node(n).ever_carried(id))
+          << "message " << id << " node " << n;
+      custody_hops += live_carried ? 1u : 0u;
+    }
+  }
+  // The scenario actually exercised the relay path.
+  EXPECT_GT(custody_hops, 0u);
+}
+
+}  // namespace
+}  // namespace bsub::net

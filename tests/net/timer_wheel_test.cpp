@@ -1,0 +1,108 @@
+// Hierarchical timer wheel: deterministic firing order, cancellation,
+// level promotion, and the overflow horizon.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/timer_wheel.h"
+#include "util/time.h"
+
+namespace bsub::net {
+namespace {
+
+TEST(TimerWheel, FiresInDeadlineThenScheduleOrder) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  wheel.schedule(30, [&] { fired.push_back(3); });
+  wheel.schedule(10, [&] { fired.push_back(1); });
+  wheel.schedule(20, [&] { fired.push_back(2); });
+  wheel.schedule(10, [&] { fired.push_back(11); });  // same deadline, later id
+  EXPECT_EQ(wheel.pending(), 4u);
+  EXPECT_EQ(wheel.advance(25), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 11, 2}));
+  EXPECT_EQ(wheel.advance(30), 1u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 11, 2, 3}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, CancelPreventsFiring) {
+  TimerWheel wheel;
+  int fired = 0;
+  const TimerWheel::TimerId id = wheel.schedule(10, [&] { ++fired; });
+  wheel.schedule(10, [&] { ++fired; });
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));  // already dead
+  EXPECT_FALSE(wheel.cancel(TimerWheel::kInvalidTimer));
+  wheel.advance(100);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, NextDeadlineTracksEarliestPending) {
+  TimerWheel wheel;
+  EXPECT_EQ(wheel.next_deadline(), util::kTimeMax);
+  const auto far = wheel.schedule(500, [] {});
+  wheel.schedule(90, [] {});
+  EXPECT_EQ(wheel.next_deadline(), 90);
+  wheel.advance(90);
+  EXPECT_EQ(wheel.next_deadline(), 500);
+  wheel.cancel(far);
+  EXPECT_EQ(wheel.next_deadline(), util::kTimeMax);
+}
+
+TEST(TimerWheel, LongDeadlinesPromoteAcrossLevels) {
+  // Deadlines spanning every wheel level (1ms .. days) fire exactly once,
+  // at or after their deadline, in deadline order.
+  TimerWheel wheel;
+  std::vector<util::Time> fired;
+  const std::vector<util::Time> deadlines = {
+      1,    63,   64,    65,     4095,      4096,
+      4097, 262143, 262144, 1'000'000, 16'777'216, 100'000'000};
+  for (util::Time d : deadlines) {
+    wheel.schedule(d, [&, d] { fired.push_back(d); });
+  }
+  // Advance in awkward uneven hops.
+  for (util::Time t = 0; t <= 100'000'001; t += 997'003) wheel.advance(t);
+  wheel.advance(100'000'001);
+  EXPECT_EQ(fired, deadlines);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, OverflowEntriesSurviveHugeJumps) {
+  // A deadline beyond the wheel's ~4.7h horizon (64^4 ms) parks in the
+  // overflow bucket; one giant advance must still find and fire it.
+  constexpr util::Time kHorizon = 64LL * 64 * 64 * 64;
+  TimerWheel wheel;
+  int fired = 0;
+  wheel.schedule(kHorizon * 3, [&] { ++fired; });
+  EXPECT_EQ(wheel.next_deadline(), kHorizon * 3);
+  wheel.advance(kHorizon * 4);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, CallbackMayRescheduleWithinSameAdvance) {
+  // The contract: timers scheduled during an advance whose deadlines are
+  // already due fire within that same call.
+  TimerWheel wheel;
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < 5) {
+      wheel.schedule(static_cast<util::Time>(fired + 1) * 10, tick);
+    }
+  };
+  wheel.schedule(10, tick);
+  EXPECT_EQ(wheel.advance(1000), 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, OverdueScheduleFiresOnNextAdvance) {
+  TimerWheel wheel;
+  wheel.advance(100);
+  int fired = 0;
+  wheel.schedule(50, [&] { ++fired; });  // already past due
+  wheel.advance(100);
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace bsub::net
