@@ -4,8 +4,11 @@
 //
 // Besides the google-benchmark cases, main() runs a before/after comparison
 // against `DenseTcbf` — a seed-faithful reference with eager O(m) decay,
-// dense O(m) merges, and per-query string hashing — at m in {1024, 8192,
-// 65536}, and records ns-per-op for decay/merge/query to BENCH_tcbf_ops.json.
+// dense O(m) merges, and per-query string hashing — once per available
+// kernel backend (scalar, blocked, avx2/neon), at m in {1024, 8192, 65536},
+// and records ns-per-op for decay/merge/query to BENCH_tcbf_ops.json. It
+// exits non-zero if a pinned performance floor regresses (see
+// check_regressions below).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -13,10 +16,12 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bloom/bloom_filter.h"
 #include "bloom/fpr.h"
+#include "bloom/kernels.h"
 #include "bloom/tcbf.h"
 #include "bloom/tcbf_codec.h"
 #include "util/errors.h"
@@ -251,38 +256,58 @@ class DenseTcbf {
   std::vector<double> counters_;
 };
 
-/// Measures fn's cost by doubling the iteration count until the timed batch
-/// is long enough to trust the clock.
+/// Measures fn's cost by growing the iteration count until the timed batch
+/// is long enough to trust the clock, then keeps the fastest of three such
+/// batches (min is the robust estimator under scheduler noise).
 template <class Fn>
 double ns_per_op(Fn&& fn) {
   using clock = std::chrono::steady_clock;
   fn();  // warm-up
-  for (std::size_t iters = 8;; iters *= 4) {
-    const auto t0 = clock::now();
-    for (std::size_t i = 0; i < iters; ++i) fn();
-    const double elapsed =
-        std::chrono::duration<double>(clock::now() - t0).count();
-    if (elapsed >= 0.02 || iters >= (std::size_t{1} << 28)) {
-      return elapsed * 1e9 / static_cast<double>(iters);
+  auto one_batch = [&] {
+    for (std::size_t iters = 8;; iters *= 4) {
+      const auto t0 = clock::now();
+      for (std::size_t i = 0; i < iters; ++i) fn();
+      const double elapsed =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      if (elapsed >= 0.02 || iters >= (std::size_t{1} << 28)) {
+        return elapsed * 1e9 / static_cast<double>(iters);
+      }
     }
+  };
+  double best = one_batch();
+  for (int r = 1; r < 3; ++r) {
+    const double ns = one_batch();
+    if (ns < best) best = ns;
   }
+  return best;
 }
 
 struct OpTiming {
   const char* op;
   std::uint32_t m;
+  bloom::kernels::Kind kernel;
   double dense_ns;
-  double lazy_ns;
+  double kernel_ns;
+
+  double speedup() const {
+    return kernel_ns > 0.0 ? dense_ns / kernel_ns : 0.0;
+  }
 };
 
-std::vector<OpTiming> run_comparison() {
+/// One comparison pass against the dense reference with `kind` forced as
+/// the dispatched kernel. Covers the sparse contact regime (the paper's 38
+/// keys) and, for merges, a dense regime (~39% occupancy) where the kernels
+/// take their full-sweep path.
+void run_comparison(bloom::kernels::Kind kind, std::vector<OpTiming>& out) {
+  namespace kernels = bloom::kernels;
+  const bool forced = kernels::force_kernel(kind);
+  (void)forced;
   constexpr std::uint32_t kHashes = 4;
   constexpr std::size_t kKeys = 38;  // the paper's key-set size
   const auto keys = make_keys(kKeys);
   std::vector<util::HashPair> hps;
   for (const auto& k : keys) hps.push_back(util::hash_pair(k));
 
-  std::vector<OpTiming> out;
   for (std::uint32_t m : {1024u, 8192u, 65536u}) {
     const bloom::BloomParams params{m, kHashes};
     // Huge initial counter so sustained decay never drains the filters.
@@ -301,7 +326,7 @@ std::vector<OpTiming> run_comparison() {
       lazy.decay(0.138);
       benchmark::DoNotOptimize(lazy);
     });
-    out.push_back({"decay", m, dense_decay, lazy_decay});
+    out.push_back({"decay", m, kind, dense_decay, lazy_decay});
 
     DenseTcbf dense_src(params, 50.0);
     bloom::Tcbf lazy_src(params, 50.0);
@@ -319,7 +344,34 @@ std::vector<OpTiming> run_comparison() {
       lazy_dst.a_merge(lazy_src);
       benchmark::DoNotOptimize(lazy_dst);
     });
-    out.push_back({"a_merge", m, dense_merge, lazy_merge});
+    out.push_back({"a_merge", m, kind, dense_merge, lazy_merge});
+
+    // Dense regime: m/48 keys * k=4 hashes fill ~8% of the table — past the
+    // scalar lazy-vs-dense crossover (1/16 of slots occupied), so this
+    // times the dense sweeps (where the SIMD lanes and the cache-line skip
+    // earn their keep). Much beyond this fill the paper's FPR budget is
+    // blown anyway, so higher densities are not the regime that matters.
+    {
+      const std::size_t n = m / 48;
+      const auto fill_keys = make_keys(n);
+      DenseTcbf dense_fsrc(params, 50.0);
+      bloom::Tcbf lazy_fsrc(params, 50.0);
+      for (const auto& k : fill_keys) {
+        dense_fsrc.insert(k);
+        lazy_fsrc.insert(util::hash_pair(k));
+      }
+      DenseTcbf dense_fdst(params, 50.0);
+      bloom::Tcbf lazy_fdst(params, 50.0);
+      const double dense_fmerge = ns_per_op([&] {
+        dense_fdst.a_merge(dense_fsrc);
+        benchmark::DoNotOptimize(dense_fdst);
+      });
+      const double lazy_fmerge = ns_per_op([&] {
+        lazy_fdst.a_merge(lazy_fsrc);
+        benchmark::DoNotOptimize(lazy_fdst);
+      });
+      out.push_back({"a_merge_dense", m, kind, dense_fmerge, lazy_fmerge});
+    }
 
     std::size_t qi = 0;
     const double dense_query = ns_per_op([&] {
@@ -331,20 +383,20 @@ std::vector<OpTiming> run_comparison() {
       auto c = lazy.min_counter(hps[qi++ % kKeys]);
       benchmark::DoNotOptimize(c);
     });
-    out.push_back({"min_counter", m, dense_query, lazy_query});
+    out.push_back({"min_counter", m, kind, dense_query, lazy_query});
   }
-  return out;
 }
 
 void report_comparison(const std::vector<OpTiming>& timings,
                        double wall_seconds) {
-  std::printf("TCBF dense-reference vs current representation (ns/op)\n");
-  std::printf("%12s | %6s | %12s | %12s | %8s\n", "op", "m", "dense(ns)",
-              "current(ns)", "speedup");
+  namespace kernels = bloom::kernels;
+  std::printf("TCBF dense-reference vs kernel backends (ns/op)\n");
+  std::printf("%14s | %6s | %8s | %12s | %12s | %8s\n", "op", "m", "kernel",
+              "dense(ns)", "kernel(ns)", "speedup");
   for (const OpTiming& t : timings) {
-    std::printf("%12s | %6u | %12.1f | %12.1f | %7.1fx\n", t.op, t.m,
-                t.dense_ns, t.lazy_ns,
-                t.lazy_ns > 0.0 ? t.dense_ns / t.lazy_ns : 0.0);
+    std::printf("%14s | %6u | %8s | %12.1f | %12.1f | %7.1fx\n", t.op, t.m,
+                std::string(kernels::kind_name(t.kernel)).c_str(), t.dense_ns,
+                t.kernel_ns, t.speedup());
   }
 
   std::FILE* f = std::fopen("BENCH_tcbf_ops.json", "w");
@@ -358,26 +410,80 @@ void report_comparison(const std::vector<OpTiming>& timings,
                wall_seconds);
   for (std::size_t i = 0; i < timings.size(); ++i) {
     const OpTiming& t = timings[i];
-    std::fprintf(f,
-                 "%s\n  {\"op\": \"%s\", \"m\": %u, \"dense_ns\": %.2f, "
-                 "\"lazy_ns\": %.2f, \"speedup\": %.2f}",
-                 i == 0 ? "" : ",", t.op, t.m, t.dense_ns, t.lazy_ns,
-                 t.lazy_ns > 0.0 ? t.dense_ns / t.lazy_ns : 0.0);
+    std::fprintf(
+        f,
+        "%s\n  {\"op\": \"%s\", \"m\": %u, \"kernel\": \"%s\", "
+        "\"dense_ns\": %.2f, \"kernel_ns\": %.2f, \"speedup\": %.2f}",
+        i == 0 ? "" : ",", t.op, t.m,
+        std::string(kernels::kind_name(t.kernel)).c_str(), t.dense_ns,
+        t.kernel_ns, t.speedup());
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);
   std::printf("-> BENCH_tcbf_ops.json (%.2fs wall)\n\n", wall_seconds);
 }
 
+/// Pinned performance floors, checked on the widest available kernel — the
+/// one default dispatch puts on the contact fast path. Returns the number
+/// of violations:
+///   - the 38-key a_merge at m=1024 must at least break even against the
+///     dense reference (the historical regression this layer closes: the
+///     sparse per-bit walk used to lose to a plain sweep there);
+///   - with a SIMD kernel, the dense-regime merge and min_counter at
+///     m=65536 must beat the dense reference >= 2x.
+int check_regressions(const std::vector<OpTiming>& timings,
+                      bloom::kernels::Kind best) {
+  namespace kernels = bloom::kernels;
+  int violations = 0;
+  auto fail = [&](const OpTiming& t, double floor) {
+    std::fprintf(stderr,
+                 "REGRESSION: %s @ m=%u on kernel %s: %.2fx < required "
+                 "%.1fx\n",
+                 t.op, t.m, std::string(kernels::kind_name(t.kernel)).c_str(),
+                 t.speedup(), floor);
+    ++violations;
+  };
+  const bool simd =
+      best == kernels::Kind::kAvx2 || best == kernels::Kind::kNeon;
+  for (const OpTiming& t : timings) {
+    if (t.kernel != best) continue;
+    const std::string_view op(t.op);
+    if (op == "a_merge" && t.m == 1024 && t.speedup() < 1.0) fail(t, 1.0);
+    if (simd && t.m == 65536 && (op == "a_merge_dense" || op == "min_counter")
+        && t.speedup() < 2.0) {
+      fail(t, 2.0);
+    }
+  }
+  return violations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  namespace kernels = bsub::bloom::kernels;
+  const kernels::Kind dispatched = kernels::active_kind();
+
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<OpTiming> timings = run_comparison();
+  std::vector<OpTiming> timings;
+  kernels::Kind best = kernels::Kind::kScalar;
+  for (kernels::Kind kind :
+       {kernels::Kind::kScalar, kernels::Kind::kBlocked, kernels::Kind::kAvx2,
+        kernels::Kind::kNeon}) {
+    if (!kernels::available(kind)) continue;
+    run_comparison(kind, timings);
+    best = kind;  // iteration order matches dispatch preference (widest last)
+  }
+  kernels::force_kernel(dispatched);  // micro-benchmarks use default dispatch
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   report_comparison(timings, wall);
+  const int violations = check_regressions(timings, best);
+  if (violations > 0) {
+    std::fprintf(stderr, "bench_tcbf_ops: %d performance floor(s) violated\n",
+                 violations);
+    return 1;
+  }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,0 +1,163 @@
+// Register-blocked, cache-conscious TCBF kernel (portable C++).
+//
+// The unit of work is one counter block: 8 doubles = 64 bytes = one cache
+// line, addressed by one byte of the occupancy-bitmap word. A sparse merge
+// walks occupancy words, skips empty words with one compare, and for each
+// non-zero occupancy byte processes its whole block with straight-line
+// code — no per-bit branching, and only cache lines that actually hold
+// counters are touched, so a per-contact merge moves O(set keys) lines.
+// There is no density crossover: the empty-byte test is one predictable
+// branch when the source is dense, so it is kept on unconditionally.
+#include <bit>
+#include <cstdint>
+
+#include "bloom/kernels.h"
+#include "bloom/kernels_detail.h"
+
+namespace bsub::bloom::kernels {
+
+namespace {
+
+constexpr std::size_t kSlotsPerBlock = 8;  // one cache line of doubles
+
+/// Merges one 8-slot block; returns the block's liveness byte (bit j set
+/// iff the source slot contributed a positive effective value).
+template <bool kAMerge>
+inline std::uint64_t merge_block(double* dst, const double* src, double base,
+                                 double saturation) {
+  std::uint64_t live = 0;
+  for (std::size_t j = 0; j < kSlotsPerBlock; ++j) {
+    const double add = detail::effective(src[j], base);
+    if constexpr (kAMerge) {
+      const double sum = dst[j] + add;
+      dst[j] = sum < saturation ? sum : saturation;
+    } else {
+      const double v = add > saturation ? saturation : add;
+      const double d = dst[j];
+      dst[j] = v > d ? v : d;
+    }
+    live |= static_cast<std::uint64_t>(add > 0.0) << j;
+  }
+  return live;
+}
+
+/// Block merge for a source with no pending decay: effective == raw, so the
+/// loop is pure add/min (resp. min/max) selects with no per-slot liveness —
+/// the compiler vectorizes it. The liveness byte is the occupancy byte.
+template <bool kAMerge>
+inline void merge_block_nobase(double* dst, const double* src,
+                               double saturation) {
+  for (std::size_t j = 0; j < kSlotsPerBlock; ++j) {
+    if constexpr (kAMerge) {
+      const double sum = dst[j] + src[j];
+      dst[j] = sum < saturation ? sum : saturation;
+    } else {
+      const double v = src[j] > saturation ? saturation : src[j];
+      const double d = dst[j];
+      dst[j] = v > d ? v : d;
+    }
+  }
+}
+
+template <bool kAMerge>
+void merge(const MutView& dst, const ConstView& src, double saturation) {
+  // No density crossover here: the unit of work is a whole cache line, so
+  // the empty-byte test costs one predictable branch when the source is
+  // dense and saves the line's entire memory traffic when it is sparse.
+  if (src.base == 0.0) {
+    // Exact occupancy (bit <=> raw > 0): skipped bytes contribute no live
+    // bits, so the word's liveness mask is src.occ[w] verbatim.
+    for (std::size_t w = 0; w < src.words; ++w) {
+      const std::uint64_t srcw = src.occ[w];
+      if (srcw == 0) continue;
+      for (std::size_t b = 0; b < kSlotsPerWord / kSlotsPerBlock; ++b) {
+        if (((srcw >> (b * kSlotsPerBlock)) & 0xFF) == 0) continue;
+        const std::size_t s0 = w * kSlotsPerWord + b * kSlotsPerBlock;
+        merge_block_nobase<kAMerge>(dst.raw + s0, src.raw + s0, saturation);
+      }
+      detail::merge_occupancy_word(dst, w, srcw);
+    }
+    return;
+  }
+  for (std::size_t w = 0; w < src.words; ++w) {
+    const std::uint64_t srcw = src.occ[w];
+    if (srcw == 0) continue;
+    std::uint64_t live = 0;
+    for (std::size_t b = 0; b < kSlotsPerWord / kSlotsPerBlock; ++b) {
+      if (((srcw >> (b * kSlotsPerBlock)) & 0xFF) == 0) continue;
+      const std::size_t s0 = w * kSlotsPerWord + b * kSlotsPerBlock;
+      live |= merge_block<kAMerge>(dst.raw + s0, src.raw + s0, src.base,
+                                   saturation)
+              << (b * kSlotsPerBlock);
+    }
+    detail::merge_occupancy_word(dst, w, live);
+  }
+}
+
+void a_merge(const MutView& dst, const ConstView& src, double saturation) {
+  merge<true>(dst, src, saturation);
+}
+
+void m_merge(const MutView& dst, const ConstView& src, double saturation) {
+  merge<false>(dst, src, saturation);
+}
+
+void normalize(const MutView& f, double base) {
+  if (base == 0.0) return;
+  for (std::size_t w = 0; w < f.words; ++w) {
+    const std::uint64_t occw = f.occ[w];
+    if (occw == 0) continue;
+    std::uint64_t live = 0;
+    for (std::size_t b = 0; b < kSlotsPerWord / kSlotsPerBlock; ++b) {
+      if (((occw >> (b * kSlotsPerBlock)) & 0xFF) == 0) continue;
+      const std::size_t s0 = w * kSlotsPerWord + b * kSlotsPerBlock;
+      std::uint64_t block_live = 0;
+      for (std::size_t j = 0; j < kSlotsPerBlock; ++j) {
+        const double v = detail::effective(f.raw[s0 + j], base);
+        f.raw[s0 + j] = v;
+        block_live |= static_cast<std::uint64_t>(v > 0.0) << j;
+      }
+      live |= block_live << (b * kSlotsPerBlock);
+    }
+    // Slots outside occupied bytes held raw == 0 and stay dead, so the
+    // computed liveness mask is exact.
+    *f.occupied_bits += static_cast<std::size_t>(std::popcount(live)) -
+                        static_cast<std::size_t>(std::popcount(occw));
+    f.occ[w] = live;
+  }
+}
+
+std::size_t popcount(const ConstView& f) {
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < f.words; ++w) {
+    const std::uint64_t occw = f.occ[w];
+    if (occw == 0) continue;
+    for (std::size_t b = 0; b < kSlotsPerWord / kSlotsPerBlock; ++b) {
+      if (((occw >> (b * kSlotsPerBlock)) & 0xFF) == 0) continue;
+      const std::size_t s0 = w * kSlotsPerWord + b * kSlotsPerBlock;
+      for (std::size_t j = 0; j < kSlotsPerBlock; ++j) {
+        n += (detail::effective(f.raw[s0 + j], f.base) > 0.0);
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+const Ops& blocked_ops() {
+  static constexpr Ops ops = {
+      Kind::kBlocked,
+      "blocked",
+      &a_merge,
+      &m_merge,
+      &normalize,
+      &popcount,
+      &detail::scalar_set_bits_into,
+      &detail::scalar_contains,
+      &detail::scalar_min_counter,
+  };
+  return ops;
+}
+
+}  // namespace bsub::bloom::kernels

@@ -1,0 +1,236 @@
+// Shared building blocks for the TCBF kernel backends (internal header).
+//
+// Everything here is the portable scalar formulation; SIMD backends reuse
+// these routines for sparse tails and point queries so there is exactly one
+// statement of the protocol arithmetic per operation. All results are
+// bit-exact: element-wise IEEE add/sub/min/max, no reassociation, no FMA.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bloom/kernels.h"
+
+namespace bsub::bloom::kernels::detail {
+
+/// Effective (decayed) value of one stored counter. Formulated on the
+/// difference (d > 0 exactly when v > base: IEEE subtraction of doubles
+/// never rounds a positive difference to zero) so compilers emit a branch-
+/// free maxsd — the branchy form mispredicts badly on half-live arrays.
+inline double effective(double v, double base) {
+  const double d = v - base;
+  return d > 0.0 ? d : 0.0;
+}
+
+/// Crossover test: walk the source occupancy bitmap bit-by-bit while it is
+/// sparse, stream the whole array once when occupancy crosses m >>
+/// density_shift (density 2^-shift). Per-bit extraction costs a multiple of
+/// a streamed slot visit, so dense sources are cheaper to sweep — this is
+/// what the m=1024 a_merge regression came down to.
+inline bool prefer_dense(const ConstView& src, unsigned density_shift) {
+  return src.occupied_bits >= (src.words * kSlotsPerWord) >> density_shift;
+}
+
+/// Sets occupancy bit i, keeping the set-bit count in sync.
+inline void mark_occupied(const MutView& dst, std::size_t i) {
+  std::uint64_t& word = dst.occ[i / kSlotsPerWord];
+  const std::uint64_t bit = 1ULL << (i % kSlotsPerWord);
+  *dst.occupied_bits += !(word & bit);
+  word |= bit;
+}
+
+/// ORs a per-word liveness mask into the destination occupancy word,
+/// keeping the set-bit count in sync.
+inline void merge_occupancy_word(const MutView& dst, std::size_t w,
+                                 std::uint64_t live) {
+  const std::uint64_t before = dst.occ[w];
+  const std::uint64_t after = before | live;
+  *dst.occupied_bits += static_cast<std::size_t>(std::popcount(after)) -
+                        static_cast<std::size_t>(std::popcount(before));
+  dst.occ[w] = after;
+}
+
+// --- sparse per-bit merges (the original representation's loops) -----------
+
+inline void sparse_a_merge(const MutView& dst, const ConstView& src,
+                           double saturation) {
+  for (std::size_t w = 0; w < src.words; ++w) {
+    std::uint64_t bits = src.occ[w];
+    while (bits != 0) {
+      const std::size_t i = w * kSlotsPerWord +
+                            static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const double add = effective(src.raw[i], src.base);
+      if (add <= 0.0) continue;
+      const double sum = dst.raw[i] + add;
+      dst.raw[i] = sum < saturation ? sum : saturation;
+      mark_occupied(dst, i);
+    }
+  }
+}
+
+inline void sparse_m_merge(const MutView& dst, const ConstView& src,
+                           double saturation) {
+  for (std::size_t w = 0; w < src.words; ++w) {
+    std::uint64_t bits = src.occ[w];
+    while (bits != 0) {
+      const std::size_t i = w * kSlotsPerWord +
+                            static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      double v = effective(src.raw[i], src.base);
+      if (v > saturation) v = saturation;
+      if (v <= 0.0) continue;
+      if (v > dst.raw[i]) {
+        dst.raw[i] = v;
+        mark_occupied(dst, i);
+      }
+    }
+  }
+}
+
+// --- dense word sweeps (scalar formulation) --------------------------------
+//
+// When the source carries no pending decay (base == 0) its occupancy bitmap
+// is exact (bit i <=> raw[i] > 0): the liveness mask IS src.occ[w], no
+// per-slot comparison needed, and the arithmetic collapses to a pure
+// add/min (resp. min/max) loop the compiler auto-vectorizes. Zero source
+// slots are no-ops in both formulas (dst + 0 stays dst, which is <= the
+// saturation ceiling by the storage invariant; max(dst, 0) stays dst), so
+// sweeping them is free of observable effect — bit-identical to the sparse
+// walk.
+
+inline void dense_a_merge(const MutView& dst, const ConstView& src,
+                          double saturation) {
+  if (src.base == 0.0) {
+    for (std::size_t w = 0; w < src.words; ++w) {
+      const std::uint64_t occw = src.occ[w];
+      if (occw == 0) continue;
+      const std::size_t s0 = w * kSlotsPerWord;
+      for (std::size_t j = 0; j < kSlotsPerWord; ++j) {
+        const double sum = dst.raw[s0 + j] + src.raw[s0 + j];
+        dst.raw[s0 + j] = sum < saturation ? sum : saturation;
+      }
+      merge_occupancy_word(dst, w, occw);
+    }
+    return;
+  }
+  for (std::size_t w = 0; w < src.words; ++w) {
+    if (src.occ[w] == 0) continue;  // occ is a superset of live slots
+    std::uint64_t live = 0;
+    const std::size_t s0 = w * kSlotsPerWord;
+    for (std::size_t j = 0; j < kSlotsPerWord; ++j) {
+      const double add = effective(src.raw[s0 + j], src.base);
+      const double sum = dst.raw[s0 + j] + add;
+      dst.raw[s0 + j] = sum < saturation ? sum : saturation;
+      live |= static_cast<std::uint64_t>(add > 0.0) << j;
+    }
+    merge_occupancy_word(dst, w, live);
+  }
+}
+
+inline void dense_m_merge(const MutView& dst, const ConstView& src,
+                          double saturation) {
+  if (src.base == 0.0) {
+    for (std::size_t w = 0; w < src.words; ++w) {
+      const std::uint64_t occw = src.occ[w];
+      if (occw == 0) continue;
+      const std::size_t s0 = w * kSlotsPerWord;
+      for (std::size_t j = 0; j < kSlotsPerWord; ++j) {
+        double v = src.raw[s0 + j];
+        if (v > saturation) v = saturation;
+        const double d = dst.raw[s0 + j];
+        dst.raw[s0 + j] = v > d ? v : d;
+      }
+      merge_occupancy_word(dst, w, occw);
+    }
+    return;
+  }
+  for (std::size_t w = 0; w < src.words; ++w) {
+    if (src.occ[w] == 0) continue;
+    std::uint64_t live = 0;
+    const std::size_t s0 = w * kSlotsPerWord;
+    for (std::size_t j = 0; j < kSlotsPerWord; ++j) {
+      double v = effective(src.raw[s0 + j], src.base);
+      if (v > saturation) v = saturation;
+      const double d = dst.raw[s0 + j];
+      dst.raw[s0 + j] = v > d ? v : d;
+      live |= static_cast<std::uint64_t>(v > 0.0) << j;
+    }
+    merge_occupancy_word(dst, w, live);
+  }
+}
+
+// --- normalize / population ------------------------------------------------
+
+inline void scalar_normalize(const MutView& f, double base) {
+  if (base == 0.0) return;  // occ bit <=> raw > 0 already holds
+  for (std::size_t w = 0; w < f.words; ++w) {
+    std::uint64_t bits = f.occ[w];
+    while (bits != 0) {
+      const std::size_t i = w * kSlotsPerWord +
+                            static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const double v = effective(f.raw[i], base);
+      f.raw[i] = v;
+      if (v <= 0.0) {
+        f.occ[w] &= ~(1ULL << (i % kSlotsPerWord));
+        --*f.occupied_bits;
+      }
+    }
+  }
+}
+
+inline std::size_t scalar_popcount(const ConstView& f) {
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < f.words; ++w) {
+    std::uint64_t bits = f.occ[w];
+    while (bits != 0) {
+      const std::size_t i = w * kSlotsPerWord +
+                            static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      n += (effective(f.raw[i], f.base) > 0.0);
+    }
+  }
+  return n;
+}
+
+inline void scalar_set_bits_into(const ConstView& f,
+                                 std::vector<std::size_t>& out) {
+  out.clear();
+  out.reserve(f.occupied_bits);
+  for (std::size_t w = 0; w < f.words; ++w) {
+    std::uint64_t bits = f.occ[w];
+    while (bits != 0) {
+      const std::size_t i = w * kSlotsPerWord +
+                            static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      if (effective(f.raw[i], f.base) > 0.0) out.push_back(i);
+    }
+  }
+}
+
+// --- point queries ---------------------------------------------------------
+
+inline bool scalar_contains(const ConstView& f, const std::size_t* idx,
+                            std::size_t k) {
+  for (std::size_t i = 0; i < k; ++i) {
+    if (effective(f.raw[idx[i]], f.base) <= 0.0) return false;
+  }
+  return true;
+}
+
+inline bool scalar_min_counter(const ConstView& f, const std::size_t* idx,
+                               std::size_t k, double* out) {
+  double min_c = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double c = effective(f.raw[idx[i]], f.base);
+    if (c <= 0.0) return false;
+    min_c = (i == 0 || c < min_c) ? c : min_c;
+  }
+  *out = min_c;
+  return true;
+}
+
+}  // namespace bsub::bloom::kernels::detail

@@ -1,0 +1,51 @@
+// Portable scalar TCBF kernel: the reference every other backend must match
+// bit-for-bit. Sparse merges reuse the original per-bit occupancy walk;
+// above the density crossover they fall back to a dense word sweep (the
+// fix for the m=1024 a_merge regression, where per-bit extraction cost more
+// than streaming the whole counter array once).
+#include "bloom/kernels.h"
+#include "bloom/kernels_detail.h"
+
+namespace bsub::bloom::kernels {
+
+namespace {
+
+/// Scalar crossover: dense once >= 1/16 of slots are occupied. At the
+/// paper's key load (~140 live slots) this keeps m=8192 and up on the
+/// sparse walk while m=1024 (~14% occupancy) takes the sweep.
+constexpr unsigned kDensityShift = 4;
+
+void a_merge(const MutView& dst, const ConstView& src, double saturation) {
+  if (detail::prefer_dense(src, kDensityShift)) {
+    detail::dense_a_merge(dst, src, saturation);
+  } else {
+    detail::sparse_a_merge(dst, src, saturation);
+  }
+}
+
+void m_merge(const MutView& dst, const ConstView& src, double saturation) {
+  if (detail::prefer_dense(src, kDensityShift)) {
+    detail::dense_m_merge(dst, src, saturation);
+  } else {
+    detail::sparse_m_merge(dst, src, saturation);
+  }
+}
+
+}  // namespace
+
+const Ops& scalar_ops() {
+  static constexpr Ops ops = {
+      Kind::kScalar,
+      "scalar",
+      &a_merge,
+      &m_merge,
+      &detail::scalar_normalize,
+      &detail::scalar_popcount,
+      &detail::scalar_set_bits_into,
+      &detail::scalar_contains,
+      &detail::scalar_min_counter,
+  };
+  return ops;
+}
+
+}  // namespace bsub::bloom::kernels

@@ -1,7 +1,7 @@
 #include "bloom/tcbf.h"
 
 #include <algorithm>
-#include <bit>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -18,27 +18,18 @@ constexpr double kDecayBaseLimit = 1e9;
 
 Tcbf::Tcbf(BloomParams params, double initial_counter)
     : params_(params), initial_counter_(initial_counter),
-      raw_(params.m, 0.0), occupied_((params.m + 63) / 64, 0) {
+      // Counters are padded to a whole number of occupancy words (64 slots =
+      // 8 cache lines per word) so kernels always stream full aligned blocks;
+      // the padding slots stay 0.0 and never gain occupancy bits.
+      raw_(((params.m + 63) / 64) * 64, 0.0),
+      occupied_((params.m + 63) / 64, 0) {
   assert(params.m > 0 && params.k > 0);
   assert(initial_counter > 0.0);
 }
 
 void Tcbf::normalize() {
-  if (decay_base_ == 0.0 && occupied_bits_ == 0) return;
-  for (std::size_t w = 0; w < occupied_.size(); ++w) {
-    std::uint64_t bits = occupied_[w];
-    while (bits != 0) {
-      const std::size_t i =
-          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
-      bits &= bits - 1;
-      const double v = effective(i);
-      raw_[i] = v;
-      if (v <= 0.0) {
-        occupied_[w] &= ~(1ULL << (i & 63));
-        --occupied_bits_;
-      }
-    }
-  }
+  if (decay_base_ == 0.0) return;  // occ bit <=> raw > 0 already holds
+  kernels::active().normalize(mut_view(), decay_base_);
   decay_base_ = 0.0;
 }
 
@@ -66,18 +57,9 @@ void Tcbf::a_merge(const Tcbf& other) {
     throw std::invalid_argument("Tcbf::a_merge: parameter mismatch");
   }
   normalize();
-  for (std::size_t w = 0; w < other.occupied_.size(); ++w) {
-    std::uint64_t bits = other.occupied_[w];
-    while (bits != 0) {
-      const std::size_t i =
-          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
-      bits &= bits - 1;
-      const double add = other.effective(i);
-      if (add <= 0.0) continue;
-      raw_[i] = std::min(raw_[i] + add, kCounterSaturation);
-      mark_occupied(i);
-    }
-  }
+  // Self-merge is safe: every kernel reads a slot before writing it.
+  kernels::active().a_merge(mut_view(), other.const_view(),
+                            kCounterSaturation);
   merged_ = true;
   touch();
 }
@@ -87,20 +69,8 @@ void Tcbf::m_merge(const Tcbf& other) {
     throw std::invalid_argument("Tcbf::m_merge: parameter mismatch");
   }
   normalize();
-  for (std::size_t w = 0; w < other.occupied_.size(); ++w) {
-    std::uint64_t bits = other.occupied_[w];
-    while (bits != 0) {
-      const std::size_t i =
-          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
-      bits &= bits - 1;
-      const double v = std::min(other.effective(i), kCounterSaturation);
-      if (v <= 0.0) continue;
-      if (v > raw_[i]) {
-        raw_[i] = v;
-        mark_occupied(i);
-      }
-    }
-  }
+  kernels::active().m_merge(mut_view(), other.const_view(),
+                            kCounterSaturation);
   merged_ = true;
   touch();
 }
@@ -119,10 +89,11 @@ bool Tcbf::contains(std::string_view key) const {
 }
 
 bool Tcbf::contains(const util::HashPair& hp) const {
+  std::array<std::size_t, util::kMaxHashes> idx;
   for (std::uint32_t i = 0; i < params_.k; ++i) {
-    if (effective(util::km_index(hp, i, params_.m)) <= 0.0) return false;
+    idx[i] = util::km_index(hp, i, params_.m);
   }
-  return true;
+  return kernels::active().contains(const_view(), idx.data(), params_.k);
 }
 
 std::optional<double> Tcbf::min_counter(std::string_view key) const {
@@ -130,15 +101,16 @@ std::optional<double> Tcbf::min_counter(std::string_view key) const {
 }
 
 std::optional<double> Tcbf::min_counter(const util::HashPair& hp) const {
-  double min_c = 0.0;
-  bool first = true;
+  std::array<std::size_t, util::kMaxHashes> idx;
   for (std::uint32_t i = 0; i < params_.k; ++i) {
-    const double c = effective(util::km_index(hp, i, params_.m));
-    if (c <= 0.0) return std::nullopt;
-    min_c = first ? c : std::min(min_c, c);
-    first = false;
+    idx[i] = util::km_index(hp, i, params_.m);
   }
-  return min_c;
+  double out = 0.0;
+  if (!kernels::active().min_counter(const_view(), idx.data(), params_.k,
+                                     &out)) {
+    return std::nullopt;
+  }
+  return out;
 }
 
 double Tcbf::counter(std::size_t i) const {
@@ -147,17 +119,7 @@ double Tcbf::counter(std::size_t i) const {
 }
 
 std::size_t Tcbf::popcount() const {
-  std::size_t n = 0;
-  for (std::size_t w = 0; w < occupied_.size(); ++w) {
-    std::uint64_t bits = occupied_[w];
-    while (bits != 0) {
-      const std::size_t i =
-          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
-      bits &= bits - 1;
-      n += (effective(i) > 0.0);
-    }
-  }
-  return n;
+  return kernels::active().popcount(const_view());
 }
 
 double Tcbf::fill_ratio() const {
@@ -175,30 +137,14 @@ std::vector<std::size_t> Tcbf::set_bits() const {
 }
 
 void Tcbf::set_bits_into(std::vector<std::size_t>& out) const {
-  out.clear();
-  out.reserve(occupied_bits_);
-  for (std::size_t w = 0; w < occupied_.size(); ++w) {
-    std::uint64_t bits = occupied_[w];
-    while (bits != 0) {
-      const std::size_t i =
-          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
-      bits &= bits - 1;
-      if (effective(i) > 0.0) out.push_back(i);
-    }
-  }
+  kernels::active().set_bits_into(const_view(), out);
 }
 
 BloomFilter Tcbf::to_bloom_filter() const {
   BloomFilter bf(params_);
-  for (std::size_t w = 0; w < occupied_.size(); ++w) {
-    std::uint64_t bits = occupied_[w];
-    while (bits != 0) {
-      const std::size_t i =
-          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
-      bits &= bits - 1;
-      if (effective(i) > 0.0) bf.set_bit(i);
-    }
-  }
+  std::vector<std::size_t> bits;
+  set_bits_into(bits);
+  for (const std::size_t i : bits) bf.set_bit(i);
   return bf;
 }
 
@@ -213,16 +159,9 @@ void Tcbf::clear() {
 
 std::vector<double> Tcbf::counters() const {
   std::vector<double> out(params_.m, 0.0);
-  for (std::size_t w = 0; w < occupied_.size(); ++w) {
-    std::uint64_t bits = occupied_[w];
-    while (bits != 0) {
-      const std::size_t i =
-          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
-      bits &= bits - 1;
-      const double v = effective(i);
-      if (v > 0.0) out[i] = v;
-    }
-  }
+  std::vector<std::size_t> bits;
+  set_bits_into(bits);
+  for (const std::size_t i : bits) out[i] = effective(i);
   return out;
 }
 
@@ -236,16 +175,20 @@ Tcbf Tcbf::from_counters(BloomParams params, double initial_counter,
         "Tcbf::from_counters: initial counter must be finite and positive");
   }
   Tcbf t(params, initial_counter);
-  t.raw_ = std::move(counters);
-  for (std::size_t i = 0; i < t.raw_.size(); ++i) {
+  // Copy into the padded aligned array (the incoming vector has the wrong
+  // allocator and length to be adopted wholesale).
+  for (std::size_t i = 0; i < counters.size(); ++i) {
     // Decoded state is untrusted: NaN would poison every later comparison,
     // and values past the ceiling would defeat the saturation invariant on
     // the next merge.
-    if (std::isnan(t.raw_[i])) {
+    if (std::isnan(counters[i])) {
       throw std::invalid_argument("Tcbf::from_counters: NaN counter");
     }
-    t.raw_[i] = std::clamp(t.raw_[i], 0.0, kCounterSaturation);
-    if (t.raw_[i] > 0.0) t.mark_occupied(i);
+    const double v = std::clamp(counters[i], 0.0, kCounterSaturation);
+    if (v > 0.0) {
+      t.raw_[i] = v;
+      t.mark_occupied(i);
+    }
   }
   t.merged_ = true;
   t.touch();
@@ -259,6 +202,15 @@ double preference(const Tcbf& b, const Tcbf& f, std::string_view key) {
 double preference(const Tcbf& b, const Tcbf& f, const util::HashPair& hp) {
   double cb = b.min_counter(hp).value_or(0.0);
   std::optional<double> cf = f.min_counter(hp);
+  if (!cf.has_value()) return cb;  // key absent from f: preference is c_b
+  return cb - *cf;
+}
+
+double preference_at(const Tcbf& b, const Tcbf& f,
+                     const util::IndexArray& indices) {
+  assert(b.params() == f.params());
+  double cb = b.min_counter_at(indices).value_or(0.0);
+  std::optional<double> cf = f.min_counter_at(indices);
   if (!cf.has_value()) return cb;  // key absent from f: preference is c_b
   return cb - *cf;
 }

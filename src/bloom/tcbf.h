@@ -35,12 +35,19 @@
 //     so interleaved inserts/merges/decays observe exactly the dense
 //     semantics. The base is folded back into the array (`normalize`) on
 //     merges and when it grows past a precision guard.
-//   - A word-level occupancy bitmap (`occupied_`) marks 64-counter words
-//     that hold any stored value, so popcount / fill_ratio / set_bits /
-//     to_bloom_filter and merges iterate only occupied words instead of all
-//     m counters. Decay can silently drain a counter without clearing its
-//     occupancy bit; stale bits are skipped on iteration and pruned on the
-//     next normalize().
+//   - Counters live in 64-byte-aligned blocks of 8 doubles, padded to a
+//     whole number of occupancy words, so the kernel layer can stream them
+//     with aligned vector loads. A per-slot occupancy bitmap (`occupied_`,
+//     one 64-bit word per 64 counters = 8 cache lines) lets sweeps and
+//     merges skip dead regions at word and cache-line granularity. Decay
+//     can silently drain a counter without clearing its occupancy bit;
+//     stale bits are skipped on iteration and pruned on the next
+//     normalize().
+//   - The data-plane operations (merges, normalize, popcount/set-bit
+//     sweeps, point queries) run through the runtime-dispatched backend in
+//     bloom/kernels.h — scalar, register-blocked, AVX2, or NEON — all
+//     bit-identical; see that header for dispatch rules and the
+//     lazy-vs-dense merge crossover.
 //   - All query entry points have overloads taking a precomputed
 //     util::HashPair so hot paths never re-hash key strings (see
 //     workload::KeySet::hash for the interned table).
@@ -53,6 +60,7 @@
 
 #include "bloom/bloom_filter.h"
 #include "bloom/bloom_params.h"
+#include "bloom/kernels.h"
 #include "util/hash.h"
 
 namespace bsub::bloom {
@@ -111,10 +119,8 @@ class Tcbf {
   /// Existential query over precomputed bit positions (util::bloom_indices
   /// of the key for this filter's params). Bit-identical to contains().
   bool contains_at(const util::IndexArray& indices) const {
-    for (std::size_t i : indices) {
-      if (effective(i) <= 0.0) return false;
-    }
-    return true;
+    return kernels::active().contains(const_view(), indices.begin(),
+                                      indices.size());
   }
 
   /// Minimum counter value over the key's hashed bits, or nullopt when the
@@ -123,6 +129,16 @@ class Tcbf {
   /// minimum counter drains.
   std::optional<double> min_counter(std::string_view key) const;
   std::optional<double> min_counter(const util::HashPair& hp) const;
+  /// Minimum counter over precomputed bit positions (fast path companion of
+  /// contains_at). Bit-identical to min_counter().
+  std::optional<double> min_counter_at(const util::IndexArray& indices) const {
+    double out = 0.0;
+    if (!kernels::active().min_counter(const_view(), indices.begin(),
+                                       indices.size(), &out)) {
+      return std::nullopt;
+    }
+    return out;
+  }
 
   double counter(std::size_t i) const;
   bool test_bit(std::size_t i) const { return counter(i) > 0.0; }
@@ -172,14 +188,25 @@ class Tcbf {
 
   void touch() { epoch_ = next_filter_epoch(); }
 
+  /// Kernel views over the hot arrays (see bloom/kernels.h).
+  kernels::ConstView const_view() const {
+    return {raw_.data(), occupied_.data(), occupied_.size(), occupied_bits_,
+            decay_base_};
+  }
+  kernels::MutView mut_view() {
+    return {raw_.data(), occupied_.data(), occupied_.size(), &occupied_bits_};
+  }
+
   BloomParams params_;
   double initial_counter_;
   bool merged_ = false;
   double decay_base_ = 0.0;
   /// Stored counters: raw_[i] = effective + decay_base_ at write time;
   /// 0 means the slot was never set (or was cleared by a normalize).
-  std::vector<double> raw_;
-  /// Word-level occupancy: bit i set => raw_[i] > 0 (superset of the live
+  /// 64-byte aligned and padded to occupied_.size() * 64 slots so kernels
+  /// stream whole cache-line blocks; slots at index >= params_.m stay 0.
+  kernels::CounterVector raw_;
+  /// Per-slot occupancy: bit i set => raw_[i] > 0 (superset of the live
   /// bits; decay can leave stale entries until the next normalize).
   std::vector<std::uint64_t> occupied_;
   /// Number of set occupancy bits (upper bound on popcount()).
@@ -198,5 +225,11 @@ class Tcbf {
 /// positive preference first.
 double preference(const Tcbf& b, const Tcbf& f, std::string_view key);
 double preference(const Tcbf& b, const Tcbf& f, const util::HashPair& hp);
+/// Preferential query over precomputed bit positions (fast-path companion
+/// of contains_at / min_counter_at). Requires b.params() == f.params() —
+/// the params the indices were computed against. Bit-identical to
+/// preference().
+double preference_at(const Tcbf& b, const Tcbf& f,
+                     const util::IndexArray& indices);
 
 }  // namespace bsub::bloom

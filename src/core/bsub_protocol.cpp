@@ -289,11 +289,18 @@ void BsubProtocol::forward_between_brokers(trace::NodeId from,
     workload::MessageId id;
   };
   std::vector<Candidate> ranked;
+  const bool ref_path = config_.reference_contact_path;
   for (const auto& [id, msg] : carried_[from]) {
     if (msg->producer == to) continue;
     if (carried_[to].contains(id) || carried_ever_[to].contains(id)) continue;
+    // Fast path: preferential query over the interned bit positions (no
+    // re-deriving k indices per filter). Bit-identical to the hash-pair
+    // overload the reference path keeps exercising.
     const double pref =
-        bloom::preference(filter_to, filter_from, key_hash(msg->key));
+        ref_path
+            ? bloom::preference(filter_to, filter_from, key_hash(msg->key))
+            : bloom::preference_at(filter_to, filter_from,
+                                   key_indices(msg->key));
     if (pref > 0.0) ranked.push_back({pref, id});
   }
   std::sort(ranked.begin(), ranked.end(), [](const Candidate& x,

@@ -177,7 +177,12 @@ std::vector<std::vector<std::uint8_t>> BsubNode::on_relay(
   if (!broker_) return out;
   bloom::Tcbf& mine = relay_now(now);
 
-  // Preferential forwarding decisions on the pre-merge filters.
+  // Preferential forwarding decisions on the pre-merge filters. When the
+  // peer's filter params match ours (the common case — both sides run the
+  // same deployment config), rank over the bit positions interned at
+  // custody admission; otherwise fall back to hashing against the peer's
+  // geometry. Both routes are bit-identical for matching params.
+  const bool same_params = frame.filter.params() == mine.params();
   std::vector<std::pair<double, std::uint64_t>> ranked;
   for (const auto& [id, carried] : carried_) {
     if (auto it = transfer_refused_.find(id);
@@ -185,7 +190,9 @@ std::vector<std::vector<std::uint8_t>> BsubNode::on_relay(
       continue;  // the peer already told us it will not take this one
     }
     const double pref =
-        bloom::preference(frame.filter, mine, carried.key_hash);
+        same_params
+            ? bloom::preference_at(frame.filter, mine, carried.key_indices)
+            : bloom::preference(frame.filter, mine, carried.key_hash);
     if (pref > 0.0) ranked.emplace_back(pref, id);
   }
   std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
@@ -214,7 +221,12 @@ std::vector<std::vector<std::uint8_t>> BsubNode::on_data(
   if (msg.expired_at(now)) return {};
   if (frame.custody) {
     if (broker_ && !carried_ever_.contains(msg.id) && msg.producer != id_) {
-      carried_.emplace(msg.id, CarriedMessage{msg, util::hash_pair(msg.key)});
+      const util::HashPair hp = util::hash_pair(msg.key);
+      carried_.emplace(
+          msg.id,
+          CarriedMessage{msg, hp,
+                         util::bloom_indices(hp, config_.filter_params.k,
+                                             config_.filter_params.m)});
       carried_ever_.insert(msg.id);
       note_expiry(msg.expiry());
       ++custody_accepted_;

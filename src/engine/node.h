@@ -140,10 +140,15 @@ class BsubNode {
     std::set<NodeId> placed;
   };
 
-  /// A message held in custody, with its key hash interned at admission.
+  /// A message held in custody, with its key hash and Bloom bit positions
+  /// (for this node's filter params) interned at admission.
   struct CarriedMessage {
     ContentMessage msg;
     util::HashPair key_hash;
+    /// msg.key's bit positions under config_.filter_params: the relay
+    /// preference ranking runs over these without re-deriving k indices
+    /// per contact (kernel point queries gather straight from them).
+    util::IndexArray key_indices;
   };
 
   bloom::Tcbf& relay_now(util::Time now);

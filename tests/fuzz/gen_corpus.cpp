@@ -205,6 +205,63 @@ void gen_session(const fs::path& dir) {
   write_file(dir, "corrupt_fragment.bin", ops);
 }
 
+/// Kernel-differential fuzz seeds use the fuzz_tcbf_kernels op encoding:
+/// byte 0 = geometry (bits 0-1: m, bits 2-3: k-2), then ops keyed on the
+/// low 3 bits (0/1 = merge fresh keys, 2 = decay, 3 = insert, 4 = cross
+/// merge, 5 = queries, 6 = views, 7 = wire encode).
+void gen_kernels(const fs::path& dir) {
+  // Sparse schedule on the smallest geometry: a few merges and queries.
+  std::vector<std::uint8_t> ops;
+  ops.push_back(0x04);  // m=64, k=3
+  ops.push_back(0x08);  // a_merge 2 keys
+  ops.push_back(1);
+  ops.push_back(2);
+  ops.push_back(0x01);  // m_merge 1 key into f
+  ops.push_back(3);
+  ops.push_back(0x0A);  // decay both by 10.0
+  ops.push_back(40);
+  ops.push_back(0x05);  // queries on key 1
+  ops.push_back(1);
+  ops.push_back(0x06);  // views
+  write_file(dir, "sparse.bin", ops);
+
+  // Dense schedule on the largest geometry: fill past the scalar
+  // lazy-vs-dense crossover, cross-merge, decay-to-drain, re-encode.
+  ops.clear();
+  ops.push_back(0x0F);  // m=4096, k=5
+  for (int round = 0; round < 64; ++round) {
+    ops.push_back(0x18);  // a_merge 4 keys
+    for (int j = 0; j < 4; ++j) {
+      ops.push_back(static_cast<std::uint8_t>(round * 4 + j));
+    }
+  }
+  ops.push_back(0x0A);  // decay both by 30.0
+  ops.push_back(120);
+  ops.push_back(0x04);  // b.m_merge(f)
+  ops.push_back(0x06);  // views
+  ops.push_back(0x07);  // wire encode
+  write_file(dir, "dense.bin", ops);
+
+  // Decay-heavy schedule: interleaved drains and revivals keep the decay
+  // base and occupancy pruning busy.
+  ops.clear();
+  ops.push_back(0x01);  // m=256, k=2
+  for (int round = 0; round < 8; ++round) {
+    ops.push_back(0x03);  // insert into f
+    ops.push_back(static_cast<std::uint8_t>(round));
+    ops.push_back(0x08);  // a_merge 2 keys
+    ops.push_back(static_cast<std::uint8_t>(round));
+    ops.push_back(static_cast<std::uint8_t>(round + 32));
+    ops.push_back(0x0A);  // decay both by 51.0 (drains fresh counters)
+    ops.push_back(204);
+    ops.push_back(0x05);  // queries
+    ops.push_back(static_cast<std::uint8_t>(round));
+  }
+  ops.push_back(0x06);
+  ops.push_back(0x07);
+  write_file(dir, "decay_drain.bin", ops);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,6 +272,7 @@ int main(int argc, char** argv) {
   const fs::path root(argv[1]);
   gen_traces(root / "read_trace");
   gen_filters(root / "tcbf_codec");
+  gen_kernels(root / "tcbf_kernels");
   gen_frames(root / "wire_decode");
   gen_session(root / "session");
   std::printf("corpus written under %s\n", root.c_str());

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bloom/kernels.h"
 #include "engine/node.h"
 #include "metrics/collector.h"
 #include "net/clock.h"
@@ -47,6 +48,7 @@ struct Options {
   bsub::util::Time ttl = bsub::util::kHour;
   bsub::util::Time duration = 0;  ///< 0 = run until SIGINT
   bsub::util::Time decay_tick = bsub::util::kMinute;
+  std::string kernel;  ///< TCBF kernel backend override (empty = auto)
 };
 
 int usage(const char* argv0) {
@@ -61,7 +63,10 @@ int usage(const char* argv0) {
       "  --broker               start with the broker role\n"
       "  --ttl-ms N             published-message TTL (default 1h)\n"
       "  --duration-ms N        exit after N ms (default: run until SIGINT)\n"
-      "  --decay-tick-ms N      TCBF decay tick period (default 1min)\n",
+      "  --decay-tick-ms N      TCBF decay tick period (default 1min)\n"
+      "  --kernel NAME          TCBF kernel backend: scalar | blocked | avx2\n"
+      "                         | neon | auto (default: auto dispatch; also\n"
+      "                         settable via the BSUB_KERNEL env variable)\n",
       argv0);
   return 2;
 }
@@ -110,6 +115,10 @@ bool parse_options(int argc, char** argv, Options& opts) {
       const char* v = need_value(i);
       if (!v) return false;
       opts.decay_tick = std::strtoll(v, nullptr, 10);
+    } else if (flag == "--kernel") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opts.kernel = v;
     } else {
       return false;
     }
@@ -122,6 +131,25 @@ bool parse_options(int argc, char** argv, Options& opts) {
 int main(int argc, char** argv) {
   Options opts;
   if (!parse_options(argc, argv, opts)) return usage(argv[0]);
+
+  namespace kernels = bsub::bloom::kernels;
+  if (!opts.kernel.empty() && opts.kernel != "auto") {
+    const auto kind = kernels::parse_kind(opts.kernel);
+    if (!kind) {
+      std::fprintf(stderr, "bsub_node: unknown --kernel %s\n",
+                   opts.kernel.c_str());
+      return usage(argv[0]);
+    }
+    if (!kernels::force_kernel(*kind)) {
+      std::fprintf(stderr,
+                   "bsub_node: --kernel %s is unavailable in this build/CPU\n",
+                   opts.kernel.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "bsub_node: TCBF kernel backend: %s\n",
+               std::string(kernels::kind_name(kernels::active_kind()))
+                   .c_str());
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
