@@ -10,56 +10,19 @@
 //   1. throughput: contacts/sec must improve by >= 2x,
 //   2. semantics: the two paths produce identical RunResults,
 //   3. allocation: the steady-state encode path (cache-hit case) performs
-//      zero heap allocations per contact, verified by global new/delete
-//      counting hooks.
-#include "experiment_common.h"
+//      zero heap allocations per contact, verified by the shared
+//      resource_stats.h new/delete counting hooks.
+#define BSUB_RESOURCE_STATS_COUNT_ALLOCS
+#include "resource_stats.h"
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
+#include "experiment_common.h"
 
 #include "bloom/tcbf_codec.h"
 #include "engine/wire.h"
 
-// --- global allocation counter ----------------------------------------------
-// Replacing the global allocation functions in this TU counts every heap
-// allocation the process makes (the bench is single-threaded, but the
-// counter is atomic so parallel sweeps would still count correctly).
-
-namespace {
-std::atomic<std::uint64_t> g_alloc_count{0};
-
-void* counted_alloc(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
-  throw std::bad_alloc();
-}
-}  // namespace
-
-void* operator new(std::size_t size) { return counted_alloc(size); }
-void* operator new[](std::size_t size) { return counted_alloc(size); }
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size == 0 ? 1 : size);
-}
-void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size == 0 ? 1 : size);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
-
 namespace {
 
-std::uint64_t allocs_now() {
-  return g_alloc_count.load(std::memory_order_relaxed);
-}
+using bsub::bench::allocs_now;
 
 struct PathRun {
   bsub::bench::ProtocolRun run;
@@ -246,6 +209,7 @@ int main() {
           .field("steady_state_encode_allocs", encode_allocs)
           .field("steady_state_encode_iters",
                  static_cast<std::uint64_t>(kEncodeIters))
+          .field("peak_rss_bytes", bsub::bench::peak_rss_bytes())
           .field("purge_scans_skipped", hp.purge_scans_skipped)
           .field("purge_scans_run", hp.purge_scans_run)
           .field("encode_cache_hits", hp.encode_cache_hits)

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "experiment_common.h"
+#include "resource_stats.h"
 
 namespace bsub::bench {
 namespace {
@@ -143,7 +144,8 @@ int run() {
         .field("parallel_batches", p.stats.parallel_batches)
         .field("max_batch", p.stats.max_batch)
         .field("delivery_ratio", p.results.delivery_ratio)
-        .field("forwardings", p.results.forwardings);
+        .field("forwardings", p.results.forwardings)
+        .field("peak_rss_bytes", peak_rss_bytes());
     // Splice the histogram array in raw (JsonObject only does scalars).
     std::string row = jo.str();
     row.insert(row.size() - 1, ", \"batch_size_log2\": " +

@@ -1,0 +1,171 @@
+// City-scale streaming sweep: nodes x contacts, each point in its own
+// process so its peak RSS is meaningful.
+//
+// The claim under test is the tentpole of the streaming contact plane: peak
+// memory is O(node state + one scheduling window), *flat in the contact
+// count*. Every point streams a trace::make_city_stream scenario through
+// B-SUB on the simulator substrate — no point ever materializes its trace,
+// including the 10^6-node, 10^7-contact corner.
+//
+// Gates (exit 1 on violation):
+//   1. RSS flatness: for each node count with two contact volumes, the
+//      high-contact point's peak RSS must stay within noise of the
+//      low-contact point's (ratio <= 1.25 + 32 MiB absolute slack).
+//   2. Throughput floor: every setup-amortized point (events >= nodes) must
+//      sustain >= 25k events/sec — a coarse pathology catch (accidental
+//      O(n^2), lost batching), set 2-4x under observed single-core rates so
+//      slower CI runners don't trip it on noise.
+//
+// `--smoke` runs the CI subset (10^4 nodes at 10^5 and 10^6 contacts) with
+// the same gates; the full sweep climbs to 10^6 nodes and 10^7 contacts.
+#include "scale_common.h"
+
+#include <cstring>
+#include <vector>
+
+namespace {
+
+using namespace bsub;
+using namespace bsub::bench;
+
+constexpr double kRssRatioCeiling = 1.25;
+constexpr std::uint64_t kRssAbsoluteSlack = 32ull << 20;  // 32 MiB
+constexpr double kThroughputFloorEps = 25000.0;           // events/sec
+
+struct NamedPoint {
+  ScalePoint point;
+  /// Points sharing a pair_id differ only in contact count; each pair is an
+  /// RSS-flatness gate.
+  int pair_id = -1;
+};
+
+std::vector<NamedPoint> smoke_points() {
+  return {
+      {{10000, 100000}, 0},
+      {{10000, 1000000}, 0},
+  };
+}
+
+std::vector<NamedPoint> full_points() {
+  return {
+      {{1000, 100000}, -1},
+      {{10000, 100000}, 0},
+      {{10000, 1000000}, 0},
+      {{100000, 1000000}, 1},
+      {{100000, 10000000}, 1},
+      {{1000000, 100000}, 2},
+      {{1000000, 10000000}, 2},
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  print_header(smoke ? "City-scale streaming sweep (CI smoke subset)"
+                     : "City-scale streaming sweep");
+  WallTimer wall;
+
+  const std::vector<NamedPoint> points = smoke ? smoke_points() : full_points();
+
+  std::printf("%10s | %12s | %10s | %12s | %12s | %9s\n", "nodes", "contacts",
+              "seconds", "events/sec", "peak RSS MiB", "delivered");
+
+  std::vector<ScaleResult> results;
+  std::vector<std::string> json_points;
+  bool all_ok = true;
+  for (const NamedPoint& np : points) {
+    ScaleResult r;
+    if (!run_scale_point_isolated(np.point, kExperimentSeed, /*threads=*/1,
+                                  r)) {
+      std::fprintf(stderr, "point %zu nodes x %llu contacts FAILED to run\n",
+                   np.point.nodes,
+                   static_cast<unsigned long long>(np.point.contacts));
+      all_ok = false;
+      results.push_back(ScaleResult{});
+      continue;
+    }
+    results.push_back(r);
+    std::printf("%10zu | %12llu | %10.2f | %12.0f | %12.1f | %9llu\n",
+                np.point.nodes,
+                static_cast<unsigned long long>(np.point.contacts), r.seconds,
+                r.events_per_sec,
+                static_cast<double>(r.peak_rss_bytes) / (1 << 20),
+                static_cast<unsigned long long>(r.deliveries));
+    json_points.push_back(
+        JsonObject()
+            .field("nodes", static_cast<std::uint64_t>(np.point.nodes))
+            .field("contacts", np.point.contacts)
+            .field("events", r.events)
+            .field("seconds", r.seconds)
+            .field("events_per_sec", r.events_per_sec)
+            .field("peak_rss_bytes", r.peak_rss_bytes)
+            .field("deliveries", r.deliveries)
+            .field("delivery_ratio", r.delivery_ratio)
+            .field("forwardings", r.forwardings)
+            .str());
+  }
+
+  // Gate 1: peak RSS must not grow with the contact count at a fixed node
+  // count (within measurement noise).
+  for (int pair = 0;; ++pair) {
+    const ScaleResult* lo = nullptr;
+    const ScaleResult* hi = nullptr;
+    std::size_t nodes = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (points[i].pair_id != pair) continue;
+      nodes = points[i].point.nodes;
+      (lo == nullptr ? lo : hi) = &results[i];
+    }
+    if (lo == nullptr) break;
+    if (hi == nullptr || lo->events == 0 || hi->events == 0) continue;
+    const std::uint64_t ceiling =
+        static_cast<std::uint64_t>(static_cast<double>(lo->peak_rss_bytes) *
+                                   kRssRatioCeiling) +
+        kRssAbsoluteSlack;
+    const bool flat = hi->peak_rss_bytes <= ceiling;
+    std::printf(
+        "RSS flatness @ %zu nodes: %.1f MiB (%llu contacts) -> %.1f MiB "
+        "(%llu contacts), ceiling %.1f MiB: %s\n",
+        nodes, static_cast<double>(lo->peak_rss_bytes) / (1 << 20),
+        static_cast<unsigned long long>(lo->events),
+        static_cast<double>(hi->peak_rss_bytes) / (1 << 20),
+        static_cast<unsigned long long>(hi->events),
+        static_cast<double>(ceiling) / (1 << 20), flat ? "OK" : "VIOLATION");
+    if (!flat) all_ok = false;
+  }
+
+  // Gate 2: throughput floor. Judged only where events >= nodes: wall time
+  // includes protocol setup, which is O(nodes) (per-node filters/buffers),
+  // so a sparse point at a huge node count measures setup, not the per-event
+  // contact plane. Such points exist in the sweep purely as RSS baselines.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].events == 0) continue;
+    if (results[i].events < points[i].point.nodes) {
+      std::printf("throughput @ %zu nodes x %llu contacts: %.0f events/sec "
+                  "(setup-dominated, floor not judged)\n",
+                  points[i].point.nodes,
+                  static_cast<unsigned long long>(points[i].point.contacts),
+                  results[i].events_per_sec);
+      continue;
+    }
+    if (results[i].events_per_sec < kThroughputFloorEps) {
+      std::fprintf(stderr,
+                   "throughput floor violation: %zu nodes x %llu contacts "
+                   "ran at %.0f events/sec (floor %.0f)\n",
+                   points[i].point.nodes,
+                   static_cast<unsigned long long>(points[i].point.contacts),
+                   results[i].events_per_sec, kThroughputFloorEps);
+      all_ok = false;
+    }
+  }
+
+  write_bench_json(smoke ? "scale_sweep_smoke" : "scale_sweep", wall.seconds(),
+                   json_points);
+  std::printf("scale sweep: %s\n", all_ok ? "all gates passed" : "FAILED");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+// Shared resource accounting for the bench binaries: peak RSS and heap
+// allocation counters, reported alongside throughput so the perf trajectory
+// tracks memory as well as speed.
+//
+// Peak RSS is the kernel's high-water mark for the whole process
+// (getrusage), so it is monotone: a sweep that wants per-point peaks must
+// isolate each point in its own process (see run_forked in scale_common.h).
+//
+// Allocation counting is opt-in per binary: define
+// BSUB_RESOURCE_STATS_COUNT_ALLOCS in exactly one TU (before including this
+// header) to replace the global allocation functions with counting
+// versions; allocs_now() then reports the process-lifetime allocation
+// count. Without the macro, allocs_now() returns 0 and alloc_counting_enabled()
+// tells report code to skip the field.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#if defined(BSUB_RESOURCE_STATS_COUNT_ALLOCS)
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#endif
+
+namespace bsub::bench {
+
+/// Peak resident set size of this process so far, in bytes (0 when the
+/// platform offers no getrusage).
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // reported in bytes
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // in KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace bsub::bench
+
+#if defined(BSUB_RESOURCE_STATS_COUNT_ALLOCS)
+
+namespace bsub::bench::detail {
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+
+inline void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace bsub::bench::detail
+
+// Replacing the global allocation functions in this TU counts every heap
+// allocation the process makes (atomic, so multi-threaded benches count
+// correctly).
+void* operator new(std::size_t size) {
+  return bsub::bench::detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return bsub::bench::detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  bsub::bench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  bsub::bench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace bsub::bench {
+constexpr bool alloc_counting_enabled() { return true; }
+inline std::uint64_t allocs_now() {
+  return detail::g_alloc_count.load(std::memory_order_relaxed);
+}
+}  // namespace bsub::bench
+
+#else  // !BSUB_RESOURCE_STATS_COUNT_ALLOCS
+
+namespace bsub::bench {
+constexpr bool alloc_counting_enabled() { return false; }
+inline std::uint64_t allocs_now() { return 0; }
+}  // namespace bsub::bench
+
+#endif

@@ -1,0 +1,179 @@
+// Shared plumbing for the city-scale streaming sweep: one-point runners,
+// a deterministic scale workload, and process isolation for per-point peak
+// RSS measurement. Used by bench_scale_sweep (the gated harness) and the
+// bsub_scale CLI (one point, interactive).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "core/bsub_protocol.h"
+#include "experiment_common.h"
+#include "resource_stats.h"
+#include "sim/simulator.h"
+#include "trace/city.h"
+#include "workload/workload.h"
+
+namespace bsub::bench {
+
+/// One sweep point: a city of `nodes` replayed over ~`contacts` contact
+/// events (the commuter budget; flash crowds add a few percent on top).
+struct ScalePoint {
+  std::size_t nodes = 0;
+  std::uint64_t contacts = 0;
+  /// Messages in the workload. Constant by default so the contact axis of
+  /// the sweep is the only thing that grows; 0 gives a pure contact-plane
+  /// run (useful to attribute RSS between the stream and protocol state).
+  std::size_t messages = 200;
+};
+
+/// Plain-old-data result so a forked child can ship it through a pipe.
+struct ScaleResult {
+  std::uint64_t events = 0;        ///< contacts + message creations replayed
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t deliveries = 0;
+  double delivery_ratio = 0.0;
+  std::uint64_t forwardings = 0;
+  std::size_t threads_used = 0;
+};
+
+/// Deterministic workload for a city of `node_count` nodes over `duration`:
+/// every node subscribes to one key round-robin; `message_count` messages
+/// with hash-spread producers and evenly spread creation times. Built from
+/// the explicit Workload constructor — no trace required, so the scenario
+/// never materializes.
+inline workload::Workload make_scale_workload(const workload::KeySet& keys,
+                                              std::size_t node_count,
+                                              std::size_t message_count,
+                                              util::Time duration,
+                                              std::uint64_t seed) {
+  std::vector<workload::KeyId> interests(node_count);
+  for (std::size_t n = 0; n < node_count; ++n) {
+    interests[n] = static_cast<workload::KeyId>(n % keys.size());
+  }
+  std::vector<workload::Message> messages(message_count);
+  util::Rng rng(seed ^ 0x5CA1EULL);
+  for (std::size_t i = 0; i < message_count; ++i) {
+    workload::Message& m = messages[i];
+    m.id = i;
+    m.key = static_cast<workload::KeyId>(
+        rng.next_below(static_cast<std::uint64_t>(keys.size())));
+    m.producer = static_cast<trace::NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(node_count)));
+    m.size_bytes = 1 + static_cast<std::uint32_t>(rng.next_below(140));
+    // Evenly spread through the middle of the trace so every message sees
+    // live contact traffic before and after it.
+    m.created = static_cast<util::Time>(
+        (static_cast<double>(i) + 0.5) /
+        static_cast<double>(message_count) * static_cast<double>(duration));
+    m.ttl = 6 * util::kHour;
+  }
+  return workload::Workload(keys, node_count, std::move(interests),
+                            std::move(messages));
+}
+
+/// Runs one sweep point end to end: streamed city scenario through B-SUB on
+/// the simulator substrate. The stream is the only contact source — nothing
+/// is materialized at any node/contact count.
+inline ScaleResult run_scale_point(const ScalePoint& point,
+                                   std::uint64_t seed = kExperimentSeed,
+                                   std::size_t threads = 1) {
+  const trace::CityTraceConfig city =
+      trace::city_config(point.nodes, point.contacts, seed);
+  const util::Time duration =
+      static_cast<util::Time>(city.days) * util::kDay;
+  auto stream = trace::make_city_stream(city);
+
+  const workload::KeySet keys = workload::twitter_trend_keys();
+  const workload::Workload w =
+      make_scale_workload(keys, point.nodes, point.messages, duration, seed);
+
+  // Fixed DF: Eq. 5's tuning needs trace centrality, which a streamed
+  // scenario deliberately never computes; the sweep measures the contact
+  // plane, not DF calibration, so any sane constant serves every point.
+  core::BsubConfig cfg;
+  cfg.df_per_minute = 0.5;
+  core::BsubProtocol proto(cfg);
+
+  sim::SimulatorConfig sim_cfg;
+  sim_cfg.threads = threads;
+  sim::Simulator simulator(sim_cfg);
+
+  WallTimer timer;
+  const metrics::RunResults results = simulator.run(*stream, w, proto);
+  ScaleResult out;
+  out.seconds = timer.seconds();
+  out.events = simulator.last_run_stats().events;
+  out.events_per_sec = out.seconds > 0.0
+                           ? static_cast<double>(out.events) / out.seconds
+                           : 0.0;
+  out.peak_rss_bytes = peak_rss_bytes();
+  out.deliveries = results.interested_deliveries;
+  out.delivery_ratio = results.delivery_ratio;
+  out.forwardings = results.forwardings;
+  out.threads_used = simulator.last_run_stats().threads_used;
+  return out;
+}
+
+/// Runs `point` in a forked child and reads the result back over a pipe.
+/// getrusage's peak RSS is a process-lifetime high-water mark, so per-point
+/// peaks in one sweep require one process per point. Returns false if the
+/// child failed (the parent sweep then fails too). Falls back to in-process
+/// execution on platforms without fork.
+inline bool run_scale_point_isolated(const ScalePoint& point,
+                                     std::uint64_t seed, std::size_t threads,
+                                     ScaleResult& out) {
+#if defined(__unix__) || defined(__APPLE__)
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const ScaleResult r = run_scale_point(point, seed, threads);
+    const char* bytes = reinterpret_cast<const char*>(&r);
+    std::size_t off = 0;
+    while (off < sizeof r) {
+      const ssize_t n = write(fds[1], bytes + off, sizeof r - off);
+      if (n <= 0) _exit(2);
+      off += static_cast<std::size_t>(n);
+    }
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  ScaleResult r;
+  char* bytes = reinterpret_cast<char*>(&r);
+  std::size_t off = 0;
+  while (off < sizeof r) {
+    const ssize_t n = read(fds[0], bytes + off, sizeof r - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (off != sizeof r || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return false;
+  }
+  out = r;
+  return true;
+#else
+  out = run_scale_point(point, seed, threads);
+  return true;
+#endif
+}
+
+}  // namespace bsub::bench

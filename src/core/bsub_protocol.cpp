@@ -28,28 +28,28 @@ double BsubProtocol::measured_relay_fpr() const {
                      : static_cast<double>(hits) / static_cast<double>(probes);
 }
 
-void BsubProtocol::on_start(const trace::ContactTrace& trace,
+void BsubProtocol::on_start(const sim::ScenarioInfo& scenario,
                             const workload::Workload& workload,
                             metrics::Collector& collector) {
-  trace_ = &trace;
+  const std::size_t nodes = scenario.node_count;
   workload_ = &workload;
   collector_ = &collector;
   election_ = std::make_unique<BrokerElection>(
-      trace.node_count(),
+      nodes,
       BrokerElection::Config{config_.broker_lower, config_.broker_upper,
                              config_.election_window});
   interests_ = std::make_unique<InterestManager>(
-      trace.node_count(), config_.filter_params, config_.initial_counter,
+      nodes, config_.filter_params, config_.initial_counter,
       config_.df_per_minute);
-  produced_.assign(trace.node_count(), {});
-  produced_expiry_.assign(trace.node_count(), {});
-  carried_.assign(trace.node_count(), {});
-  falsely_injected_.assign(trace.node_count(), {});
-  carried_ever_.assign(trace.node_count(), {});
-  interest_names_.assign(trace.node_count(), {});
-  interest_hashes_.assign(trace.node_count(), {});
-  filter_cache_.assign(trace.node_count(), NodeFilterCache());
-  for (std::size_t n = 0; n < trace.node_count(); ++n) {
+  produced_.assign(nodes, {});
+  produced_expiry_.assign(nodes, {});
+  carried_.assign(nodes, {});
+  falsely_injected_.assign(nodes, {});
+  carried_ever_.assign(nodes, {});
+  interest_names_.assign(nodes, {});
+  interest_hashes_.assign(nodes, {});
+  filter_cache_.assign(nodes, NodeFilterCache());
+  for (std::size_t n = 0; n < nodes; ++n) {
     for (workload::KeyId k : workload.interests_of(n)) {
       interest_names_[n].push_back(key_name(k));
       interest_hashes_[n].push_back(key_hash(k));

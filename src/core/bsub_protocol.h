@@ -40,7 +40,8 @@ class BsubProtocol final : public sim::Protocol {
   explicit BsubProtocol(BsubConfig config = {});
   ~BsubProtocol() override;
 
-  void on_start(const trace::ContactTrace& trace,
+  using sim::Protocol::on_start;
+  void on_start(const sim::ScenarioInfo& scenario,
                 const workload::Workload& workload,
                 metrics::Collector& collector) override;
   void on_message_created(const workload::Message& msg,
@@ -151,7 +152,6 @@ class BsubProtocol final : public sim::Protocol {
   void maybe_update_adaptive_df(trace::NodeId node, util::Time now);
 
   BsubConfig config_;
-  const trace::ContactTrace* trace_ = nullptr;
   const workload::Workload* workload_ = nullptr;
   metrics::Collector* collector_ = nullptr;
   std::unique_ptr<BrokerElection> election_;

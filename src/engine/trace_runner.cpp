@@ -5,36 +5,29 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/event_stream.h"
+
 namespace bsub::engine {
 
-namespace {
-
-struct MergedEvent {
-  std::uint32_t index;
-  bool is_message;
-};
-
-}  // namespace
-
-TraceRunResults TraceRunner::run(const trace::ContactTrace& trace,
+TraceRunResults TraceRunner::run(trace::ContactStream& contacts,
                                  const workload::Workload& workload) {
+  const std::size_t node_count = contacts.node_count();
   Network net(node_config_);
-  core::BrokerElection election(trace.node_count(), election_config_);
+  core::BrokerElection election(node_count, election_config_);
 
   // Per-node delivery logs give a canonical node-major order shared by
   // serial and parallel runs (the default append-order log would make the
   // mean-delay float sum depend on the execution schedule).
-  net.use_per_node_delivery_log(trace.node_count());
+  net.use_per_node_delivery_log(node_count);
 
   // Materialize nodes with their subscriptions.
-  for (trace::NodeId n = 0; n < trace.node_count(); ++n) {
+  for (trace::NodeId n = 0; n < node_count; ++n) {
     BsubNode& node = net.add_node(n);
     for (workload::KeyId k : workload.interests_of(n)) {
       node.subscribe(workload.keys().name(k));
     }
   }
 
-  const auto& contacts = trace.contacts();
   const auto& messages = workload.messages();
 
   // Creation times of each message id, for delay computation. Prefilled so
@@ -45,34 +38,6 @@ TraceRunResults TraceRunner::run(const trace::ContactTrace& trace,
     created_at.emplace(m.id, m.created);
   }
 
-  // Merge creations and contacts with the simulator's exact tie rule.
-  std::vector<MergedEvent> events;
-  events.reserve(contacts.size() + messages.size());
-  {
-    std::size_t ci = 0, mi = 0;
-    while (ci < contacts.size() || mi < messages.size()) {
-      const bool take_message =
-          mi < messages.size() &&
-          (ci >= contacts.size() ||
-           messages[mi].created <= contacts[ci].start);
-      if (take_message) {
-        events.push_back({static_cast<std::uint32_t>(mi++), true});
-      } else {
-        events.push_back({static_cast<std::uint32_t>(ci++), false});
-      }
-    }
-  }
-  std::vector<sim::EventNodes> endpoints(events.size());
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    if (events[i].is_message) {
-      endpoints[i] = {messages[events[i].index].producer,
-                      sim::EventNodes::kNoNode};
-    } else {
-      const trace::Contact& c = contacts[events[i].index];
-      endpoints[i] = {c.a, c.b};
-    }
-  }
-
   // Frame tallies commute (integer sums), so relaxed atomics keep them
   // schedule-independent.
   std::atomic<std::uint64_t> contacts_processed{0};
@@ -80,10 +45,9 @@ TraceRunResults TraceRunner::run(const trace::ContactTrace& trace,
   std::atomic<std::uint64_t> frames_dropped{0};
   std::atomic<std::uint64_t> bytes_used{0};
 
-  auto exec = [&](std::size_t i) {
-    const MergedEvent& e = events[i];
+  auto exec_event = [&](const sim::ScenarioEvent& e) {
     if (e.is_message) {
-      const workload::Message& m = messages[e.index];
+      const workload::Message& m = messages[e.message_index];
       ContentMessage cm;
       cm.id = m.id;
       cm.key = workload.keys().name(m.key);
@@ -93,7 +57,7 @@ TraceRunResults TraceRunner::run(const trace::ContactTrace& trace,
       net.node(m.producer).publish(std::move(cm), m.created);
       return;
     }
-    const trace::Contact& c = contacts[e.index];
+    const trace::Contact& c = e.contact;
     // Election decides roles, exactly as in the simulator protocol. It only
     // mutates the two endpoints' state, so it is safe inside a batch.
     election.on_contact(c.a, c.b, c.start);
@@ -110,12 +74,30 @@ TraceRunResults TraceRunner::run(const trace::ContactTrace& trace,
     bytes_used.fetch_add(report.bytes_used, std::memory_order_relaxed);
   };
 
+  // Streamed replay: merge creations and contacts with the simulator's
+  // exact tie rule, staging one scheduling window at a time.
+  sim::ScenarioEventStream events(contacts, workload);
+  std::vector<sim::ScenarioEvent> staged;
+
   sim::ParallelRunConfig pcfg;
   pcfg.threads = options_.threads;
   pcfg.window_events = options_.window_events;
   pcfg.min_batch_fanout = options_.min_batch_fanout;
-  last_run_stats_ = sim::run_conflict_parallel(
-      events.size(), trace.node_count(), endpoints, exec, pcfg);
+  last_run_stats_ = sim::run_windowed_parallel(
+      node_count,
+      [&](std::span<sim::EventNodes> slots) {
+        staged.resize(slots.size());
+        std::size_t n = 0;
+        while (n < slots.size() && events.next(staged[n])) {
+          slots[n] = staged[n].nodes(messages);
+          ++n;
+        }
+        return n;
+      },
+      [&](std::size_t j) { exec_event(staged[j]); }, pcfg);
+  // An empty scenario never engaged the pool; report it as the serial run
+  // it effectively was (matching the materialized executor's stats).
+  if (last_run_stats_.events == 0) last_run_stats_.threads_used = 1;
 
   TraceRunResults results;
   results.contacts_processed = contacts_processed.load();

@@ -24,6 +24,7 @@
 #include "engine/network.h"
 #include "metrics/collector.h"
 #include "sim/parallel_executor.h"
+#include "trace/contact_stream.h"
 #include "trace/trace.h"
 #include "workload/workload.h"
 
@@ -58,9 +59,19 @@ class TraceRunner {
       : node_config_(node_config), election_config_(election),
         bandwidth_(bandwidth_bytes_per_second), options_(options) {}
 
-  /// Runs the whole scenario; deterministic across thread counts.
-  TraceRunResults run(const trace::ContactTrace& trace,
+  /// Runs a streamed scenario; deterministic across thread counts and
+  /// bit-identical to running the stream's materialization. Peak memory is
+  /// O(node state + one scheduling window). Consumes the stream from its
+  /// current position.
+  TraceRunResults run(trace::ContactStream& contacts,
                       const workload::Workload& workload);
+
+  /// Materialized-scenario convenience: adapts the trace to a stream.
+  TraceRunResults run(const trace::ContactTrace& trace,
+                      const workload::Workload& workload) {
+    trace::MaterializedStream stream(trace);
+    return run(stream, workload);
+  }
 
   /// Execution-shape stats of the most recent run().
   const sim::ParallelRunStats& last_run_stats() const {

@@ -3,18 +3,10 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "sim/event_stream.h"
 #include "sim/link.h"
 
 namespace bsub::net {
-
-namespace {
-
-struct MergedEvent {
-  std::uint32_t index;
-  bool is_message;
-};
-
-}  // namespace
 
 ContactOrchestrator::ContactOrchestrator(OrchestratorConfig config)
     : config_(config) {}
@@ -58,11 +50,12 @@ void ContactOrchestrator::pump(util::Time cap) {
   }
 }
 
-LiveRunResults ContactOrchestrator::run(const trace::ContactTrace& trace,
+LiveRunResults ContactOrchestrator::run(trace::ContactStream& contacts,
                                         const workload::Workload& workload) {
   if (!runtimes_.empty()) {
     throw std::logic_error("ContactOrchestrator: run() may be called once");
   }
+  const std::size_t node_count = contacts.node_count();
   reactor_ = std::make_unique<Reactor>(clock_);
   LoopbackHub::Config hub_config;
   hub_config.mtu = config_.runtime.session.mtu;
@@ -70,13 +63,13 @@ LiveRunResults ContactOrchestrator::run(const trace::ContactTrace& trace,
   hub_config.loss_seed = config_.loss_seed;
   hub_ = std::make_unique<LoopbackHub>(hub_config);
 
-  core::BrokerElection election(trace.node_count(), config_.election);
+  core::BrokerElection election(node_count, config_.election);
 
   // Endpoints are node ids; per-node delivery logs give the same canonical
   // node-major order the engine harness reports.
-  per_node_deliveries_.assign(trace.node_count(), {});
-  runtimes_.reserve(trace.node_count());
-  for (trace::NodeId n = 0; n < trace.node_count(); ++n) {
+  per_node_deliveries_.assign(node_count, {});
+  runtimes_.reserve(node_count);
+  for (trace::NodeId n = 0; n < node_count; ++n) {
     LoopbackTransport& transport = hub_->attach(n);
     runtimes_.push_back(std::make_unique<NodeRuntime>(
         n, config_.runtime, transport, *reactor_, counters_));
@@ -91,7 +84,6 @@ LiveRunResults ContactOrchestrator::run(const trace::ContactTrace& trace,
         });
   }
 
-  const auto& contacts = trace.contacts();
   const auto& messages = workload.messages();
 
   std::unordered_map<std::uint64_t, util::Time> created_at;
@@ -100,28 +92,15 @@ LiveRunResults ContactOrchestrator::run(const trace::ContactTrace& trace,
     created_at.emplace(m.id, m.created);
   }
 
-  // Merge creations and contacts with the simulator's exact tie rule.
-  std::vector<MergedEvent> events;
-  events.reserve(contacts.size() + messages.size());
-  {
-    std::size_t ci = 0, mi = 0;
-    while (ci < contacts.size() || mi < messages.size()) {
-      const bool take_message =
-          mi < messages.size() &&
-          (ci >= contacts.size() ||
-           messages[mi].created <= contacts[ci].start);
-      if (take_message) {
-        events.push_back({static_cast<std::uint32_t>(mi++), true});
-      } else {
-        events.push_back({static_cast<std::uint32_t>(ci++), false});
-      }
-    }
-  }
+  // Merge creations and contacts with the simulator's exact tie rule,
+  // pulling one event at a time — nothing is materialized.
+  sim::ScenarioEventStream events(contacts, workload);
 
   LiveRunResults results;
-  for (const MergedEvent& e : events) {
+  sim::ScenarioEvent e;
+  while (events.next(e)) {
     if (e.is_message) {
-      const workload::Message& m = messages[e.index];
+      const workload::Message& m = messages[e.message_index];
       reactor_->advance_to(clock_, m.created);
       engine::ContentMessage cm;
       cm.id = m.id;
@@ -133,7 +112,7 @@ LiveRunResults ContactOrchestrator::run(const trace::ContactTrace& trace,
       continue;
     }
 
-    const trace::Contact& c = contacts[e.index];
+    const trace::Contact& c = e.contact;
     reactor_->advance_to(clock_, c.start);
     election.on_contact(c.a, c.b, c.start);
     runtimes_[c.a]->node().set_broker(election.is_broker(c.a));

@@ -35,6 +35,7 @@
 #include "net/loopback.h"
 #include "net/node_runtime.h"
 #include "net/reactor.h"
+#include "trace/contact_stream.h"
 #include "trace/trace.h"
 #include "workload/workload.h"
 
@@ -63,10 +64,18 @@ class ContactOrchestrator {
   explicit ContactOrchestrator(OrchestratorConfig config = {});
   ~ContactOrchestrator();
 
-  /// Replays the whole scenario. The runtimes stay alive afterwards for
-  /// introspection (node(), deliveries()).
-  LiveRunResults run(const trace::ContactTrace& trace,
+  /// Replays a streamed scenario (contacts pulled one at a time, never
+  /// materialized). The runtimes stay alive afterwards for introspection
+  /// (node(), deliveries()).
+  LiveRunResults run(trace::ContactStream& contacts,
                      const workload::Workload& workload);
+
+  /// Materialized-scenario convenience: adapts the trace to a stream.
+  LiveRunResults run(const trace::ContactTrace& trace,
+                     const workload::Workload& workload) {
+    trace::MaterializedStream stream(trace);
+    return run(stream, workload);
+  }
 
   /// Valid after run().
   const engine::BsubNode& node(trace::NodeId id) const;

@@ -2,12 +2,12 @@
 
 namespace bsub::routing {
 
-void PullProtocol::on_start(const trace::ContactTrace& trace,
+void PullProtocol::on_start(const sim::ScenarioInfo& scenario,
                             const workload::Workload& workload,
                             metrics::Collector& collector) {
   workload_ = &workload;
   collector_ = &collector;
-  produced_.assign(trace.node_count(), {});
+  produced_.assign(scenario.node_count, {});
 }
 
 void PullProtocol::on_message_created(const workload::Message& msg,

@@ -19,7 +19,8 @@ class PullProtocol final : public sim::Protocol {
   explicit PullProtocol(bool naive_purge = false)
       : naive_purge_(naive_purge) {}
 
-  void on_start(const trace::ContactTrace& trace,
+  using sim::Protocol::on_start;
+  void on_start(const sim::ScenarioInfo& scenario,
                 const workload::Workload& workload,
                 metrics::Collector& collector) override;
   void on_message_created(const workload::Message& msg,

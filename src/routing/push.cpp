@@ -4,15 +4,15 @@
 
 namespace bsub::routing {
 
-void PushProtocol::on_start(const trace::ContactTrace& trace,
+void PushProtocol::on_start(const sim::ScenarioInfo& scenario,
                             const workload::Workload& workload,
                             metrics::Collector& collector) {
   workload_ = &workload;
   collector_ = &collector;
-  buffers_.assign(trace.node_count(), {});
-  seen_.assign(trace.node_count(),
+  buffers_.assign(scenario.node_count, {});
+  seen_.assign(scenario.node_count,
                std::vector<bool>(workload.messages().size(), false));
-  expiry_.assign(trace.node_count(), {});
+  expiry_.assign(scenario.node_count, {});
 }
 
 void PushProtocol::on_message_created(const workload::Message& msg,

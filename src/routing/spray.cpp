@@ -2,14 +2,14 @@
 
 namespace bsub::routing {
 
-void SprayProtocol::on_start(const trace::ContactTrace& trace,
+void SprayProtocol::on_start(const sim::ScenarioInfo& scenario,
                              const workload::Workload& workload,
                              metrics::Collector& collector) {
   workload_ = &workload;
   collector_ = &collector;
-  produced_.assign(trace.node_count(), {});
-  relayed_.assign(trace.node_count(), {});
-  produced_expiry_.assign(trace.node_count(), {});
+  produced_.assign(scenario.node_count, {});
+  relayed_.assign(scenario.node_count, {});
+  produced_expiry_.assign(scenario.node_count, {});
 }
 
 void SprayProtocol::on_message_created(const workload::Message& msg,

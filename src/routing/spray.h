@@ -29,7 +29,8 @@ class SprayProtocol final : public sim::Protocol {
   explicit SprayProtocol(std::uint32_t copies = 3, bool naive_purge = false)
       : copies_(copies), naive_purge_(naive_purge) {}
 
-  void on_start(const trace::ContactTrace& trace,
+  using sim::Protocol::on_start;
+  void on_start(const sim::ScenarioInfo& scenario,
                 const workload::Workload& workload,
                 metrics::Collector& collector) override;
   void on_message_created(const workload::Message& msg,

@@ -1,0 +1,85 @@
+// Streaming scenario event merge: contacts x message creations.
+//
+// ScenarioEventStream two-way-merges a pull-based contact stream with the
+// workload's time-ordered message-creation list, producing the exact event
+// sequence the serial simulator loop replays — including its tie rule (a
+// creation at time t is visible to a contact starting at the same t).
+// State is one buffered contact + one message cursor, so the merge adds
+// nothing to a streamed run's memory footprint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/conflict_schedule.h"
+#include "trace/contact_stream.h"
+#include "workload/workload.h"
+
+namespace bsub::sim {
+
+/// One merged scenario event: either a contact (payload inline) or a
+/// message creation (index into the workload's message table).
+struct ScenarioEvent {
+  trace::Contact contact;            ///< valid when !is_message
+  std::uint32_t message_index = 0;   ///< valid when is_message
+  bool is_message = false;
+
+  /// Event timestamp under the simulator's clock semantics.
+  util::Time time(const std::vector<workload::Message>& messages) const {
+    return is_message ? messages[message_index].created : contact.start;
+  }
+
+  /// Node endpoints for the conflict scheduler.
+  EventNodes nodes(const std::vector<workload::Message>& messages) const {
+    if (is_message) {
+      return {messages[message_index].producer, EventNodes::kNoNode};
+    }
+    return {contact.a, contact.b};
+  }
+};
+
+/// Merges a ContactStream with a workload's messages (which Workload keeps
+/// sorted by creation time). Single-pass cursor with a one-contact
+/// lookahead; reset() rewinds both sides.
+class ScenarioEventStream {
+ public:
+  ScenarioEventStream(trace::ContactStream& contacts,
+                      const workload::Workload& workload)
+      : contacts_(&contacts), messages_(&workload.messages()) {
+    has_contact_ = contacts_->next(pending_);
+  }
+
+  /// Pulls the next merged event; false when both inputs are exhausted.
+  bool next(ScenarioEvent& out) {
+    const auto& messages = *messages_;
+    const bool take_message =
+        message_index_ < messages.size() &&
+        (!has_contact_ ||
+         messages[message_index_].created <= pending_.start);
+    if (take_message) {
+      out.is_message = true;
+      out.message_index = static_cast<std::uint32_t>(message_index_++);
+      return true;
+    }
+    if (!has_contact_) return false;
+    out.is_message = false;
+    out.contact = pending_;
+    has_contact_ = contacts_->next(pending_);
+    return true;
+  }
+
+  void reset() {
+    contacts_->reset();
+    has_contact_ = contacts_->next(pending_);
+    message_index_ = 0;
+  }
+
+ private:
+  trace::ContactStream* contacts_;
+  const std::vector<workload::Message>* messages_;
+  trace::Contact pending_;
+  bool has_contact_ = false;
+  std::size_t message_index_ = 0;
+};
+
+}  // namespace bsub::sim

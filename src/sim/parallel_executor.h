@@ -62,50 +62,70 @@ struct ParallelRunStats {
   }
 };
 
-/// Runs `exec(event_index)` for every index in [0, event_count), respecting
-/// per-node trace order as derived from `endpoints` (one EventNodes per
-/// event, same indexing). `exec` must be invocable concurrently for events
-/// in the same batch — i.e. events touching disjoint nodes.
+/// Streaming windowed executor: the event sequence is produced one window
+/// at a time by `fill` instead of being materialized up front, so a run
+/// holds at most `window_events` events in flight — the ring that makes
+/// contact-count-independent memory possible.
 ///
-/// Returns the execution-shape stats. One ThreadPool lives for the whole
-/// run; batches are chunked contiguously so each worker gets one job per
-/// batch, keeping the per-batch overhead at one handoff + one barrier.
-template <class Exec>
-ParallelRunStats run_conflict_parallel(std::size_t event_count,
-                                       std::size_t node_count,
-                                       std::span<const EventNodes> endpoints,
+/// Contract:
+///   - `fill(slots)` stages the next up-to-slots.size() events, writing one
+///     EventNodes per event into `slots[0..n)` and returning n; 0 means the
+///     stream is exhausted. Short windows mid-stream are allowed. The
+///     caller typically stages matching per-event payloads in its own
+///     parallel buffer.
+///   - `exec(j)` executes staged event j (window-local, in [0, n)) of the
+///     most recent fill. Within a window, `exec` must tolerate concurrent
+///     invocation for events touching disjoint nodes; windows themselves
+///     are strictly sequential, so `fill` may reuse its staging buffers.
+///
+/// Determinism matches run_conflict_parallel: per-node order is preserved
+/// inside each window by the conflict schedule and across windows by
+/// sequencing, so a streamed run is bit-identical to a serial run over the
+/// same event sequence.
+template <class Fill, class Exec>
+ParallelRunStats run_windowed_parallel(std::size_t node_count, Fill&& fill,
                                        Exec&& exec,
                                        const ParallelRunConfig& cfg = {}) {
   ParallelRunStats stats;
-  stats.events = event_count;
   const std::size_t threads =
       cfg.threads != 0 ? cfg.threads : util::default_thread_count();
-  stats.threads_used = threads;
+  const std::size_t window =
+      cfg.window_events != 0 ? cfg.window_events : 4096;
+  std::vector<EventNodes> endpoints(window);
 
-  if (threads <= 1 || event_count == 0) {
-    // Serial degenerates to the plain loop: same order, zero overhead.
+  if (threads <= 1) {
+    // Serial degenerates to fill-then-run, window by window: same order,
+    // no scheduling overhead, and no windows counted (matching the serial
+    // path of run_conflict_parallel).
     stats.threads_used = 1;
-    for (std::size_t i = 0; i < event_count; ++i) exec(i);
+    for (;;) {
+      const std::size_t count = fill(std::span<EventNodes>(endpoints));
+      if (count == 0) break;
+      stats.events += count;
+      for (std::size_t j = 0; j < count; ++j) exec(j);
+    }
     return stats;
   }
 
-  const std::size_t window =
-      cfg.window_events != 0 ? cfg.window_events : 4096;
+  stats.threads_used = threads;
   util::ThreadPool pool(threads);
   ConflictScheduler scheduler(node_count);
   ConflictSchedule schedule;
 
-  for (std::size_t begin = 0; begin < event_count; begin += window) {
-    const std::size_t end = std::min(begin + window, event_count);
+  for (;;) {
+    const std::size_t count = fill(std::span<EventNodes>(endpoints));
+    if (count == 0) break;
+    stats.events += count;
     ++stats.windows;
-    scheduler.schedule(endpoints.subspan(begin, end - begin), schedule);
+    scheduler.schedule(
+        std::span<const EventNodes>(endpoints.data(), count), schedule);
 
     for (std::size_t k = 0; k < schedule.batch_count(); ++k) {
       const std::span<const std::uint32_t> batch = schedule.batch(k);
       stats.note_batch(batch.size());
       if (batch.size() < cfg.min_batch_fanout * threads) {
         ++stats.inline_batches;
-        for (std::uint32_t local : batch) exec(begin + local);
+        for (std::uint32_t local : batch) exec(local);
         continue;
       }
       ++stats.parallel_batches;
@@ -115,13 +135,58 @@ ParallelRunStats run_conflict_parallel(std::size_t event_count,
         if (lo >= batch.size()) break;
         const std::size_t hi = std::min(lo + chunk, batch.size());
         pool.submit([&, lo, hi] {
-          for (std::size_t j = lo; j < hi; ++j) exec(begin + batch[j]);
+          for (std::size_t j = lo; j < hi; ++j) exec(batch[j]);
         });
       }
       pool.wait_idle();  // barrier: conflicting events wait here
     }
   }
   return stats;
+}
+
+/// Runs `exec(event_index)` for every index in [0, event_count), respecting
+/// per-node trace order as derived from `endpoints` (one EventNodes per
+/// event, same indexing). `exec` must be invocable concurrently for events
+/// in the same batch — i.e. events touching disjoint nodes.
+///
+/// Materialized front-end to run_windowed_parallel: windows are carved out
+/// of the pre-built endpoints span and window-local indices mapped back to
+/// global ones. One ThreadPool lives for the whole run; batches are chunked
+/// contiguously so each worker gets one job per batch, keeping the
+/// per-batch overhead at one handoff + one barrier.
+template <class Exec>
+ParallelRunStats run_conflict_parallel(std::size_t event_count,
+                                       std::size_t node_count,
+                                       std::span<const EventNodes> endpoints,
+                                       Exec&& exec,
+                                       const ParallelRunConfig& cfg = {}) {
+  const std::size_t threads =
+      cfg.threads != 0 ? cfg.threads : util::default_thread_count();
+
+  if (threads <= 1 || event_count == 0) {
+    // Serial degenerates to the plain loop: same order, zero overhead.
+    ParallelRunStats stats;
+    stats.events = event_count;
+    stats.threads_used = 1;
+    for (std::size_t i = 0; i < event_count; ++i) exec(i);
+    return stats;
+  }
+
+  // `base` is the global index of the current window's first event. fill
+  // runs strictly before that window's execs and windows are sequential,
+  // so the mapping is race-free.
+  std::size_t base = 0;
+  std::size_t next = 0;
+  auto fill = [&](std::span<EventNodes> slots) {
+    base = next;
+    const std::size_t n = std::min(slots.size(), event_count - next);
+    std::copy_n(endpoints.begin() + static_cast<std::ptrdiff_t>(next), n,
+                slots.begin());
+    next += n;
+    return n;
+  };
+  return run_windowed_parallel(
+      node_count, fill, [&](std::size_t local) { exec(base + local); }, cfg);
 }
 
 }  // namespace bsub::sim

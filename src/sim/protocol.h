@@ -16,14 +16,30 @@
 
 namespace bsub::sim {
 
+/// Static facts about the scenario, known before replay. This is all a
+/// protocol may assume up front: streamed scenarios never materialize a
+/// ContactTrace, so per-node state is sized from here.
+struct ScenarioInfo {
+  std::size_t node_count = 0;
+};
+
 class Protocol {
  public:
   virtual ~Protocol() = default;
 
-  /// Called once before replay with the full scenario.
-  virtual void on_start(const trace::ContactTrace& trace,
+  /// Called once before replay with the scenario's static facts.
+  virtual void on_start(const ScenarioInfo& scenario,
                         const workload::Workload& workload,
                         metrics::Collector& collector) = 0;
+
+  /// Convenience for materialized scenarios (tests, small experiments).
+  /// Derived classes that override the ScenarioInfo form should pull this
+  /// in with `using sim::Protocol::on_start;`.
+  void on_start(const trace::ContactTrace& trace,
+                const workload::Workload& workload,
+                metrics::Collector& collector) {
+    on_start(ScenarioInfo{trace.node_count()}, workload, collector);
+  }
 
   /// A producer created a message at `now` (== msg.created).
   virtual void on_message_created(const workload::Message& msg,

@@ -2,134 +2,96 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <vector>
+
+#include "sim/event_stream.h"
 
 namespace bsub::sim {
 
-namespace {
-
-/// One entry of the merged event stream: a message creation (by workload
-/// index) or a contact (by trace index). Kept as a tagged index rather than
-/// a variant so the merged stream is 8 bytes/event.
-struct MergedEvent {
-  std::uint32_t index;
-  bool is_message;
-};
-
-/// Merges creations and contacts with the serial loop's exact tie rule:
-/// a creation at time t is visible to a contact starting at the same t.
-std::vector<MergedEvent> merge_events(
-    const std::vector<trace::Contact>& contacts,
-    const std::vector<workload::Message>& messages) {
-  std::vector<MergedEvent> events;
-  events.reserve(contacts.size() + messages.size());
-  std::size_t ci = 0, mi = 0;
-  while (ci < contacts.size() || mi < messages.size()) {
-    const bool take_message =
-        mi < messages.size() &&
-        (ci >= contacts.size() || messages[mi].created <= contacts[ci].start);
-    if (take_message) {
-      events.push_back({static_cast<std::uint32_t>(mi), true});
-      ++mi;
-    } else {
-      events.push_back({static_cast<std::uint32_t>(ci), false});
-      ++ci;
-    }
-  }
-  return events;
-}
-
-}  // namespace
-
-metrics::RunResults Simulator::run(const trace::ContactTrace& trace,
+metrics::RunResults Simulator::run(trace::ContactStream& contacts,
                                    const workload::Workload& workload,
                                    Protocol& protocol) {
   metrics::Collector collector;
   collector.set_expected(workload.messages().size(),
                          workload.expected_deliveries());
 
-  const auto& contacts = trace.contacts();
-  const auto& messages = workload.messages();
+  const std::vector<workload::Message>& messages = workload.messages();
 
-  // Node-id space for the conflict scheduler: producers are trace nodes,
-  // but stay defensive against workloads that reference ids past the trace.
-  std::size_t node_count = trace.node_count();
+  // Node-id space for the conflict scheduler: producers are scenario nodes,
+  // but stay defensive against workloads that reference ids past it.
+  std::size_t node_count = contacts.node_count();
   for (const workload::Message& m : messages) {
     node_count = std::max(node_count, static_cast<std::size_t>(m.producer) + 1);
   }
   collector.reserve_nodes(node_count);
 
-  protocol.on_start(trace, workload, collector);
+  protocol.on_start(ScenarioInfo{contacts.node_count()}, workload, collector);
 
   const std::size_t threads =
       config_.threads != 0 ? config_.threads : util::default_thread_count();
 
   last_run_stats_ = ParallelRunStats{};
-  util::Time now = trace.start_time();
+  ScenarioEventStream events(contacts, workload);
+  util::Time now = 0;
 
   if (threads <= 1 || !protocol.parallel_contacts_safe()) {
-    // Serial two-way merge — the reference order every parallel schedule
+    // Serial merge replay — the reference order every parallel schedule
     // must reproduce per node.
     last_run_stats_.threads_used = 1;
-    std::size_t ci = 0, mi = 0;
-    while (ci < contacts.size() || mi < messages.size()) {
-      const bool take_message =
-          mi < messages.size() &&
-          (ci >= contacts.size() ||
-           messages[mi].created <= contacts[ci].start);
-      if (take_message) {
-        now = messages[mi].created;
-        protocol.on_message_created(messages[mi], now);
-        ++mi;
+    ScenarioEvent e;
+    while (events.next(e)) {
+      ++last_run_stats_.events;
+      now = e.time(messages);
+      if (e.is_message) {
+        protocol.on_message_created(messages[e.message_index], now);
       } else {
-        const trace::Contact& c = contacts[ci];
-        now = c.start;
-        Link link(c.duration(), config_.bandwidth_bytes_per_second);
-        protocol.on_contact(c.a, c.b, now, c.duration(), link);
-        ++ci;
+        Link link(e.contact.duration(), config_.bandwidth_bytes_per_second);
+        protocol.on_contact(e.contact.a, e.contact.b, now,
+                            e.contact.duration(), link);
       }
-      last_run_stats_.events = ci + mi;
     }
     protocol.on_end(now);
     return collector.results();
   }
 
-  const std::vector<MergedEvent> events = merge_events(contacts, messages);
-  std::vector<EventNodes> endpoints(events.size());
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    if (events[i].is_message) {
-      endpoints[i] = {messages[events[i].index].producer, EventNodes::kNoNode};
-    } else {
-      const trace::Contact& c = contacts[events[i].index];
-      endpoints[i] = {c.a, c.b};
-    }
-  }
-
+  // Streamed parallel replay: stage one scheduling window of events at a
+  // time; the executor never sees more than the window. `staged` is reused
+  // across windows (windows are strictly sequential).
   ParallelRunConfig pcfg;
   pcfg.threads = threads;
   pcfg.window_events = config_.window_events;
   pcfg.min_batch_fanout = config_.min_batch_fanout;
 
+  std::vector<ScenarioEvent> staged;
   const double bandwidth = config_.bandwidth_bytes_per_second;
-  last_run_stats_ = run_conflict_parallel(
-      events.size(), node_count, endpoints,
-      [&](std::size_t i) {
-        const MergedEvent& e = events[i];
+  last_run_stats_ = run_windowed_parallel(
+      node_count,
+      [&](std::span<EventNodes> slots) {
+        staged.resize(slots.size());
+        std::size_t n = 0;
+        while (n < slots.size() && events.next(staged[n])) {
+          slots[n] = staged[n].nodes(messages);
+          ++n;
+        }
+        if (n > 0) now = staged[n - 1].time(messages);
+        return n;
+      },
+      [&](std::size_t j) {
+        const ScenarioEvent& e = staged[j];
         if (e.is_message) {
-          const workload::Message& m = messages[e.index];
+          const workload::Message& m = messages[e.message_index];
           protocol.on_message_created(m, m.created);
         } else {
-          const trace::Contact& c = contacts[e.index];
-          Link link(c.duration(), bandwidth);
-          protocol.on_contact(c.a, c.b, c.start, c.duration(), link);
+          Link link(e.contact.duration(), bandwidth);
+          protocol.on_contact(e.contact.a, e.contact.b, e.contact.start,
+                              e.contact.duration(), link);
         }
       },
       pcfg);
+  // An empty scenario never engaged the pool; report it as the serial run
+  // it effectively was (matching the materialized executor's stats).
+  if (last_run_stats_.events == 0) last_run_stats_.threads_used = 1;
 
-  if (!events.empty()) {
-    const MergedEvent& last = events.back();
-    now = last.is_message ? messages[last.index].created
-                          : contacts[last.index].start;
-  }
   protocol.on_end(now);
   return collector.results();
 }

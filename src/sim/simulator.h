@@ -1,19 +1,27 @@
 // Trace-driven DTN simulator (paper section VII's evaluation substrate).
 //
-// Replays a contact trace against a materialized workload: message-creation
-// events and contact events are merged in time order and dispatched to the
-// protocol under test. Deterministic: same trace + workload + protocol state
-// gives identical results — including across thread counts. When the
-// protocol opts in via Protocol::parallel_contacts_safe(), the merged event
-// stream is executed by the windowed conflict-batch executor
-// (parallel_executor.h), which preserves every node's serial event order;
-// BSUB_THREADS=1 and N-thread runs produce byte-identical RunResults.
+// Replays a contact scenario against a materialized workload:
+// message-creation events and contact events are merged in time order and
+// dispatched to the protocol under test. Scenarios arrive either as a
+// pull-based trace::ContactStream — the city-scale path, which never holds
+// more than one scheduling window of events in memory — or as a
+// materialized ContactTrace (a thin stream adapter over it).
+//
+// Deterministic: same scenario + workload + protocol state gives identical
+// results — including across thread counts and across streamed vs.
+// materialized input (the stream ordering contract makes both spell out the
+// same event sequence). When the protocol opts in via
+// Protocol::parallel_contacts_safe(), events are executed by the windowed
+// conflict-batch executor (parallel_executor.h), which preserves every
+// node's serial event order; BSUB_THREADS=1 and N-thread runs produce
+// byte-identical RunResults.
 #pragma once
 
 #include "metrics/collector.h"
 #include "sim/link.h"
 #include "sim/parallel_executor.h"
 #include "sim/protocol.h"
+#include "trace/contact_stream.h"
 #include "trace/trace.h"
 #include "workload/workload.h"
 
@@ -35,10 +43,21 @@ class Simulator {
  public:
   explicit Simulator(SimulatorConfig config = {}) : config_(config) {}
 
-  /// Runs `protocol` over the scenario and returns the collected metrics.
-  metrics::RunResults run(const trace::ContactTrace& trace,
+  /// Runs `protocol` over a streamed scenario and returns the collected
+  /// metrics. Peak memory is O(node state + one scheduling window); the
+  /// contact count never materializes. Consumes the stream from its
+  /// current position (callers reuse a stream by reset()).
+  metrics::RunResults run(trace::ContactStream& contacts,
                           const workload::Workload& workload,
                           Protocol& protocol);
+
+  /// Materialized-scenario convenience: adapts the trace to a stream.
+  metrics::RunResults run(const trace::ContactTrace& trace,
+                          const workload::Workload& workload,
+                          Protocol& protocol) {
+    trace::MaterializedStream stream(trace);
+    return run(stream, workload, protocol);
+  }
 
   /// Execution-shape stats of the most recent run() (windows, batches,
   /// batch-size histogram). Serial runs report threads_used == 1 and no

@@ -1,0 +1,99 @@
+// City-scale synthetic contact generators: lazy, deterministic streams far
+// beyond the paper's 97-node traces (Table I), for the 10^5-10^6-node
+// regime where filter-parameter behavior becomes interesting (Marandi et
+// al., BF-based epidemic forwarding in DTNs).
+//
+// Unlike src/trace/synthetic.* — which materializes a whole ContactTrace —
+// these generators implement trace::ContactStream: contacts are derived
+// lazily, slot by slot (a slot is a few minutes of city time), from a
+// per-slot RNG seeded by (seed, slot index). State is O(nodes + one slot's
+// contacts), never O(total contacts), and the sequence is a pure function
+// of the config — resetting or re-creating a stream replays the identical
+// contact sequence, and the stream order matches ContactTrace's canonical
+// (start, end, a, b) order so streamed and materialized execution are
+// bit-identical.
+//
+// The model:
+//   - home/work/transit community structure: nodes live in neighborhood
+//     blocks (contiguous id ranges) and work in strided workplace groups
+//     that cut across neighborhoods; contacts draw from the block, the
+//     workplace, or city-wide transit mixing according to the hour;
+//   - diurnal rhythm: a 24 h intensity profile (quiet nights, commute
+//     peaks, work plateau, evening taper) tiled across multi-day traces,
+//     so commuter traces repeat day over day;
+//   - node churn: a fraction of nodes drops out partway through the trace
+//     and a fraction only joins partway in — both deterministic per node;
+//   - flash crowds: scheduled gatherings (a stadium, a rally) where a
+//     random subset of the city meets at a far higher rate for a bounded
+//     window, generated as an independent sub-stream;
+//   - composition: independent sub-generators (commuter rhythm, flash
+//     crowds) are combined with a deterministic k-way merge
+//     (MergedContactStream) into one time-ordered stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/contact_stream.h"
+
+namespace bsub::trace {
+
+struct CityTraceConfig {
+  std::string name = "city";
+  std::size_t node_count = 100000;
+  /// Target contact volume of the commuter process across the whole trace
+  /// (flash crowds add their own contacts on top). The generator allocates
+  /// this budget across time slots proportionally to the diurnal intensity;
+  /// churn may shave off a small fraction (dropped draws hitting inactive
+  /// nodes).
+  std::uint64_t contact_count = 1000000;
+  /// Trace length in whole days (commuter rhythm repeats daily).
+  std::size_t days = 1;
+  /// Neighborhood blocks (contiguous id ranges); 0 = one per ~250 nodes.
+  std::size_t home_communities = 0;
+  /// Workplace groups (strided across neighborhoods); 0 = one per ~60 nodes.
+  std::size_t work_communities = 0;
+  /// Churn: fraction of nodes that leave partway through the trace, and
+  /// fraction that only join partway in.
+  double early_leave_fraction = 0.05;
+  double late_join_fraction = 0.05;
+  /// Flash crowds per day (0 disables the sub-stream entirely).
+  std::size_t flash_crowds_per_day = 2;
+  /// Participants per crowd; 0 = auto (node_count / 20, capped at 5000).
+  std::size_t flash_crowd_size = 0;
+  util::Time flash_crowd_duration = 2 * util::kHour;
+  /// Sightings each crowd member participates in over the event.
+  double flash_crowd_contacts_per_member = 4.0;
+  /// Contact durations (exponential, clamped).
+  double mean_contact_duration_s = 120.0;
+  double min_contact_duration_s = 10.0;
+  double max_contact_duration_s = 1800.0;
+  std::uint64_t seed = 42;
+};
+
+/// Validates the config, throwing util::ConfigError naming the offending
+/// field (zero nodes, zero days, non-finite durations, fractions outside
+/// [0, 1], churn that would leave nobody active, ...).
+void validate(const CityTraceConfig& config);
+
+/// The commuter sub-stream alone: home/work/transit rhythm with churn.
+std::unique_ptr<ContactStream> make_commuter_stream(
+    const CityTraceConfig& config);
+
+/// The flash-crowd sub-stream alone (empty if flash_crowds_per_day == 0).
+std::unique_ptr<ContactStream> make_flash_crowd_stream(
+    const CityTraceConfig& config);
+
+/// The full city scenario: commuter rhythm + flash crowds, k-way merged
+/// into one ordered stream. Throws util::ConfigError on an invalid config.
+std::unique_ptr<ContactStream> make_city_stream(const CityTraceConfig& config);
+
+/// Preset scaled to a target size: communities and crowd sizes derived from
+/// the population, and days chosen to hold the per-node daily contact rate
+/// roughly constant (~10/node/day, at least one day) — a bigger contact
+/// budget means a longer trace, not a denser day.
+CityTraceConfig city_config(std::size_t node_count, std::uint64_t contact_count,
+                            std::uint64_t seed = 42);
+
+}  // namespace bsub::trace

@@ -1,0 +1,102 @@
+#include "trace/contact_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bsub::trace {
+
+MergedContactStream::MergedContactStream(
+    std::vector<std::unique_ptr<ContactStream>> sources, std::string name)
+    : name_(std::move(name)), sources_(std::move(sources)) {
+  for (const auto& s : sources_) {
+    node_count_ = std::max(node_count_, s->node_count());
+  }
+  heap_.reserve(sources_.size());
+}
+
+bool MergedContactStream::head_less(const Head& x, const Head& y) const {
+  if (x.contact != y.contact) return contact_order_less(x.contact, y.contact);
+  return x.source < y.source;
+}
+
+void MergedContactStream::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!head_less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void MergedContactStream::sift_down(std::size_t i) {
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= heap_.size()) break;
+    std::size_t best = left;
+    const std::size_t right = left + 1;
+    if (right < heap_.size() && head_less(heap_[right], heap_[left])) {
+      best = right;
+    }
+    if (!head_less(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void MergedContactStream::prime() {
+  heap_.clear();
+  for (std::uint32_t s = 0; s < sources_.size(); ++s) {
+    Head h;
+    h.source = s;
+    if (sources_[s]->next(h.contact)) {
+      heap_.push_back(h);
+      sift_up(heap_.size() - 1);
+    }
+  }
+  primed_ = true;
+}
+
+bool MergedContactStream::next(Contact& out) {
+  if (!primed_) prime();
+  if (heap_.empty()) return false;
+  out = heap_.front().contact;
+  const std::uint32_t source = heap_.front().source;
+  if (sources_[source]->next(heap_.front().contact)) {
+    // Source still live: its next contact replaces the popped head.
+    sift_down(0);
+  } else {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+  return true;
+}
+
+void MergedContactStream::reset() {
+  for (auto& s : sources_) s->reset();
+  heap_.clear();
+  primed_ = false;
+}
+
+std::optional<std::uint64_t> MergedContactStream::size_hint() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sources_) {
+    const auto hint = s->size_hint();
+    if (!hint) return std::nullopt;
+    total += *hint;
+  }
+  return total;
+}
+
+ContactTrace materialize(ContactStream& stream) {
+  std::vector<Contact> contacts;
+  if (const auto hint = stream.size_hint()) {
+    contacts.reserve(static_cast<std::size_t>(*hint));
+  }
+  Contact c;
+  while (stream.next(c)) contacts.push_back(c);
+  return ContactTrace(stream.node_count(), std::move(contacts),
+                      stream.name());
+}
+
+}  // namespace bsub::trace

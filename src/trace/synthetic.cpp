@@ -5,11 +5,25 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/errors.h"
 #include "util/rng.h"
 
 namespace bsub::trace {
 
 namespace {
+
+void require(bool ok, const char* field, const char* constraint) {
+  if (!ok) {
+    throw util::ConfigError("invalid synthetic trace config", field,
+                            constraint);
+  }
+}
+
+bool finite_positive(double v) { return std::isfinite(v) && v > 0.0; }
+
+bool is_probability(double v) {
+  return std::isfinite(v) && v >= 0.0 && v <= 1.0;
+}
 
 /// Samples a start time from the piecewise-constant hour-of-day intensity
 /// profile tiled across the trace duration.
@@ -49,9 +63,45 @@ class StartTimeSampler {
 
 }  // namespace
 
+void validate(const SyntheticTraceConfig& config) {
+  require(config.node_count >= 2, "node_count", ">= 2 nodes");
+  require(config.community_count >= 1, "community_count", ">= 1 community");
+  require(config.community_count <= config.node_count, "community_count",
+          "<= node_count");
+  require(config.duration > 0, "duration", "> 0");
+  require(finite_positive(config.mean_contact_duration_s),
+          "mean_contact_duration_s", "finite and > 0");
+  require(std::isfinite(config.min_contact_duration_s) &&
+              config.min_contact_duration_s >= 0.0,
+          "min_contact_duration_s", "finite and >= 0");
+  require(std::isfinite(config.max_contact_duration_s) &&
+              config.max_contact_duration_s >= config.min_contact_duration_s,
+          "max_contact_duration_s", "finite and >= min_contact_duration_s");
+  require(is_probability(config.intra_community_bias), "intra_community_bias",
+          "in [0, 1]");
+  require(is_probability(config.random_encounter_fraction),
+          "random_encounter_fraction", "in [0, 1]");
+  require(finite_positive(config.sociability_alpha), "sociability_alpha",
+          "finite and > 0");
+  require(std::isfinite(config.session_size_mean) &&
+              config.session_size_mean >= 2.0,
+          "session_size_mean", ">= 2 nodes per session");
+  require(config.session_duration_min > 0, "session_duration_min", "> 0");
+  require(config.session_duration_max >= config.session_duration_min,
+          "session_duration_max", ">= session_duration_min");
+  require(finite_positive(config.contacts_per_member), "contacts_per_member",
+          "finite and > 0");
+  double intensity_sum = 0.0;
+  for (double v : config.hourly_intensity) {
+    require(std::isfinite(v) && v >= 0.0, "hourly_intensity",
+            "finite and >= 0 per hour");
+    intensity_sum += v;
+  }
+  require(intensity_sum > 0.0, "hourly_intensity", "a positive total");
+}
+
 ContactTrace generate_trace(const SyntheticTraceConfig& config) {
-  assert(config.node_count >= 2);
-  assert(config.community_count >= 1);
+  validate(config);
   util::Rng rng(config.seed);
   util::Rng pair_rng = rng.split(1);
   util::Rng time_rng = rng.split(2);

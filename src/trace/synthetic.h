@@ -63,7 +63,16 @@ struct SyntheticTraceConfig {
   std::uint64_t seed = 42;
 };
 
-/// Draws a trace from the configured contact process.
+/// Validates the config, throwing util::ConfigError naming the offending
+/// field and the violated constraint: at least two nodes and one community,
+/// positive finite durations, probabilities in [0, 1], positive rates, and
+/// a usable intensity profile. generate_trace calls this first, so a
+/// degenerate config is rejected instead of silently producing a broken
+/// trace.
+void validate(const SyntheticTraceConfig& config);
+
+/// Draws a trace from the configured contact process. Throws
+/// util::ConfigError on an invalid config (see validate).
 ContactTrace generate_trace(const SyntheticTraceConfig& config);
 
 /// Preset calibrated to Table I's Haggle (Infocom'06) row: 79 iMote-carrying

@@ -30,6 +30,14 @@ std::string format_codec(const std::string& what, std::size_t offset,
   return s;
 }
 
+std::string format_config(const std::string& what, const std::string& field,
+                          const std::string& constraint) {
+  std::string s = what;
+  if (!field.empty()) s += " for field " + field;
+  if (!constraint.empty()) s += ": requires " + constraint;
+  return s;
+}
+
 }  // namespace
 
 ParseError::ParseError(const std::string& what, std::size_t line,
@@ -45,5 +53,11 @@ CodecError::CodecError(const std::string& what, std::size_t offset,
       offset_(offset),
       expected_(std::move(expected)),
       found_(std::move(found)) {}
+
+ConfigError::ConfigError(const std::string& what, std::string field,
+                         std::string constraint)
+    : InputError(format_config(what, field, constraint)),
+      field_(std::move(field)),
+      constraint_(std::move(constraint)) {}
 
 }  // namespace bsub::util

@@ -75,4 +75,22 @@ class CodecError : public InputError {
 /// existing throw/catch site remains valid.
 using DecodeError = CodecError;
 
+/// Rejected configuration value (generator parameters, engine knobs):
+/// structurally valid input whose *value* is outside the accepted domain —
+/// zero nodes, a non-finite duration, a probability outside [0, 1]. Carries
+/// the offending field name plus the violated constraint so callers can
+/// surface exactly which knob to fix.
+class ConfigError : public InputError {
+ public:
+  ConfigError(const std::string& what, std::string field = {},
+              std::string constraint = {});
+
+  const std::string& field() const { return field_; }
+  const std::string& constraint() const { return constraint_; }
+
+ private:
+  std::string field_;
+  std::string constraint_;
+};
+
 }  // namespace bsub::util

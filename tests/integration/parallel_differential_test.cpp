@@ -189,7 +189,8 @@ TEST(ParallelDifferential, ProtocolsWithoutOptInStaySerial) {
   // the serial path even when the simulator asks for threads.
   struct OrderLogger final : sim::Protocol {
     std::vector<std::pair<trace::NodeId, trace::NodeId>> order;
-    void on_start(const trace::ContactTrace&, const workload::Workload&,
+    using sim::Protocol::on_start;
+    void on_start(const sim::ScenarioInfo&, const workload::Workload&,
                   metrics::Collector&) override {}
     void on_message_created(const workload::Message&, util::Time) override {}
     void on_contact(trace::NodeId a, trace::NodeId b, util::Time,

@@ -19,11 +19,12 @@ class RecordingProtocol final : public Protocol {
     trace::NodeId a = 0, b = 0;
   };
 
-  void on_start(const trace::ContactTrace& trace,
+  using Protocol::on_start;
+  void on_start(const ScenarioInfo& scenario,
                 const workload::Workload& workload,
                 metrics::Collector& collector) override {
     started = true;
-    node_count = trace.node_count();
+    node_count = scenario.node_count;
     collector_ = &collector;
     (void)workload;
   }

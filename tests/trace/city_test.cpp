@@ -1,0 +1,226 @@
+#include "trace/city.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/errors.h"
+
+namespace bsub::trace {
+namespace {
+
+CityTraceConfig small_city() {
+  CityTraceConfig cfg;
+  cfg.node_count = 2000;
+  cfg.contact_count = 20000;
+  cfg.days = 2;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::vector<Contact> drain(ContactStream& s) {
+  std::vector<Contact> out;
+  Contact c;
+  while (s.next(c)) out.push_back(c);
+  return out;
+}
+
+TEST(CityStream, HonorsTheOrderingContractAndNodeBounds) {
+  const CityTraceConfig cfg = small_city();
+  auto stream = make_city_stream(cfg);
+  const util::Time duration =
+      static_cast<util::Time>(cfg.days) * util::kDay;
+
+  const std::vector<Contact> contacts = drain(*stream);
+  ASSERT_FALSE(contacts.empty());
+  for (std::size_t i = 0; i < contacts.size(); ++i) {
+    const Contact& c = contacts[i];
+    EXPECT_LT(c.a, c.b);
+    EXPECT_LT(c.b, cfg.node_count);
+    EXPECT_GE(c.start, 0);
+    EXPECT_LT(c.start, duration);
+    EXPECT_GT(c.end, c.start);
+    EXPECT_LE(c.end, duration);
+    if (i > 0) {
+      EXPECT_FALSE(contact_order_less(c, contacts[i - 1]))
+          << "out of order at index " << i;
+    }
+  }
+}
+
+TEST(CityStream, DeterministicAcrossResetAndReconstruction) {
+  const CityTraceConfig cfg = small_city();
+  auto stream = make_city_stream(cfg);
+  const std::vector<Contact> first = drain(*stream);
+
+  stream->reset();
+  EXPECT_EQ(drain(*stream), first);
+
+  auto again = make_city_stream(cfg);
+  EXPECT_EQ(drain(*again), first);
+
+  CityTraceConfig reseeded = cfg;
+  reseeded.seed = cfg.seed + 1;
+  auto other = make_city_stream(reseeded);
+  EXPECT_NE(drain(*other), first);
+}
+
+TEST(CityStream, IsLazyWithNoSizeHint) {
+  const CityTraceConfig cfg = small_city();
+  auto stream = make_city_stream(cfg);
+  EXPECT_FALSE(stream->size_hint().has_value());
+  EXPECT_EQ(stream->node_count(), cfg.node_count);
+  EXPECT_EQ(stream->name(), cfg.name);
+}
+
+TEST(CityStream, CommuterBudgetIsNearlyExactWithoutChurn) {
+  CityTraceConfig cfg = small_city();
+  cfg.early_leave_fraction = 0.0;
+  cfg.late_join_fraction = 0.0;
+  auto commuter = make_commuter_stream(cfg);
+  const std::vector<Contact> contacts = drain(*commuter);
+  // pick_pair can only drop a draw after 8 consecutive self-pair rejections;
+  // the shortfall is negligible without churn.
+  EXPECT_LE(contacts.size(), cfg.contact_count);
+  EXPECT_GE(contacts.size(), cfg.contact_count * 99 / 100);
+}
+
+TEST(CityStream, MergeAccountsForEverySubStreamContact) {
+  const CityTraceConfig cfg = small_city();
+  const std::size_t commuter = drain(*make_commuter_stream(cfg)).size();
+  const std::size_t flash = drain(*make_flash_crowd_stream(cfg)).size();
+  EXPECT_GT(flash, 0u);
+  EXPECT_EQ(drain(*make_city_stream(cfg)).size(), commuter + flash);
+}
+
+TEST(CityStream, FlashCrowdsStayInTheirDaytimeWindows) {
+  CityTraceConfig cfg = small_city();
+  cfg.early_leave_fraction = 0.0;
+  cfg.late_join_fraction = 0.0;
+  cfg.flash_crowd_size = 100;
+  auto flash = make_flash_crowd_stream(cfg);
+  const std::vector<Contact> contacts = drain(*flash);
+
+  // Per event: contacts_per_member * size / 2 pairs; the per-slot floor
+  // allocation telescopes to the full budget, so only self-pair rejection
+  // can shave contacts.
+  const std::size_t expected =
+      cfg.days * cfg.flash_crowds_per_day *
+      static_cast<std::size_t>(cfg.flash_crowd_contacts_per_member *
+                               static_cast<double>(cfg.flash_crowd_size) / 2.0);
+  EXPECT_LE(contacts.size(), expected);
+  EXPECT_GE(contacts.size(), expected * 98 / 100);
+
+  for (const Contact& c : contacts) {
+    const util::Time in_day = c.start % util::kDay;
+    EXPECT_GE(in_day, 9 * util::kHour);
+    EXPECT_LT(in_day, 21 * util::kHour);
+  }
+}
+
+TEST(CityStream, ChurnShapesNodeActivityWindows) {
+  CityTraceConfig cfg = small_city();
+  cfg.node_count = 1000;
+  cfg.contact_count = 40000;
+  cfg.early_leave_fraction = 0.45;
+  cfg.late_join_fraction = 0.45;
+  cfg.flash_crowds_per_day = 0;
+  const util::Time duration =
+      static_cast<util::Time>(cfg.days) * util::kDay;
+
+  const std::vector<Contact> contacts = drain(*make_city_stream(cfg));
+  std::vector<util::Time> first(cfg.node_count,
+                                std::numeric_limits<util::Time>::max());
+  std::vector<util::Time> last(cfg.node_count, -1);
+  for (const Contact& c : contacts) {
+    for (const NodeId n : {c.a, c.b}) {
+      first[n] = std::min(first[n], c.start);
+      last[n] = std::max(last[n], c.start);
+    }
+  }
+
+  // Leavers drop out at 30-90% of the trace and joiners appear at 10-50%
+  // in, so with ~45% of the population in each class a solid fraction of
+  // appearing nodes must go quiet well before the end / wake well after the
+  // start. Deterministic seed, so the thresholds are stable.
+  std::size_t appearing = 0, early_quiet = 0, late_wake = 0;
+  for (std::size_t n = 0; n < cfg.node_count; ++n) {
+    if (last[n] < 0) continue;
+    ++appearing;
+    if (last[n] < (duration * 8) / 10) ++early_quiet;
+    if (first[n] > duration / 10) ++late_wake;
+  }
+  ASSERT_GT(appearing, 0u);
+  EXPECT_GE(early_quiet, appearing / 5);
+  EXPECT_GE(late_wake, appearing / 5);
+
+  // And churn shaves the delivered budget (dropped inactive draws).
+  EXPECT_LT(contacts.size(), cfg.contact_count);
+}
+
+TEST(CityStream, ValidateRejectsDegenerateConfigs) {
+  const auto rejects = [](void (*tweak)(CityTraceConfig&),
+                          const std::string& field) {
+    CityTraceConfig cfg;
+    cfg.node_count = 100;
+    cfg.contact_count = 1000;
+    tweak(cfg);
+    try {
+      validate(cfg);
+      FAIL() << "expected ConfigError for " << field;
+    } catch (const util::ConfigError& e) {
+      EXPECT_EQ(e.field(), field);
+    }
+  };
+
+  rejects([](CityTraceConfig& c) { c.node_count = 1; }, "node_count");
+  rejects([](CityTraceConfig& c) { c.contact_count = 0; }, "contact_count");
+  rejects([](CityTraceConfig& c) { c.days = 0; }, "days");
+  rejects([](CityTraceConfig& c) { c.home_communities = 101; },
+          "home_communities");
+  rejects([](CityTraceConfig& c) { c.work_communities = 101; },
+          "work_communities");
+  rejects([](CityTraceConfig& c) { c.early_leave_fraction = 1.5; },
+          "early_leave_fraction");
+  rejects([](CityTraceConfig& c) { c.late_join_fraction = -0.1; },
+          "late_join_fraction");
+  rejects(
+      [](CityTraceConfig& c) {
+        c.early_leave_fraction = 0.5;
+        c.late_join_fraction = 0.5;
+      },
+      "early_leave_fraction + late_join_fraction");
+  rejects([](CityTraceConfig& c) { c.mean_contact_duration_s = 0.0; },
+          "mean_contact_duration_s");
+  rejects([](CityTraceConfig& c) { c.min_contact_duration_s = -1.0; },
+          "min_contact_duration_s");
+  rejects([](CityTraceConfig& c) { c.max_contact_duration_s = 1.0; },
+          "max_contact_duration_s");
+  rejects([](CityTraceConfig& c) { c.flash_crowd_duration = 13 * util::kHour; },
+          "flash_crowd_duration");
+  rejects([](CityTraceConfig& c) { c.flash_crowd_size = 1; },
+          "flash_crowd_size");
+
+  // Valid defaults pass, and flash checks are skipped when disabled.
+  CityTraceConfig ok;
+  ok.node_count = 100;
+  ok.contact_count = 1000;
+  EXPECT_NO_THROW(validate(ok));
+  ok.flash_crowds_per_day = 0;
+  ok.flash_crowd_duration = 0;
+  EXPECT_NO_THROW(validate(ok));
+}
+
+TEST(CityConfig, ScalesDaysToHoldDailyDensityConstant) {
+  const CityTraceConfig one = city_config(10000, 100000);
+  const CityTraceConfig ten = city_config(10000, 1000000);
+  EXPECT_EQ(one.days, 1u);
+  EXPECT_EQ(ten.days, 10u);
+  // Sparse scenarios clamp at one day rather than rounding to zero.
+  EXPECT_EQ(city_config(1000000, 100000).days, 1u);
+}
+
+}  // namespace
+}  // namespace bsub::trace

@@ -1,0 +1,147 @@
+#include "trace/contact_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "trace/synthetic.h"
+
+namespace bsub::trace {
+namespace {
+
+Contact make_contact(util::Time start, util::Time end, NodeId a, NodeId b) {
+  Contact c;
+  c.start = start;
+  c.end = end;
+  c.a = a;
+  c.b = b;
+  return c;
+}
+
+std::vector<Contact> drain(ContactStream& s) {
+  std::vector<Contact> out;
+  Contact c;
+  while (s.next(c)) out.push_back(c);
+  return out;
+}
+
+TEST(ContactOrder, LexicographicOnStartEndAB) {
+  const Contact base = make_contact(100, 200, 1, 2);
+  EXPECT_FALSE(contact_order_less(base, base));
+  EXPECT_TRUE(contact_order_less(base, make_contact(101, 200, 1, 2)));
+  EXPECT_TRUE(contact_order_less(base, make_contact(100, 201, 1, 2)));
+  EXPECT_TRUE(contact_order_less(base, make_contact(100, 200, 2, 3)));
+  EXPECT_TRUE(contact_order_less(base, make_contact(100, 200, 1, 3)));
+  EXPECT_FALSE(contact_order_less(make_contact(101, 0, 0, 0), base));
+}
+
+TEST(MaterializedStream, YieldsTraceInOrderWithHintAndName) {
+  SyntheticTraceConfig cfg;
+  cfg.node_count = 12;
+  cfg.contact_count = 400;
+  cfg.name = "unit";
+  const ContactTrace t = generate_trace(cfg);
+
+  MaterializedStream s(t);
+  EXPECT_EQ(s.node_count(), t.node_count());
+  EXPECT_EQ(s.name(), "unit");
+  ASSERT_TRUE(s.size_hint().has_value());
+  EXPECT_EQ(*s.size_hint(), t.contacts().size());
+
+  EXPECT_EQ(drain(s), t.contacts());
+  Contact c;
+  EXPECT_FALSE(s.next(c));  // exhausted stays exhausted
+}
+
+TEST(MaterializedStream, ResetReplaysIdentically) {
+  SyntheticTraceConfig cfg;
+  cfg.node_count = 10;
+  cfg.contact_count = 200;
+  const ContactTrace t = generate_trace(cfg);
+
+  MaterializedStream s(t);
+  const std::vector<Contact> first = drain(s);
+  s.reset();
+  EXPECT_EQ(drain(s), first);
+}
+
+TEST(MergedContactStream, InterleavesSourcesInCanonicalOrder) {
+  // Two disjoint halves of one trace, fed as separate ordered sources: the
+  // merge must reproduce the full canonically-ordered sequence.
+  SyntheticTraceConfig cfg;
+  cfg.node_count = 16;
+  cfg.contact_count = 600;
+  const ContactTrace whole = generate_trace(cfg);
+
+  std::vector<Contact> evens, odds;
+  for (std::size_t i = 0; i < whole.contacts().size(); ++i) {
+    (i % 2 == 0 ? evens : odds).push_back(whole.contacts()[i]);
+  }
+  const ContactTrace even_t(cfg.node_count, std::move(evens));
+  const ContactTrace odd_t(cfg.node_count, std::move(odds));
+
+  std::vector<std::unique_ptr<ContactStream>> parts;
+  parts.push_back(std::make_unique<MaterializedStream>(even_t));
+  parts.push_back(std::make_unique<MaterializedStream>(odd_t));
+  MergedContactStream merged(std::move(parts), "halves");
+
+  EXPECT_EQ(merged.node_count(), cfg.node_count);
+  EXPECT_EQ(merged.name(), "halves");
+  ASSERT_TRUE(merged.size_hint().has_value());
+  EXPECT_EQ(*merged.size_hint(), whole.contacts().size());
+  EXPECT_EQ(drain(merged), whole.contacts());
+}
+
+TEST(MergedContactStream, TiesResolveToLowerSourceIndex) {
+  // Both sources yield a contact with the identical key; the merged order
+  // must be deterministic regardless of which source is polled first.
+  const Contact tie = make_contact(50, 60, 0, 1);
+  const ContactTrace ta(4, {tie, make_contact(70, 80, 2, 3)});
+  const ContactTrace tb(4, {tie});
+
+  std::vector<std::unique_ptr<ContactStream>> parts;
+  parts.push_back(std::make_unique<MaterializedStream>(ta));
+  parts.push_back(std::make_unique<MaterializedStream>(tb));
+  MergedContactStream merged(std::move(parts));
+
+  const std::vector<Contact> out = drain(merged);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], tie);
+  EXPECT_EQ(out[1], tie);
+  EXPECT_EQ(out[2], make_contact(70, 80, 2, 3));
+}
+
+TEST(MergedContactStream, ResetReplaysAndNodeCountIsMax) {
+  const ContactTrace small(3, {make_contact(10, 20, 0, 1)});
+  const ContactTrace large(9, {make_contact(5, 15, 7, 8)});
+
+  std::vector<std::unique_ptr<ContactStream>> parts;
+  parts.push_back(std::make_unique<MaterializedStream>(small));
+  parts.push_back(std::make_unique<MaterializedStream>(large));
+  MergedContactStream merged(std::move(parts));
+
+  EXPECT_EQ(merged.node_count(), 9u);
+  const std::vector<Contact> first = drain(merged);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0], make_contact(5, 15, 7, 8));
+  merged.reset();
+  EXPECT_EQ(drain(merged), first);
+}
+
+TEST(Materialize, RoundTripsAConformingStream) {
+  SyntheticTraceConfig cfg;
+  cfg.node_count = 14;
+  cfg.contact_count = 500;
+  cfg.name = "roundtrip";
+  const ContactTrace t = generate_trace(cfg);
+
+  MaterializedStream s(t);
+  const ContactTrace copy = materialize(s);
+  EXPECT_EQ(copy.node_count(), t.node_count());
+  EXPECT_EQ(copy.contacts(), t.contacts());
+  EXPECT_EQ(copy.name(), t.name());
+}
+
+}  // namespace
+}  // namespace bsub::trace

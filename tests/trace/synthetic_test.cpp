@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "trace/centrality.h"
+#include "util/errors.h"
 
 namespace bsub::trace {
 namespace {
@@ -137,6 +138,67 @@ TEST(Synthetic, RealityIsSparserThanHaggle) {
     return sum / static_cast<double>(c.size());
   };
   EXPECT_GT(mean_centrality(haggle), mean_centrality(reality));
+}
+
+TEST(Synthetic, ValidateRejectsDegenerateConfigs) {
+  const auto rejects = [](void (*tweak)(SyntheticTraceConfig&),
+                          const std::string& field) {
+    SyntheticTraceConfig cfg;
+    tweak(cfg);
+    try {
+      validate(cfg);
+      FAIL() << "expected ConfigError for " << field;
+    } catch (const util::ConfigError& e) {
+      EXPECT_EQ(e.field(), field);
+    }
+  };
+
+  rejects([](SyntheticTraceConfig& c) { c.node_count = 1; }, "node_count");
+  rejects([](SyntheticTraceConfig& c) { c.community_count = 0; },
+          "community_count");
+  rejects([](SyntheticTraceConfig& c) { c.community_count = c.node_count + 1; },
+          "community_count");
+  rejects([](SyntheticTraceConfig& c) { c.duration = 0; }, "duration");
+  rejects([](SyntheticTraceConfig& c) { c.mean_contact_duration_s = -5.0; },
+          "mean_contact_duration_s");
+  rejects([](SyntheticTraceConfig& c) { c.min_contact_duration_s = -1.0; },
+          "min_contact_duration_s");
+  rejects(
+      [](SyntheticTraceConfig& c) {
+        c.max_contact_duration_s = c.min_contact_duration_s - 1.0;
+      },
+      "max_contact_duration_s");
+  rejects([](SyntheticTraceConfig& c) { c.intra_community_bias = 1.5; },
+          "intra_community_bias");
+  rejects([](SyntheticTraceConfig& c) { c.random_encounter_fraction = -0.2; },
+          "random_encounter_fraction");
+  rejects([](SyntheticTraceConfig& c) { c.sociability_alpha = 0.0; },
+          "sociability_alpha");
+  rejects([](SyntheticTraceConfig& c) { c.session_size_mean = 1.0; },
+          "session_size_mean");
+  rejects([](SyntheticTraceConfig& c) { c.session_duration_min = 0; },
+          "session_duration_min");
+  rejects(
+      [](SyntheticTraceConfig& c) {
+        c.session_duration_max = c.session_duration_min - 1;
+      },
+      "session_duration_max");
+  rejects([](SyntheticTraceConfig& c) { c.contacts_per_member = 0.0; },
+          "contacts_per_member");
+  rejects([](SyntheticTraceConfig& c) { c.hourly_intensity[3] = -1.0; },
+          "hourly_intensity");
+  rejects([](SyntheticTraceConfig& c) { c.hourly_intensity.fill(0.0); },
+          "hourly_intensity");
+
+  EXPECT_NO_THROW(validate(SyntheticTraceConfig{}));
+  EXPECT_NO_THROW(validate(haggle_infocom06_config()));
+  EXPECT_NO_THROW(validate(mit_reality_config()));
+}
+
+TEST(Synthetic, GenerateTraceThrowsOnInvalidConfig) {
+  SyntheticTraceConfig cfg;
+  cfg.node_count = 0;
+  EXPECT_THROW(generate_trace(cfg), util::ConfigError);
 }
 
 }  // namespace
