@@ -10,8 +10,11 @@
 // BSUB_RESOURCE_STATS_COUNT_ALLOCS in exactly one TU (before including this
 // header) to replace the global allocation functions with counting
 // versions; allocs_now() then reports the process-lifetime allocation
-// count. Without the macro, allocs_now() returns 0 and alloc_counting_enabled()
-// tells report code to skip the field.
+// count and allocated_bytes_now() the cumulative bytes requested (both
+// monotone — frees are not subtracted, so a delta across a code region is
+// exactly the bytes that region allocated, regardless of what it later
+// freed). Without the macro, the counters return 0 and
+// alloc_counting_enabled() tells report code to skip the fields.
 #pragma once
 
 #include <cstdint>
@@ -50,9 +53,11 @@ inline std::uint64_t peak_rss_bytes() {
 
 namespace bsub::bench::detail {
 inline std::atomic<std::uint64_t> g_alloc_count{0};
+inline std::atomic<std::uint64_t> g_alloc_bytes{0};
 
 inline void* counted_alloc(std::size_t size) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
   if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
   throw std::bad_alloc();
 }
@@ -69,10 +74,12 @@ void* operator new[](std::size_t size) {
 }
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
   bsub::bench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  bsub::bench::detail::g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
   return std::malloc(size == 0 ? 1 : size);
 }
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
   bsub::bench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  bsub::bench::detail::g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
   return std::malloc(size == 0 ? 1 : size);
 }
 void operator delete(void* p) noexcept { std::free(p); }
@@ -89,6 +96,9 @@ constexpr bool alloc_counting_enabled() { return true; }
 inline std::uint64_t allocs_now() {
   return detail::g_alloc_count.load(std::memory_order_relaxed);
 }
+inline std::uint64_t allocated_bytes_now() {
+  return detail::g_alloc_bytes.load(std::memory_order_relaxed);
+}
 }  // namespace bsub::bench
 
 #else  // !BSUB_RESOURCE_STATS_COUNT_ALLOCS
@@ -96,6 +106,7 @@ inline std::uint64_t allocs_now() {
 namespace bsub::bench {
 constexpr bool alloc_counting_enabled() { return false; }
 inline std::uint64_t allocs_now() { return 0; }
+inline std::uint64_t allocated_bytes_now() { return 0; }
 }  // namespace bsub::bench
 
 #endif

@@ -39,10 +39,20 @@ struct ScaleResult {
   double seconds = 0.0;
   double events_per_sec = 0.0;
   std::uint64_t peak_rss_bytes = 0;
+  /// Peak RSS divided by the point's node count: the per-node memory floor
+  /// this run demonstrated (includes the process baseline, so it is an
+  /// upper bound on true protocol state per node — tightest at large node
+  /// counts where the baseline amortizes away).
+  double bytes_per_node = 0.0;
   std::uint64_t deliveries = 0;
   double delivery_ratio = 0.0;
   std::uint64_t forwardings = 0;
   std::size_t threads_used = 0;
+  /// Lazy-state observability: how many nodes ever materialized relay
+  /// state (≈ ever-broker count) and what the election's pooled windows
+  /// reserved — the two main activity-driven memory terms.
+  std::uint64_t materialized_relays = 0;
+  std::uint64_t election_state_bytes = 0;
 };
 
 /// Deterministic workload for a city of `node_count` nodes over `duration`:
@@ -116,10 +126,16 @@ inline ScaleResult run_scale_point(const ScalePoint& point,
                            ? static_cast<double>(out.events) / out.seconds
                            : 0.0;
   out.peak_rss_bytes = peak_rss_bytes();
+  out.bytes_per_node =
+      point.nodes > 0 ? static_cast<double>(out.peak_rss_bytes) /
+                            static_cast<double>(point.nodes)
+                      : 0.0;
   out.deliveries = results.interested_deliveries;
   out.delivery_ratio = results.delivery_ratio;
   out.forwardings = results.forwardings;
   out.threads_used = simulator.last_run_stats().threads_used;
+  out.materialized_relays = proto.interests().materialized_relays();
+  out.election_state_bytes = proto.election().state_bytes_reserved();
   return out;
 }
 

@@ -37,24 +37,40 @@ void BsubProtocol::on_start(const sim::ScenarioInfo& scenario,
   election_ = std::make_unique<BrokerElection>(
       nodes,
       BrokerElection::Config{config_.broker_lower, config_.broker_upper,
-                             config_.election_window});
+                             config_.election_window,
+                             config_.reference_node_state});
   interests_ = std::make_unique<InterestManager>(
       nodes, config_.filter_params, config_.initial_counter,
-      config_.df_per_minute);
-  produced_.assign(nodes, {});
-  produced_expiry_.assign(nodes, {});
-  carried_.assign(nodes, {});
-  falsely_injected_.assign(nodes, {});
-  carried_ever_.assign(nodes, {});
-  interest_names_.assign(nodes, {});
-  interest_hashes_.assign(nodes, {});
-  filter_cache_.assign(nodes, NodeFilterCache());
+      config_.df_per_minute, /*eager_state=*/config_.reference_node_state);
+  producer_.clear();
+  producer_.resize(nodes);
+  carrier_.clear();
+  carrier_.resize(nodes);
+  interest_offsets_.assign(nodes + 1, 0);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    interest_offsets_[n + 1] =
+        interest_offsets_[n] +
+        static_cast<std::uint32_t>(workload.interests_of(n).size());
+  }
+  interest_names_flat_.clear();
+  interest_hashes_flat_.clear();
+  interest_names_flat_.reserve(interest_offsets_[nodes]);
+  interest_hashes_flat_.reserve(interest_offsets_[nodes]);
   for (std::size_t n = 0; n < nodes; ++n) {
     for (workload::KeyId k : workload.interests_of(n)) {
-      interest_names_[n].push_back(key_name(k));
-      interest_hashes_[n].push_back(key_hash(k));
+      interest_names_flat_.push_back(key_name(k));
+      interest_hashes_flat_.push_back(key_hash(k));
     }
   }
+  if (config_.reference_node_state) {
+    filter_cache_.assign(nodes, NodeFilterCache());
+    filter_ptr_.clear();
+  } else {
+    filter_ptr_.assign(nodes, nullptr);
+    filter_cache_.clear();
+  }
+  shared_filters_.clear();
+  filter_index_.clear();
   key_indices_.clear();
   key_indices_.reserve(workload.keys().size());
   for (workload::KeyId k = 0; k < workload.keys().size(); ++k) {
@@ -76,77 +92,116 @@ void BsubProtocol::on_message_created(const workload::Message& msg,
   // table, so the fast path borrows the payload; the reference path keeps
   // the historical deep copy per producer buffer.
   auto& hp = collector_->hot_path();
+  ProducerState& ps = producer_state(msg.producer);
   if (config_.reference_contact_path) {
-    produced_[msg.producer].emplace(
+    ps.produced.emplace(
         msg.id, OwnedMessage{std::make_shared<const workload::Message>(msg),
                              config_.copy_limit});
     ++hp.payload_copies_made;
   } else {
-    produced_[msg.producer].emplace(
+    ps.produced.emplace(
         msg.id, OwnedMessage{sim::borrow_message(msg), config_.copy_limit});
     ++hp.payload_copies_avoided;
   }
-  produced_expiry_[msg.producer].add(msg.expiry(), msg.id);
+  ps.expiry.add(msg.expiry(), msg.id);
 }
 
 void BsubProtocol::purge(trace::NodeId node, util::Time now) {
+  // Null producer/carrier state reads as empty buffers: nothing to purge.
+  ProducerState* ps = producer_[node].get();
+  CarrierState* cs = carrier_[node].get();
   if (config_.reference_contact_path) {
-    std::erase_if(produced_[node], [now](const auto& kv) {
-      return kv.second.msg->expired_at(now);
-    });
-    carried_[node].purge_expired_scan(now);
-    std::erase_if(falsely_injected_[node], [&](workload::MessageId id) {
-      return !carried_[node].contains(id);
-    });
+    if (ps != nullptr) {
+      std::erase_if(ps->produced, [now](const auto& kv) {
+        return kv.second.msg->expired_at(now);
+      });
+    }
+    if (cs != nullptr) {
+      cs->carried.purge_expired_scan(now);
+      std::erase_if(cs->falsely_injected, [&](workload::MessageId id) {
+        return !cs->carried.contains(id);
+      });
+    }
     return;
   }
-  // Fast path: the expiry index proves in O(1) that nothing in produced_
+  // Fast path: the expiry index proves in O(1) that nothing in produced
   // expired since the last purge; otherwise only the due ids are visited
   // (entries for messages that already left via copy exhaustion are stale
-  // and skipped). falsely_injected_ only ever names carried ids, so its
+  // and skipped). falsely_injected only ever names carried ids, so its
   // rescan is needed only when the carried purge actually dropped copies.
   auto& hp = collector_->hot_path();
-  sim::ExpiryIndex& idx = produced_expiry_[node];
-  if (!idx.due(now)) {
-    ++hp.purge_scans_skipped;
-  } else {
-    ++hp.purge_scans_run;
-    auto& buffer = produced_[node];
-    idx.pop_due(now, [&](workload::MessageId id) {
-      auto it = buffer.find(id);
-      if (it != buffer.end() && it->second.msg->expired_at(now)) {
-        buffer.erase(it);
-      }
+  if (ps != nullptr) {
+    sim::ExpiryIndex& idx = ps->expiry;
+    if (!idx.due(now)) {
+      ++hp.purge_scans_skipped;
+    } else {
+      ++hp.purge_scans_run;
+      auto& buffer = ps->produced;
+      idx.pop_due(now, [&](workload::MessageId id) {
+        auto it = buffer.find(id);
+        if (it != buffer.end() && it->second.msg->expired_at(now)) {
+          buffer.erase(it);
+        }
+      });
+    }
+  }
+  if (cs != nullptr && cs->carried.purge_expired(now) > 0) {
+    std::erase_if(cs->falsely_injected, [&](workload::MessageId id) {
+      return !cs->carried.contains(id);
     });
   }
-  if (carried_[node].purge_expired(now) > 0) {
-    std::erase_if(falsely_injected_[node], [&](workload::MessageId id) {
-      return !carried_[node].contains(id);
-    });
-  }
+}
+
+void BsubProtocol::build_filter_cache(NodeFilterCache& fc,
+                                      trace::NodeId node) const {
+  // A node's interest set is fixed for the whole run, so its interest
+  // report, genuine filter, and their exact wire sizes are run constants.
+  fc.report = interests_->make_report(interest_hashes(node));
+  fc.report_bytes = bloom::encoded_bloom_wire_size(fc.report);
+  fc.genuine = interests_->make_genuine(interest_hashes(node));
+  fc.genuine_bytes = bloom::encoded_tcbf_wire_size(
+      fc.genuine, bloom::CounterEncoding::kUniform);
+  fc.built = true;
 }
 
 const BsubProtocol::NodeFilterCache& BsubProtocol::node_filters(
     trace::NodeId node) {
-  NodeFilterCache& fc = filter_cache_[node];
   auto& hp = collector_->hot_path();
-  if (!fc.built) {
-    // A node's interest set is fixed for the whole run, so its interest
-    // report, genuine filter, and their exact wire sizes are run constants.
-    fc.report = interests_->make_report(
-        std::span<const util::HashPair>(interest_hashes(node)));
-    fc.report_bytes = bloom::encoded_bloom_wire_size(fc.report);
-    fc.genuine = interests_->make_genuine(
-        std::span<const util::HashPair>(interest_hashes(node)));
-    fc.genuine_bytes =
-        bloom::encoded_tcbf_wire_size(fc.genuine,
-                                      bloom::CounterEncoding::kUniform);
-    fc.built = true;
-    ++hp.encode_cache_misses;
-  } else {
-    ++hp.encode_cache_hits;
+  if (config_.reference_node_state) {
+    NodeFilterCache& fc = filter_cache_[node];
+    if (!fc.built) {
+      build_filter_cache(fc, node);
+      ++hp.encode_cache_misses;
+    } else {
+      ++hp.encode_cache_hits;
+    }
+    return fc;
   }
-  return fc;
+  if (const NodeFilterCache* fc = filter_ptr_[node]) {
+    ++hp.encode_cache_hits;
+    return *fc;
+  }
+  // First use for this node counts as a miss (same accounting as the
+  // historical per-node cache), even when another node already built the
+  // shared entry.
+  ++hp.encode_cache_misses;
+  // Canonical key: filter contents are a pure function of the interest
+  // *set* — insertion order cannot change final bits/counters and repeats
+  // are idempotent — so nodes sharing a subscription set share one entry.
+  const std::span<const workload::KeyId> node_keys =
+      workload_->interests_of(node);
+  std::vector<workload::KeyId> canon(node_keys.begin(), node_keys.end());
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  std::lock_guard<std::mutex> lock(filter_mu_);
+  auto [it, inserted] = filter_index_.try_emplace(std::move(canon), nullptr);
+  if (inserted) {
+    shared_filters_.emplace_back();
+    build_filter_cache(shared_filters_.back(), node);
+    it->second = &shared_filters_.back();
+  }
+  filter_ptr_[node] = it->second;
+  return *it->second;
 }
 
 void BsubProtocol::handle_role_changes(trace::NodeId node, bool /*was*/,
@@ -288,11 +343,13 @@ void BsubProtocol::forward_between_brokers(trace::NodeId from,
     double pref;
     workload::MessageId id;
   };
+  CarrierState* cs_from = carrier_[from].get();
+  if (cs_from == nullptr) return;  // never carried anything: nothing to move
   std::vector<Candidate> ranked;
   const bool ref_path = config_.reference_contact_path;
-  for (const auto& [id, msg] : carried_[from]) {
+  for (const auto& [id, msg] : cs_from->carried) {
     if (msg->producer == to) continue;
-    if (carried_[to].contains(id) || carried_ever_[to].contains(id)) continue;
+    if (carries_or_carried(to, id)) continue;
     // Fast path: preferential query over the interned bit positions (no
     // re-deriving k indices per filter). Bit-identical to the hash-pair
     // overload the reference path keeps exercising.
@@ -309,22 +366,23 @@ void BsubProtocol::forward_between_brokers(trace::NodeId from,
   });
 
   for (const Candidate& c : ranked) {
-    sim::MessageRef msg = carried_[from].find_ref(c.id);
+    sim::MessageRef msg = cs_from->carried.find_ref(c.id);
     if (!link.try_send(msg->size_bytes)) break;
     collector_->record_forwarding(*msg);
     traffic_broker_transfers_.fetch_add(1, std::memory_order_relaxed);
+    CarrierState& cs_to = carrier_state(to);
     if (config_.reference_contact_path) {
-      carried_[to].add(*msg);  // naive reference: deep copy per custody move
+      cs_to.carried.add(*msg);  // naive reference: deep copy per custody move
     } else {
-      carried_[to].add(msg);  // custody moves by sharing the payload
+      cs_to.carried.add(msg);  // custody moves by sharing the payload
     }
-    carried_ever_[to].insert(c.id);
-    if (falsely_injected_[from].contains(c.id)) {
-      falsely_injected_[to].insert(c.id);
+    cs_to.carried_ever.insert(c.id);
+    if (cs_from->falsely_injected.contains(c.id)) {
+      cs_to.falsely_injected.insert(c.id);
     }
     // Single custody between brokers: the sender drops its copy.
-    carried_[from].remove(c.id);
-    falsely_injected_[from].erase(c.id);
+    cs_from->carried.remove(c.id);
+    cs_from->falsely_injected.erase(c.id);
   }
 }
 
@@ -337,8 +395,7 @@ void BsubProtocol::direct_delivery(trace::NodeId from, trace::NodeId to,
   const bloom::BloomFilter* report = nullptr;
   std::size_t report_bytes = 0;
   if (config_.reference_contact_path) {
-    ref_report = interests_->make_report(
-        std::span<const util::HashPair>(interest_hashes(to)));
+    ref_report = interests_->make_report(interest_hashes(to));
     report_bytes = bloom::encode_bloom(ref_report).size();
     report = &ref_report;
   } else {
@@ -375,33 +432,37 @@ void BsubProtocol::direct_delivery(trace::NodeId from, trace::NodeId to,
 
   bool accepted = false;
   auto not_falsely = [] { return false; };
-  for (const auto& [id, owned] : produced_[from]) {
-    if (!try_deliver(*owned.msg, not_falsely, accepted)) return;
+  if (const ProducerState* ps = producer_[from].get()) {
+    for (const auto& [id, owned] : ps->produced) {
+      if (!try_deliver(*owned.msg, not_falsely, accepted)) return;
+    }
   }
   // Carried copies stay in custody after a delivery so one replica can
-  // serve several subscribers of the same key; the per-broker carried_ever_
+  // serve several subscribers of the same key; the per-broker carried_ever
   // memory already bounds how far a copy can wander between brokers.
   // Reverse-path gating: a broker offers a copy only while its relay filter
   // still routes the key (section V-C's delivery tree). Demoted ex-brokers
   // have no relay authority anymore; they serve their leftover copies
   // ungated until TTL (they cannot acquire new ones).
+  CarrierState* cs = carrier_[from].get();
+  if (cs == nullptr) return;  // never carried: nothing more to offer
   const bloom::Tcbf* relay = nullptr;
-  if (config_.relay_gated_delivery && !carried_[from].empty() &&
+  if (config_.relay_gated_delivery && !cs->carried.empty() &&
       election_->is_broker(from)) {
     relay = &interests_->relay(from, now);
   }
-  for (const auto& [id, msg] : carried_[from]) {
+  for (const auto& [id, msg] : cs->carried) {
     if (fast) {
       if (relay != nullptr && !relay->contains_at(key_indices(msg->key))) {
         continue;
       }
       auto falsely = [&, &id = id] {
-        return falsely_injected_[from].contains(id);
+        return cs->falsely_injected.contains(id);
       };
       if (!try_deliver(*msg, falsely, accepted)) return;
     } else {
       if (relay != nullptr && !relay->contains(key_hash(msg->key))) continue;
-      const bool fi = falsely_injected_[from].contains(id);
+      const bool fi = cs->falsely_injected.contains(id);
       if (!try_deliver(*msg, [fi] { return fi; }, accepted)) return;
     }
   }
@@ -410,10 +471,10 @@ void BsubProtocol::direct_delivery(trace::NodeId from, trace::NodeId to,
 void BsubProtocol::propagate_interest(trace::NodeId consumer,
                                       trace::NodeId broker, util::Time now,
                                       sim::Link& link) {
-  const std::vector<std::string_view>& keys = interest_names(consumer);
+  const std::span<const std::string_view> keys = interest_names(consumer);
   if (config_.reference_contact_path) {
-    const bloom::Tcbf genuine = interests_->make_genuine(
-        std::span<const util::HashPair>(interest_hashes(consumer)));
+    const bloom::Tcbf genuine =
+        interests_->make_genuine(interest_hashes(consumer));
     // Fresh genuine filters have identical counters: uniform encoding.
     const auto enc =
         bloom::encode_tcbf(genuine, bloom::CounterEncoding::kUniform);
@@ -478,36 +539,38 @@ void BsubProtocol::broker_pickup(trace::NodeId producer, trace::NodeId broker,
   fpr_probes_.fetch_add(8, std::memory_order_relaxed);
   fpr_hits_.fetch_add(local_hits, std::memory_order_relaxed);
 
-  for (auto it = produced_[producer].begin();
-       it != produced_[producer].end();) {
+  ProducerState* ps = producer_[producer].get();
+  if (ps == nullptr) return;  // never produced: nothing to pick up
+  for (auto it = ps->produced.begin(); it != ps->produced.end();) {
     OwnedMessage& owned = it->second;
     const workload::Message& msg = *owned.msg;
     const std::string& key = key_name(msg.key);
     const bool relay_hit = ref_path ? relay_bf.contains(key_hash(msg.key))
                                     : relay.contains_at(key_indices(msg.key));
-    if (owned.copies_left == 0 || carried_[broker].contains(msg.id) ||
-        carried_ever_[broker].contains(msg.id) || !relay_hit) {
+    if (owned.copies_left == 0 || carries_or_carried(broker, msg.id) ||
+        !relay_hit) {
       ++it;
       continue;
     }
     if (!link.try_send(msg.size_bytes)) break;
     collector_->record_forwarding(msg);
     traffic_pickups_.fetch_add(1, std::memory_order_relaxed);
+    CarrierState& cs = carrier_state(broker);
     if (ref_path) {
-      carried_[broker].add(msg);  // naive deep copy into the broker buffer
+      cs.carried.add(msg);  // naive deep copy into the broker buffer
     } else {
-      carried_[broker].add(owned.msg);  // share the producer's payload
+      cs.carried.add(owned.msg);  // share the producer's payload
     }
-    carried_ever_[broker].insert(msg.id);
+    cs.carried_ever.insert(msg.id);
     // Ground truth: a pickup whose key the relay never genuinely absorbed is
     // a false injection (Bloom false positive of the relay filter).
     if (!interests_->genuinely_contains(broker, key, now)) {
-      falsely_injected_[broker].insert(msg.id);
+      cs.falsely_injected.insert(msg.id);
       false_injections_.fetch_add(1, std::memory_order_relaxed);
     }
     if (--owned.copies_left == 0) {
       // Copy budget exhausted: the producer forgets the message (V-D).
-      it = produced_[producer].erase(it);
+      it = ps->produced.erase(it);
     } else {
       ++it;
     }
@@ -518,8 +581,9 @@ void BsubProtocol::on_end(util::Time /*now*/) {
   // Fold per-store hot-path accounting into the run's metrics so benches
   // and differential tests can read it off RunResults.
   auto& hp = collector_->hot_path();
-  for (const sim::MessageStore& store : carried_) {
-    const sim::MessageStore::Stats& s = store.stats();
+  for (const auto& cs : carrier_) {
+    if (cs == nullptr) continue;  // never carried: zero stats by definition
+    const sim::MessageStore::Stats& s = cs->carried.stats();
     hp.purge_scans_skipped += s.purges_skipped;
     hp.purge_scans_run += s.purges_scanned;
     hp.payload_copies_avoided += s.shared_adds;

@@ -18,9 +18,11 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
@@ -100,6 +102,31 @@ class BsubProtocol final : public sim::Protocol {
     std::uint32_t copies_left;
   };
 
+  /// Per-node producer state, materialized on first publication. Only nodes
+  /// that actually produce pay for the buffer + expiry index; everyone else
+  /// costs one null pointer. A null entry reads as an empty buffer.
+  struct ProducerState {
+    /// Messages this node produced, with remaining broker-copy budget.
+    std::map<workload::MessageId, OwnedMessage> produced;
+    /// Expiry index over `produced` (fast path): purge pops only due
+    /// entries instead of scanning the whole buffer. Entries go stale when
+    /// a message leaves early (copy budget exhausted), skipped lazily.
+    sim::ExpiryIndex expiry;
+  };
+
+  /// Per-node broker-custody state, materialized on the first copy taken
+  /// into custody. Only nodes that ever carried pay for the store and the
+  /// two id sets; a null entry reads as an empty store.
+  struct CarrierState {
+    /// Messages this node carries for others.
+    sim::MessageStore carried;
+    /// Copies whose pickup was a relay false positive.
+    std::unordered_set<workload::MessageId> falsely_injected;
+    /// Loop prevention: ids ever held — refused again, so a copy's
+    /// broker-to-broker walk visits each broker at most once.
+    std::unordered_set<workload::MessageId> carried_ever;
+  };
+
   /// Per-node wire artifacts that are static for a run (a node's interest
   /// set never changes after on_start): the counter-less interest report,
   /// the genuine filter, and their exact encoded sizes. Built on first use;
@@ -116,13 +143,15 @@ class BsubProtocol final : public sim::Protocol {
   const util::HashPair& key_hash(workload::KeyId key) const;
   /// Per-node interest key names/hashes, cached at on_start (the workload's
   /// subscriptions are static for a run) so contacts allocate nothing.
-  const std::vector<std::string_view>& interest_names(
-      trace::NodeId node) const {
-    return interest_names_[node];
+  /// Stored CSR-style (one offset array over two flat arrays), so a node
+  /// costs 4 bytes of index instead of two vector headers.
+  std::span<const std::string_view> interest_names(trace::NodeId node) const {
+    return {interest_names_flat_.data() + interest_offsets_[node],
+            interest_offsets_[node + 1] - interest_offsets_[node]};
   }
-  const std::vector<util::HashPair>& interest_hashes(
-      trace::NodeId node) const {
-    return interest_hashes_[node];
+  std::span<const util::HashPair> interest_hashes(trace::NodeId node) const {
+    return {interest_hashes_flat_.data() + interest_offsets_[node],
+            interest_offsets_[node + 1] - interest_offsets_[node]};
   }
   /// Precomputed filter bit positions per key (fast path): the key universe
   /// and the filter geometry are both fixed for a run, so every membership
@@ -132,7 +161,29 @@ class BsubProtocol final : public sim::Protocol {
     return key_indices_[key];
   }
 
+  void build_filter_cache(NodeFilterCache& fc, trace::NodeId node) const;
   const NodeFilterCache& node_filters(trace::NodeId node);
+
+  /// Materializing accessors (only the contact's own endpoints are ever
+  /// touched, so writes to the pointer slots are race-free under
+  /// node-disjoint batches, same as every other per-node vector here).
+  ProducerState& producer_state(trace::NodeId node) {
+    auto& p = producer_[node];
+    if (p == nullptr) p = std::make_unique<ProducerState>();
+    return *p;
+  }
+  CarrierState& carrier_state(trace::NodeId node) {
+    auto& c = carrier_[node];
+    if (c == nullptr) c = std::make_unique<CarrierState>();
+    return *c;
+  }
+  /// Read-only view of a node's carried set; null-safe (null = never
+  /// carried = empty).
+  bool carries_or_carried(trace::NodeId node, workload::MessageId id) const {
+    const CarrierState* c = carrier_[node].get();
+    return c != nullptr &&
+           (c->carried.contains(id) || c->carried_ever.contains(id));
+  }
 
   void purge(trace::NodeId node, util::Time now);
   void handle_role_changes(trace::NodeId node, bool was_broker,
@@ -157,27 +208,33 @@ class BsubProtocol final : public sim::Protocol {
   std::unique_ptr<BrokerElection> election_;
   std::unique_ptr<InterestManager> interests_;
 
-  /// Messages each node produced, with remaining broker-copy budget.
-  std::vector<std::map<workload::MessageId, OwnedMessage>> produced_;
-  /// Expiry index over produced_ (fast path): purge pops only due entries
-  /// instead of scanning the whole buffer. Entries go stale when a message
-  /// leaves early (copy budget exhausted) and are skipped lazily.
-  std::vector<sim::ExpiryIndex> produced_expiry_;
-  /// Messages each broker carries for others.
-  std::vector<sim::MessageStore> carried_;
-  /// Copies whose pickup was a relay false positive (per holder).
-  std::vector<std::unordered_set<workload::MessageId>> falsely_injected_;
-  /// Loop prevention: ids a broker has ever held — it refuses them again,
-  /// so a copy's broker-to-broker walk visits each broker at most once.
-  std::vector<std::unordered_set<workload::MessageId>> carried_ever_;
+  /// Lazy per-node producer/custody state: one pointer per node, null until
+  /// the node first publishes / first takes custody. The overwhelming
+  /// majority of nodes at city scale never do either, so they cost 16 bytes
+  /// here instead of ~260 bytes of empty container headers.
+  std::vector<std::unique_ptr<ProducerState>> producer_;
+  std::vector<std::unique_ptr<CarrierState>> carrier_;
 
-  /// Interest name/hash caches, indexed by node (built at on_start).
-  std::vector<std::vector<std::string_view>> interest_names_;
-  std::vector<std::vector<util::HashPair>> interest_hashes_;
+  /// Interest name/hash caches, CSR-indexed by node (built at on_start).
+  std::vector<std::uint32_t> interest_offsets_;
+  std::vector<std::string_view> interest_names_flat_;
+  std::vector<util::HashPair> interest_hashes_flat_;
   /// Per-key filter bit positions, indexed by KeyId (built at on_start).
   std::vector<util::IndexArray> key_indices_;
 
-  /// Per-node static wire artifacts (fast path; see NodeFilterCache).
+  /// Static wire artifacts, deduplicated by interest set: a NodeFilterCache
+  /// is a pure function of the node's subscription *set* (plus the run's
+  /// filter params), so nodes sharing a set share one entry. Per node: one
+  /// pointer, null until the node's first use (which keeps the per-node
+  /// encode-cache hit/miss accounting identical to the historical per-node
+  /// cache). The index map and deque are mutex-guarded; built entries are
+  /// immutable and deque-stable, so the pointer fast path takes no lock.
+  std::vector<const NodeFilterCache*> filter_ptr_;
+  std::deque<NodeFilterCache> shared_filters_;
+  std::map<std::vector<workload::KeyId>, NodeFilterCache*> filter_index_;
+  std::mutex filter_mu_;
+  /// Reference mode (config_.reference_node_state): the historical private
+  /// cache per node.
   std::vector<NodeFilterCache> filter_cache_;
 
   /// Cache for the adaptive-DF Eq. 4 evaluations, keyed by degree. Shared

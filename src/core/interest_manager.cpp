@@ -6,21 +6,43 @@ namespace bsub::core {
 
 InterestManager::InterestManager(std::size_t node_count,
                                  bloom::BloomParams params,
-                                 double initial_counter, double df_per_minute)
+                                 double initial_counter, double df_per_minute,
+                                 bool eager_state)
     : params_(params), initial_counter_(initial_counter),
-      df_per_minute_(df_per_minute) {
+      df_per_minute_(df_per_minute), eager_(eager_state),
+      slots_(node_count), empty_relay_(params, initial_counter) {
   assert(df_per_minute >= 0.0);
-  relays_.reserve(node_count);
-  for (std::size_t i = 0; i < node_count; ++i) {
-    relays_.push_back(
-        RelayState{bloom::Tcbf(params, initial_counter), {}, 0, -1.0});
+  if (eager_) {
+    // Reference layout: one RelayState per node, built up front, decay
+    // clocks at 0 (the historical behavior).
+    for (std::size_t n = 0; n < node_count; ++n) {
+      slots_[n].state = pool_.acquire([&] {
+        return RelayState{bloom::Tcbf(params_, initial_counter_), {}, 0};
+      });
+    }
   }
 }
 
+InterestManager::RelayState& InterestManager::state_for(trace::NodeId node,
+                                                        util::Time now) {
+  NodeSlot& slot = slots_[node];
+  if (slot.state == util::kNoPoolHandle) {
+    slot.state = pool_.acquire([&] {
+      return RelayState{bloom::Tcbf(params_, initial_counter_), {}, now};
+    });
+    // Recycled states keep their (cleared) buffers; only the clock needs
+    // re-arming. Starting it at `now` equals an eager empty state decayed
+    // to `now` — decaying an empty filter is a no-op.
+    pool_[slot.state].last_decay = now;
+  }
+  return pool_[slot.state];
+}
+
 bloom::Tcbf& InterestManager::relay(trace::NodeId node, util::Time now) {
-  RelayState& s = relays_[node];
+  RelayState& s = state_for(node, now);
   if (now > s.last_decay) {
-    const double df = s.df_override >= 0.0 ? s.df_override : df_per_minute_;
+    const double df_override = slots_[node].df_override;
+    const double df = df_override >= 0.0 ? df_override : df_per_minute_;
     if (df > 0.0) {
       const double amount = df * util::to_minutes(now - s.last_decay);
       s.filter.decay(amount);
@@ -80,7 +102,7 @@ void InterestManager::absorb_genuine(trace::NodeId broker,
   relay(broker, now).a_merge(genuine);
   // A-merge adds the genuine counters (all = C) onto the key's bits; the
   // key's minimum counter therefore grows by exactly C.
-  ShadowMap& shadow = relays_[broker].shadow;
+  ShadowMap& shadow = pool_[slots_[broker].state].shadow;
   if (auto it = shadow.find(key); it != shadow.end()) {
     it->second += genuine.initial_counter();
   } else {
@@ -93,7 +115,7 @@ void InterestManager::absorb_genuine(trace::NodeId broker,
                                      std::span<const std::string_view> keys,
                                      util::Time now) {
   relay(broker, now).a_merge(genuine);
-  ShadowMap& shadow = relays_[broker].shadow;
+  ShadowMap& shadow = pool_[slots_[broker].state].shadow;
   for (std::string_view key : keys) {
     if (auto it = shadow.find(key); it != shadow.end()) {
       it->second += genuine.initial_counter();
@@ -108,7 +130,7 @@ void InterestManager::merge_relay_from(trace::NodeId dst,
                                        const ShadowMap& src_shadow,
                                        BrokerMergeMode mode, util::Time now) {
   bloom::Tcbf& filter = relay(dst, now);
-  ShadowMap& shadow = relays_[dst].shadow;
+  ShadowMap& shadow = pool_[slots_[dst].state].shadow;
   if (mode == BrokerMergeMode::kMMerge) {
     filter.m_merge(src_filter);
     for (const auto& [key, value] : src_shadow) {
@@ -124,25 +146,45 @@ void InterestManager::merge_relay_from(trace::NodeId dst,
 bool InterestManager::genuinely_contains(trace::NodeId node,
                                          std::string_view key,
                                          util::Time now) {
+  // An unmaterialized relay never absorbed anything: answer without
+  // materializing (the eager equivalent — decaying an empty state, then
+  // probing an empty shadow — observes the same `false`).
+  if (slots_[node].state == util::kNoPoolHandle) return false;
   relay(node, now);  // bring the shadow up to date
-  auto it = relays_[node].shadow.find(key);  // transparent: no temp string
-  return it != relays_[node].shadow.end() && it->second > 0.0;
+  const ShadowMap& shadow = pool_[slots_[node].state].shadow;
+  auto it = shadow.find(key);  // transparent: no temp string
+  return it != shadow.end() && it->second > 0.0;
 }
 
 void InterestManager::clear_relay(trace::NodeId node, util::Time now) {
-  RelayState& s = relays_[node];
-  s.filter.clear();
-  s.shadow.clear();
-  s.last_decay = now;
+  NodeSlot& slot = slots_[node];
+  if (slot.state == util::kNoPoolHandle) return;  // nothing to reset
+  if (eager_) {
+    // Reference layout: reset in place (the historical behavior).
+    RelayState& s = pool_[slot.state];
+    s.filter.clear();
+    s.shadow.clear();
+    s.last_decay = now;
+    return;
+  }
+  // Pooled: return the state for reuse; the DF override lives in the slot
+  // and deliberately survives the reset (clear_relay resets the *filter*,
+  // not the node's tuning).
+  pool_.release(slot.state, [](RelayState& s) {
+    s.filter.clear();
+    s.shadow.clear();
+    s.last_decay = 0;
+  });
+  slot.state = util::kNoPoolHandle;
 }
 
 void InterestManager::set_node_df(trace::NodeId node, double df_per_minute) {
-  relays_[node].df_override = df_per_minute;
+  slots_[node].df_override = df_per_minute;
 }
 
 double InterestManager::node_df(trace::NodeId node) const {
-  const RelayState& s = relays_[node];
-  return s.df_override >= 0.0 ? s.df_override : df_per_minute_;
+  const double df_override = slots_[node].df_override;
+  return df_override >= 0.0 ? df_override : df_per_minute_;
 }
 
 }  // namespace bsub::core

@@ -11,6 +11,18 @@
 // only (it costs no protocol bytes): comparing a TCBF hit against the shadow
 // identifies relay-filter false positives, which feed the paper's
 // false-delivery metric (Fig. 9(d)).
+//
+// Storage is lazy and pooled: B-SUB's own premise is that only brokers
+// carry relay filters, so a node costs 16 bytes of slot (pool handle + DF
+// override) until its relay is first touched. Relay state (a full TCBF +
+// shadow map) materializes from an ObjectPool on first use and returns to
+// the pool on clear_relay — a re-promoted broker reuses the heap capacity a
+// demoted one left behind. `eager_state` retains the historical
+// one-RelayState-per-node layout as the differential-test reference; the
+// two modes are bit-identical in every protocol-observable way (an
+// unmaterialized relay behaves exactly like an eagerly-built empty one:
+// decay of an empty filter is a no-op, so the decay-clock origin is
+// unobservable until the first insert, which materializes).
 #pragma once
 
 #include <functional>
@@ -25,6 +37,7 @@
 #include "core/config.h"
 #include "trace/contact.h"
 #include "util/hash.h"
+#include "util/pool.h"
 #include "util/time.h"
 
 namespace bsub::core {
@@ -43,16 +56,22 @@ class InterestManager {
   /// Ground-truth key -> remaining counter value.
   using ShadowMap =
       std::unordered_map<std::string, double, StringHash, std::equal_to<>>;
+  /// `eager_state` pre-materializes every node's relay state up front (the
+  /// historical layout, kept as the differential-test reference).
   InterestManager(std::size_t node_count, bloom::BloomParams params,
-                  double initial_counter, double df_per_minute);
+                  double initial_counter, double df_per_minute,
+                  bool eager_state = false);
 
   /// The node's relay filter, decayed up to `now`. The per-node DF override
-  /// (if set) takes precedence over the global DF.
+  /// (if set) takes precedence over the global DF. Materializes the node's
+  /// relay state on first call.
   bloom::Tcbf& relay(trace::NodeId node, util::Time now);
 
   /// Read-only peek without advancing the decay clock (for inspection).
+  /// Unmaterialized nodes see a shared empty filter.
   const bloom::Tcbf& relay_snapshot(trace::NodeId node) const {
-    return relays_[node].filter;
+    const NodeSlot& s = slots_[node];
+    return s.state == util::kNoPoolHandle ? empty_relay_ : pool_[s.state].filter;
   }
 
   /// Builds the genuine filter for a single interest key.
@@ -91,16 +110,22 @@ class InterestManager {
                         util::Time now);
 
   /// Ground truth: does `node`'s relay filter genuinely hold `key` at `now`?
-  /// A TCBF hit without this is a relay false positive.
+  /// A TCBF hit without this is a relay false positive. Never materializes:
+  /// an unmaterialized relay holds nothing.
   bool genuinely_contains(trace::NodeId node, std::string_view key,
                           util::Time now);
 
   /// Shadow set snapshot (decayed to whenever relay() was last called).
+  /// Unmaterialized nodes see a shared empty map.
   const ShadowMap& shadow_snapshot(trace::NodeId node) const {
-    return relays_[node].shadow;
+    const NodeSlot& s = slots_[node];
+    return s.state == util::kNoPoolHandle ? empty_shadow_
+                                          : pool_[s.state].shadow;
   }
 
-  /// Resets a node's relay filter (e.g. on demotion from brokership).
+  /// Resets a node's relay filter (e.g. on demotion from brokership). In
+  /// pooled mode the state returns to the free pool; the node's DF override
+  /// survives the reset in both modes.
   void clear_relay(trace::NodeId node, util::Time now);
 
   /// Per-node DF override in counter units per minute (adaptive DF); pass a
@@ -111,18 +136,42 @@ class InterestManager {
   double global_df() const { return df_per_minute_; }
   const bloom::BloomParams& params() const { return params_; }
 
+  /// Observability for tests and memory accounting.
+  bool relay_materialized(trace::NodeId node) const {
+    return slots_[node].state != util::kNoPoolHandle;
+  }
+  std::size_t materialized_relays() const {
+    return pool_.size() - pool_.free_count();
+  }
+  std::size_t pooled_relays() const { return pool_.free_count(); }
+  std::uint64_t relays_recycled() const { return pool_.recycled(); }
+
  private:
   struct RelayState {
     bloom::Tcbf filter;
     ShadowMap shadow;
     util::Time last_decay = 0;
+  };
+  /// What every node pays, participant or not: a pool handle + DF override.
+  struct NodeSlot {
+    std::uint32_t state = util::kNoPoolHandle;
     double df_override = -1.0;
   };
+
+  /// Materializes (or fetches) the node's relay state; a fresh/recycled
+  /// state starts its decay clock at `now`, which is indistinguishable from
+  /// an eager empty state decayed to `now`.
+  RelayState& state_for(trace::NodeId node, util::Time now);
 
   bloom::BloomParams params_;
   double initial_counter_;
   double df_per_minute_;
-  std::vector<RelayState> relays_;
+  bool eager_;
+  std::vector<NodeSlot> slots_;
+  util::ObjectPool<RelayState> pool_;
+  /// Shared snapshots for unmaterialized nodes.
+  bloom::Tcbf empty_relay_;
+  ShadowMap empty_shadow_;
 };
 
 }  // namespace bsub::core

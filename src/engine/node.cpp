@@ -8,9 +8,7 @@ namespace bsub::engine {
 
 BsubNode::BsubNode(NodeId id, NodeConfig config)
     : id_(id), config_(config),
-      relay_(config.filter_params, config.initial_counter),
       interest_report_(config.filter_params),
-      genuine_filter_(config.filter_params, config.initial_counter),
       relay_report_(config.filter_params) {}
 
 void BsubNode::subscribe(std::string key) {
@@ -25,11 +23,11 @@ void BsubNode::subscribe(std::string key) {
   // contact. The rebuilds advance their epochs, invalidating the hello and
   // genuine frame caches automatically.
   interest_report_ = bloom::BloomFilter(config_.filter_params);
-  genuine_filter_ = bloom::Tcbf(config_.filter_params,
-                                config_.initial_counter);
+  genuine_filter_ = std::make_unique<bloom::Tcbf>(config_.filter_params,
+                                                  config_.initial_counter);
   for (const util::HashPair& hp : interest_hashes_) {
     interest_report_.insert(hp);
-    genuine_filter_.insert(hp);
+    genuine_filter_->insert(hp);
   }
 }
 
@@ -44,17 +42,29 @@ void BsubNode::publish(ContentMessage message, util::Time now) {
 }
 
 bloom::Tcbf& BsubNode::relay_now(util::Time now) {
+  if (relay_ == nullptr) {
+    // First broker use. Arming the decay clock at `now` instead of 0 is
+    // exact: the filter was empty for the whole skipped interval, and
+    // decaying an empty filter is a no-op.
+    relay_ = std::make_unique<bloom::Tcbf>(config_.filter_params,
+                                           config_.initial_counter);
+    relay_decayed_at_ = now;
+  }
   if (now > relay_decayed_at_) {
     if (config_.df_per_minute > 0.0) {
-      relay_.decay(config_.df_per_minute *
-                   util::to_minutes(now - relay_decayed_at_));
+      relay_->decay(config_.df_per_minute *
+                    util::to_minutes(now - relay_decayed_at_));
     }
     relay_decayed_at_ = now;
   }
-  return relay_;
+  return *relay_;
 }
 
 const bloom::BloomFilter& BsubNode::relay_report_now(util::Time now) {
+  // An unmaterialized relay projects to the (default-constructed, empty)
+  // report; returning it without materializing keeps hello emission free
+  // for never-broker nodes.
+  if (relay_ == nullptr) return relay_report_;
   const bloom::Tcbf& relay = relay_now(now);
   if (relay_report_epoch_ != relay.epoch()) {
     relay_report_ = relay.to_bloom_filter();
@@ -153,7 +163,7 @@ std::vector<std::vector<std::uint8_t>> BsubNode::on_hello(
     // Interest propagation: our genuine filter (rebuilt on subscribe, so
     // the cached encoding is reused across contacts).
     if (!interests_.empty()) {
-      out.push_back(encode_genuine_cached(id_, genuine_filter_,
+      out.push_back(encode_genuine_cached(id_, *genuine_filter_,
                                           genuine_cache_));
     }
     // Pickup: replicate matching own messages to the broker.

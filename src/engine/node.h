@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <unordered_set>
@@ -94,9 +95,11 @@ class BsubNode {
   /// and applies pending relay decay eagerly. TCBF decay is additive in
   /// elapsed time, so ticking is state-equivalent to the lazy on-access
   /// decay — a runtime with any tick cadence computes identical results.
+  /// A node whose relay never materialized has nothing to decay (decaying
+  /// an empty filter is a no-op), so the tick stays O(1) for it.
   void decay_tick(util::Time now) {
     purge(now);
-    relay_now(now);
+    if (relay_ != nullptr) relay_now(now);
   }
 
   /// True if this node ever took broker custody of message `id` (survives
@@ -108,7 +111,17 @@ class BsubNode {
   // Introspection.
   std::size_t produced_count() const { return produced_.size(); }
   std::size_t carried_count() const { return carried_.size(); }
-  const bloom::Tcbf& relay_filter() const { return relay_; }
+  /// Materializes the relay on demand: introspecting a node that never
+  /// became a broker hands back a freshly allocated empty filter (the same
+  /// state the eager layout would hold, since decay of an empty filter is
+  /// a no-op).
+  const bloom::Tcbf& relay_filter() const {
+    if (relay_ == nullptr) {
+      relay_ = std::make_unique<bloom::Tcbf>(config_.filter_params,
+                                             config_.initial_counter);
+    }
+    return *relay_;
+  }
   std::uint64_t deliveries_made() const { return deliveries_made_; }
   std::uint64_t pickups_sent() const { return pickups_sent_; }
   std::uint64_t custody_accepted() const { return custody_accepted_; }
@@ -185,7 +198,13 @@ class BsubNode {
   std::map<std::uint64_t, std::set<NodeId>> transfer_refused_;
   std::unordered_set<std::uint64_t> carried_ever_;
   std::unordered_set<std::uint64_t> consumed_;
-  bloom::Tcbf relay_;
+  /// Relay TCBF, materialized on first broker use (merge, gated delivery,
+  /// relay-frame emission) — null for the vast majority of nodes, which
+  /// never broker. Null is observationally an empty filter: decay no-ops
+  /// on empty filters, so materializing with the clock set to "now" is
+  /// state-identical to having carried an eager empty relay since t=0.
+  /// `mutable` so the const introspection accessor can materialize too.
+  mutable std::unique_ptr<bloom::Tcbf> relay_;
   util::Time relay_decayed_at_ = 0;
   DeliveryHandler on_delivery_;
   std::uint64_t deliveries_made_ = 0;
@@ -195,8 +214,10 @@ class BsubNode {
 
   /// Counter-less BF of interests_, rebuilt on subscribe (not per contact).
   bloom::BloomFilter interest_report_;
-  /// Genuine TCBF of interests_, rebuilt on subscribe.
-  bloom::Tcbf genuine_filter_;
+  /// Genuine TCBF of interests_, built on first subscribe — null for pure
+  /// producers/brokers with no subscriptions (it is only ever sent by
+  /// subscribers, guarded by `!interests_.empty()`).
+  std::unique_ptr<bloom::Tcbf> genuine_filter_;
   /// Counter-less projection of relay_, rebuilt only when relay_'s epoch
   /// moved past relay_report_epoch_.
   bloom::BloomFilter relay_report_;

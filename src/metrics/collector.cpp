@@ -18,7 +18,9 @@ Collector::NodeLog& Collector::node_log(trace::NodeId node) {
   // Serial-only growth: concurrent runs must have called reserve_nodes()
   // first, so this branch never fires while workers hold NodeLog pointers.
   if (node >= logs_.size()) logs_.resize(node + 1);
-  return logs_[node];
+  auto& log = logs_[node];
+  if (log == nullptr) log = std::make_unique<NodeLog>();
+  return *log;
 }
 
 void Collector::record_forwarding(const workload::Message& msg) {
@@ -40,7 +42,8 @@ void Collector::record_delivery(const workload::Message& msg,
 
 bool Collector::delivered(workload::MessageId id, trace::NodeId node) const {
   if (node >= logs_.size()) return false;
-  return logs_[node].delivered.contains(id);
+  const NodeLog* log = logs_[node].get();
+  return log != nullptr && log->delivered.contains(id);
 }
 
 RunResults Collector::results() const {
@@ -56,11 +59,12 @@ RunResults Collector::results() const {
   // floating-point sums below associate identically — bit-equal results.
   std::uint64_t total_delivered = 0;
   util::PercentileTracker delays;
-  for (const NodeLog& log : logs_) {
-    total_delivered += log.delivered.size();
-    r.interested_deliveries += log.interested;
-    r.false_deliveries += log.false_deliveries;
-    for (double d : log.delay_minutes) delays.add(d);
+  for (const auto& log : logs_) {
+    if (log == nullptr) continue;  // no deliveries: contributes nothing
+    total_delivered += log->delivered.size();
+    r.interested_deliveries += log->interested;
+    r.false_deliveries += log->false_deliveries;
+    for (double d : log->delay_minutes) delays.add(d);
   }
 
   if (expected_deliveries_ > 0) {

@@ -10,6 +10,7 @@
 
 #include "sim/expiry_index.h"
 #include "sim/protocol.h"
+#include "util/pool.h"
 
 namespace bsub::routing {
 
@@ -38,13 +39,25 @@ class PushProtocol final : public sim::Protocol {
                 sim::Link& link);
   void purge(trace::NodeId node, util::Time now);
 
+  // seen(n, id): n already has (or had) a copy; prevents re-replication.
+  // Bitmaps are lazy and pooled: a node that never receives a copy costs
+  // one null pointer instead of an O(messages) bit vector — the eager
+  // layout was O(nodes x messages) up front, the dominant PUSH footprint
+  // at city scale.
+  bool seen(trace::NodeId node, workload::MessageId id) const {
+    const std::uint64_t* bits = seen_[node];
+    return bits != nullptr && (bits[id >> 6] >> (id & 63) & 1) != 0;
+  }
+  void mark_seen(trace::NodeId node, workload::MessageId id);
+
   bool naive_purge_;
   const workload::Workload* workload_ = nullptr;
   metrics::Collector* collector_ = nullptr;
   // buffers_[n]: ids of live messages held by n, in acquisition order.
   std::vector<std::vector<workload::MessageId>> buffers_;
-  // seen_[n][id]: n already has (or had) a copy; prevents re-replication.
-  std::vector<std::vector<bool>> seen_;
+  std::vector<std::uint64_t*> seen_;
+  std::size_t seen_words_ = 0;  ///< bitmap words per node (fixed per run)
+  util::BlockPool seen_pool_;
   // expiry_[n]: earliest-expiry gate over buffers_[n]; a purge scans only
   // when some held copy could actually have expired.
   std::vector<sim::ExpiryIndex> expiry_;

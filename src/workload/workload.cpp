@@ -21,15 +21,20 @@ Workload::Workload(const trace::ContactTrace& trace, const KeySet& keys,
   // popularity (rejection on duplicates, capped by the key universe).
   const std::uint32_t per_node = static_cast<std::uint32_t>(
       std::min<std::size_t>(config.interests_per_node, keys.size()));
-  interests_.resize(n);
+  interest_offsets_.reserve(n + 1);
+  interest_offsets_.push_back(0);
+  interest_flat_.reserve(n * per_node);
   for (std::size_t i = 0; i < n; ++i) {
-    while (interests_[i].size() < per_node) {
+    const std::size_t start = interest_flat_.size();
+    while (interest_flat_.size() - start < per_node) {
       KeyId k = keys.sample(interest_rng);
-      if (std::find(interests_[i].begin(), interests_[i].end(), k) ==
-          interests_[i].end()) {
-        interests_[i].push_back(k);
+      if (std::find(interest_flat_.begin() + start, interest_flat_.end(),
+                    k) == interest_flat_.end()) {
+        interest_flat_.push_back(k);
       }
     }
+    interest_offsets_.push_back(
+        static_cast<std::uint32_t>(interest_flat_.size()));
   }
   index_subscribers();
 
@@ -73,24 +78,32 @@ Workload::Workload(const trace::ContactTrace& trace, const KeySet& keys,
 Workload::Workload(const KeySet& keys, std::size_t node_count,
                    std::vector<KeyId> interests,
                    std::vector<Message> messages)
-    : Workload(keys, node_count,
-               [&] {
-                 std::vector<std::vector<KeyId>> multi(interests.size());
-                 for (std::size_t i = 0; i < interests.size(); ++i) {
-                   multi[i] = {interests[i]};
-                 }
-                 return multi;
-               }(),
-               std::move(messages)) {}
+    : keys_(&keys), interest_flat_(std::move(interests)),
+      messages_(std::move(messages)), centrality_(node_count, 0.0) {
+  assert(interest_flat_.size() == node_count);
+  // One key per node: the CSR offsets are simply 0..n.
+  interest_offsets_.resize(node_count + 1);
+  for (std::size_t i = 0; i <= node_count; ++i) {
+    interest_offsets_[i] = static_cast<std::uint32_t>(i);
+  }
+  index_subscribers();
+  sort_and_renumber();
+}
 
 Workload::Workload(const KeySet& keys, std::size_t node_count,
                    std::vector<std::vector<KeyId>> interests,
                    std::vector<Message> messages)
-    : keys_(&keys), interests_(std::move(interests)),
-      messages_(std::move(messages)), centrality_(node_count, 0.0) {
-  assert(interests_.size() == node_count);
-  for ([[maybe_unused]] const auto& keys_of_node : interests_) {
+    : keys_(&keys), messages_(std::move(messages)),
+      centrality_(node_count, 0.0) {
+  assert(interests.size() == node_count);
+  interest_offsets_.reserve(node_count + 1);
+  interest_offsets_.push_back(0);
+  for (const auto& keys_of_node : interests) {
     assert(!keys_of_node.empty());
+    interest_flat_.insert(interest_flat_.end(), keys_of_node.begin(),
+                          keys_of_node.end());
+    interest_offsets_.push_back(
+        static_cast<std::uint32_t>(interest_flat_.size()));
   }
   index_subscribers();
   sort_and_renumber();
@@ -98,8 +111,8 @@ Workload::Workload(const KeySet& keys, std::size_t node_count,
 
 void Workload::index_subscribers() {
   subscribers_.assign(keys_->size(), {});
-  for (std::size_t i = 0; i < interests_.size(); ++i) {
-    for (KeyId k : interests_[i]) {
+  for (std::size_t i = 0; i + 1 < interest_offsets_.size(); ++i) {
+    for (KeyId k : interests_of(static_cast<trace::NodeId>(i))) {
       assert(k < keys_->size());
       subscribers_[k].push_back(static_cast<trace::NodeId>(i));
     }
@@ -117,7 +130,7 @@ void Workload::sort_and_renumber() {
 }
 
 bool Workload::is_interested(trace::NodeId node, KeyId key) const {
-  const auto& keys_of_node = interests_[node];
+  const std::span<const KeyId> keys_of_node = interests_of(node);
   return std::find(keys_of_node.begin(), keys_of_node.end(), key) !=
          keys_of_node.end();
 }

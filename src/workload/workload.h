@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "trace/trace.h"
@@ -55,22 +56,23 @@ class Workload {
 
   const KeySet& keys() const { return *keys_; }
 
+  std::size_t node_count() const { return interest_offsets_.size() - 1; }
+
   /// The node's primary interest (the first of its keys).
   KeyId interest_of(trace::NodeId node) const {
-    return interests_[node].front();
+    return interest_flat_[interest_offsets_[node]];
   }
 
-  /// All keys the node subscribes to (>= 1).
-  const std::vector<KeyId>& interests_of(trace::NodeId node) const {
-    return interests_[node];
+  /// All keys the node subscribes to (>= 1). Subscriptions are stored
+  /// CSR-style (one offset array over one flat key array) so a node costs
+  /// 4 bytes of index instead of a vector header plus its own heap block.
+  std::span<const KeyId> interests_of(trace::NodeId node) const {
+    return {interest_flat_.data() + interest_offsets_[node],
+            interest_offsets_[node + 1] - interest_offsets_[node]};
   }
 
   /// True if the node subscribes to the key.
   bool is_interested(trace::NodeId node, KeyId key) const;
-
-  const std::vector<std::vector<KeyId>>& interests() const {
-    return interests_;
-  }
 
   /// Nodes subscribed to a key.
   const std::vector<trace::NodeId>& subscribers_of(KeyId key) const {
@@ -92,7 +94,10 @@ class Workload {
   void sort_and_renumber();
 
   const KeySet* keys_;
-  std::vector<std::vector<KeyId>> interests_;
+  /// CSR subscriptions: node n's keys are
+  /// interest_flat_[interest_offsets_[n] .. interest_offsets_[n+1]).
+  std::vector<std::uint32_t> interest_offsets_;
+  std::vector<KeyId> interest_flat_;
   std::vector<std::vector<trace::NodeId>> subscribers_;
   std::vector<Message> messages_;
   std::vector<double> centrality_;

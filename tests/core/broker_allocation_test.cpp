@@ -163,5 +163,81 @@ TEST(BrokerElection, PopularNodesEndUpAsBrokers) {
   EXPECT_GE(broker_deg / brokers, user_deg / users * 0.9);
 }
 
+TEST(BrokerElection, QueriesAreConstAndDoNotPerturbState) {
+  BrokerElection e(5, {3, 5, kHour});
+  e.on_contact(0, 1, kMinute);
+  e.on_contact(0, 2, 2 * kMinute);
+  // degree()/brokers_met() are read-only window filters: callable through a
+  // const ref, and repeated queries (including past-window ones that would
+  // prune under the old mutate-on-read scheme) see identical answers.
+  const BrokerElection& ce = e;
+  EXPECT_EQ(ce.degree(0, 2 * kMinute), 2u);
+  EXPECT_EQ(ce.degree(0, 2 * kHour), 0u);  // filtered, not pruned
+  EXPECT_EQ(ce.degree(0, 2 * kMinute), 2u);
+  // Roles are recorded at meeting time: node 0 was a user when node 1 met
+  // it, even though that contact then promoted node 0.
+  EXPECT_EQ(ce.brokers_met(0, 2 * kMinute), 0u);
+  EXPECT_EQ(ce.brokers_met(1, 2 * kMinute), 0u);
+}
+
+TEST(BrokerElection, CompactStateMatchesReferenceOnRealTrace) {
+  // The pooled ring + open-addressing layout must be observation-for-
+  // observation identical to the historical deque + hash-map layout, role
+  // flips included, across a dense synthetic trace (rings wrap, tables
+  // grow/rehash, windows prune).
+  auto t = trace::generate_trace(trace::haggle_infocom06_config(31));
+  BrokerElection compact(t.node_count(), {3, 5, 5 * kHour});
+  BrokerElection ref(t.node_count(),
+                     {3, 5, 5 * kHour, /*reference_state=*/true});
+  for (const auto& c : t.contacts()) {
+    compact.on_contact(c.a, c.b, c.start);
+    ref.on_contact(c.a, c.b, c.start);
+    ASSERT_EQ(compact.is_broker(c.a), ref.is_broker(c.a))
+        << "role divergence at t=" << c.start << " node " << c.a;
+    ASSERT_EQ(compact.is_broker(c.b), ref.is_broker(c.b))
+        << "role divergence at t=" << c.start << " node " << c.b;
+  }
+  EXPECT_EQ(compact.broker_count(), ref.broker_count());
+  EXPECT_EQ(compact.promotions(), ref.promotions());
+  EXPECT_EQ(compact.demotions(), ref.demotions());
+  const util::Time end = t.end_time();
+  for (trace::NodeId n = 0; n < t.node_count(); ++n) {
+    ASSERT_EQ(compact.degree(n, end), ref.degree(n, end)) << "node " << n;
+    ASSERT_EQ(compact.brokers_met(n, end), ref.brokers_met(n, end))
+        << "node " << n;
+  }
+}
+
+TEST(BrokerElection, CompactStateMatchesReferenceUnderWindowChurn) {
+  // Tiny window forces constant pruning; a small node set forces repeat
+  // meetings (table erasure + backward shift paths).
+  trace::SyntheticTraceConfig cfg;
+  cfg.node_count = 8;
+  cfg.contact_count = 4000;
+  cfg.duration = util::kDay;
+  cfg.seed = 37;
+  auto t = trace::generate_trace(cfg);
+  BrokerElection compact(8, {2, 3, 10 * kMinute});
+  BrokerElection ref(8, {2, 3, 10 * kMinute, /*reference_state=*/true});
+  for (const auto& c : t.contacts()) {
+    compact.on_contact(c.a, c.b, c.start);
+    ref.on_contact(c.a, c.b, c.start);
+  }
+  EXPECT_EQ(compact.promotions(), ref.promotions());
+  EXPECT_EQ(compact.demotions(), ref.demotions());
+  for (trace::NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(compact.is_broker(n), ref.is_broker(n)) << "node " << n;
+    EXPECT_EQ(compact.degree(n, t.end_time()), ref.degree(n, t.end_time()));
+  }
+}
+
+TEST(BrokerElection, StateBytesReservedGrowsWithActivity) {
+  BrokerElection e(100, {3, 5, kHour});
+  const std::size_t idle = e.state_bytes_reserved();
+  EXPECT_GT(idle, 0u);  // the fixed NodeState array
+  for (trace::NodeId p = 1; p < 50; ++p) e.on_contact(0, p, kMinute);
+  EXPECT_GT(e.state_bytes_reserved(), idle);  // rings/tables came from pool
+}
+
 }  // namespace
 }  // namespace bsub::core

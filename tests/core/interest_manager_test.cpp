@@ -146,6 +146,100 @@ TEST(InterestManager, ClearingDfOverrideRestoresGlobal) {
   EXPECT_DOUBLE_EQ(im.node_df(0), 2.0);
 }
 
+TEST(InterestManager, DfOverrideSurvivesClearRelay) {
+  // Adaptive DF is a property of the node, not of one relay incarnation:
+  // demotion resets the filter but must keep the tuned decay factor.
+  auto im = make_manager(/*df=*/0.0);
+  im.set_node_df(0, 5.0);
+  im.absorb_genuine(0, im.make_genuine("key"), "key", 0);
+  im.clear_relay(0, 0);
+  EXPECT_DOUBLE_EQ(im.node_df(0), 5.0);
+  // The override keeps governing the next incarnation's decay.
+  im.absorb_genuine(0, im.make_genuine("key"), "key", 0);
+  EXPECT_FALSE(im.relay(0, util::from_minutes(20)).contains("key"));
+}
+
+TEST(InterestManager, SetNodeDfDoesNotMaterializeRelay) {
+  auto im = make_manager();
+  im.set_node_df(0, 3.0);
+  EXPECT_DOUBLE_EQ(im.node_df(0), 3.0);
+  EXPECT_FALSE(im.relay_materialized(0));
+  EXPECT_EQ(im.materialized_relays(), 0u);
+}
+
+TEST(InterestManager, RelayStateIsLazyUntilFirstTouch) {
+  auto im = make_manager();
+  // Read-only paths see shared empty state without materializing.
+  EXPECT_TRUE(im.relay_snapshot(2).empty());
+  EXPECT_FALSE(im.genuinely_contains(2, "key", util::kMinute));
+  EXPECT_TRUE(im.shadow_snapshot(2).empty());
+  EXPECT_EQ(im.materialized_relays(), 0u);
+  im.absorb_genuine(2, im.make_genuine("key"), "key", util::kMinute);
+  EXPECT_TRUE(im.relay_materialized(2));
+  EXPECT_FALSE(im.relay_materialized(0));
+  EXPECT_EQ(im.materialized_relays(), 1u);
+}
+
+TEST(InterestManager, ClearRelayReturnsStateToPool) {
+  auto im = make_manager();
+  im.absorb_genuine(1, im.make_genuine("key"), "key", 0);
+  ASSERT_EQ(im.materialized_relays(), 1u);
+  EXPECT_EQ(im.pooled_relays(), 0u);
+  im.clear_relay(1, 0);
+  EXPECT_FALSE(im.relay_materialized(1));
+  EXPECT_EQ(im.materialized_relays(), 0u);
+  EXPECT_EQ(im.pooled_relays(), 1u);
+}
+
+TEST(InterestManager, RePromotionReusesPooledState) {
+  // Demote node 1, then promote node 3: the new broker's state must come
+  // off the free list (recycled), not from a fresh allocation.
+  auto im = make_manager();
+  im.absorb_genuine(1, im.make_genuine("old"), "old", 0);
+  im.clear_relay(1, 0);
+  ASSERT_EQ(im.pooled_relays(), 1u);
+  ASSERT_EQ(im.relays_recycled(), 0u);
+
+  im.absorb_genuine(3, im.make_genuine("new"), "new", util::kMinute);
+  EXPECT_EQ(im.relays_recycled(), 1u);
+  EXPECT_EQ(im.pooled_relays(), 0u);
+  EXPECT_EQ(im.materialized_relays(), 1u);
+  // The recycled state carries nothing over from its previous owner.
+  EXPECT_FALSE(im.genuinely_contains(3, "old", util::kMinute));
+  EXPECT_TRUE(im.genuinely_contains(3, "new", util::kMinute));
+  EXPECT_FALSE(im.relay(3, util::kMinute).contains("old"));
+}
+
+TEST(InterestManager, RecycledStateDecaysFromReacquisitionTime) {
+  // A recycled relay's decay clock starts at its new first touch — exactly
+  // like an eager empty filter, whose decay up to that point is a no-op.
+  auto im = make_manager(/*df=*/1.0);
+  im.absorb_genuine(0, im.make_genuine("a"), "a", 0);
+  im.clear_relay(0, util::from_minutes(5));
+  // Re-promote the same node much later; counters must start at full C.
+  const util::Time later = util::from_minutes(500);
+  im.absorb_genuine(0, im.make_genuine("b"), "b", later);
+  EXPECT_EQ(im.relay(0, later).min_counter("b"), kC);
+  // And decay only from `later` on.
+  EXPECT_NEAR(*im.relay(0, later + util::from_minutes(10)).min_counter("b"),
+              kC - 10.0, 1e-9);
+}
+
+TEST(InterestManager, EagerModeMatchesPooledObservables) {
+  InterestManager lazy(4, kPaper, kC, 1.0, /*eager_state=*/false);
+  InterestManager eager(4, kPaper, kC, 1.0, /*eager_state=*/true);
+  for (InterestManager* im : {&lazy, &eager}) {
+    im->set_node_df(1, 2.0);
+    im->absorb_genuine(1, im->make_genuine("key"), "key", 0);
+    im->clear_relay(1, util::kMinute);
+    im->absorb_genuine(1, im->make_genuine("key"), "key", util::kMinute);
+  }
+  EXPECT_DOUBLE_EQ(*lazy.relay(1, util::from_minutes(3)).min_counter("key"),
+                   *eager.relay(1, util::from_minutes(3)).min_counter("key"));
+  EXPECT_EQ(lazy.genuinely_contains(1, "key", util::from_minutes(3)),
+            eager.genuinely_contains(1, "key", util::from_minutes(3)));
+}
+
 TEST(InterestManager, RelaySnapshotDoesNotAdvanceClock) {
   auto im = make_manager(/*df=*/1.0);
   im.absorb_genuine(0, im.make_genuine("key"), "key", 0);

@@ -1,0 +1,167 @@
+#include "util/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace bsub::util {
+namespace {
+
+struct Tracked {
+  int value = 0;
+  std::string payload;
+};
+
+TEST(ObjectPool, AcquireConstructsFromMake) {
+  ObjectPool<Tracked> pool;
+  const std::uint32_t h = pool.acquire([] { return Tracked{7, "seven"}; });
+  EXPECT_EQ(pool[h].value, 7);
+  EXPECT_EQ(pool[h].payload, "seven");
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.free_count(), 0u);
+  EXPECT_EQ(pool.recycled(), 0u);
+}
+
+TEST(ObjectPool, ReleaseThenAcquireRecycles) {
+  ObjectPool<Tracked> pool;
+  const std::uint32_t a = pool.acquire([] { return Tracked{1, "x"}; });
+  pool.release(a, [](Tracked& t) {
+    t.value = 0;
+    t.payload.clear();
+  });
+  EXPECT_EQ(pool.free_count(), 1u);
+
+  // The recycle hook already reset the object, so make() must not run.
+  const std::uint32_t b = pool.acquire([]() -> Tracked {
+    ADD_FAILURE() << "make() ran for a recycled object";
+    return {};
+  });
+  EXPECT_EQ(b, a);  // same slot comes back
+  EXPECT_EQ(pool[b].value, 0);
+  EXPECT_TRUE(pool[b].payload.empty());
+  EXPECT_EQ(pool.size(), 1u);  // no new construction
+  EXPECT_EQ(pool.free_count(), 0u);
+  EXPECT_EQ(pool.recycled(), 1u);
+}
+
+TEST(ObjectPool, RecycledObjectKeepsHeapCapacity) {
+  // The point of releaser-side reset: a demoted broker's buffers survive on
+  // the free list, so re-promotion reuses them instead of reallocating.
+  ObjectPool<std::vector<int>> pool;
+  const std::uint32_t h = pool.acquire([] { return std::vector<int>(); });
+  pool[h].resize(1000);
+  const std::size_t cap = pool[h].capacity();
+  pool.release(h, [](std::vector<int>& v) { v.clear(); });  // keeps capacity
+  const std::uint32_t h2 = pool.acquire([] { return std::vector<int>(); });
+  EXPECT_EQ(h2, h);
+  EXPECT_TRUE(pool[h2].empty());
+  EXPECT_GE(pool[h2].capacity(), cap);
+}
+
+TEST(ObjectPool, HandlesStayValidAcrossGrowth) {
+  // Chunked backing storage: growing the pool must never move live objects,
+  // because workers dereference handles without a lock while acquires run.
+  ObjectPool<std::uint64_t> pool;
+  std::vector<const std::uint64_t*> addrs;
+  constexpr std::uint32_t kCount = 5000;  // spans several chunk doublings
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    const std::uint32_t h = pool.acquire([i] { return std::uint64_t{i}; });
+    ASSERT_EQ(h, i);  // dense handles in acquisition order
+    addrs.push_back(&pool[h]);
+  }
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(&pool[i], addrs[i]);
+    EXPECT_EQ(pool[i], i);
+  }
+  EXPECT_EQ(pool.size(), kCount);
+}
+
+TEST(ObjectPool, FreeListIsLifo) {
+  ObjectPool<int> pool;
+  const std::uint32_t a = pool.acquire([] { return 1; });
+  const std::uint32_t b = pool.acquire([] { return 2; });
+  auto reset = [](int& v) { v = 0; };
+  pool.release(a, reset);
+  pool.release(b, reset);
+  EXPECT_EQ(pool.free_count(), 2u);
+  EXPECT_EQ(pool.acquire([] { return -1; }), b);
+  EXPECT_EQ(pool.acquire([] { return -1; }), a);
+  EXPECT_EQ(pool.recycled(), 2u);
+}
+
+TEST(BlockPool, RoundsUpToPowerOfTwoClasses) {
+  BlockPool pool;
+  // 10 bytes rounds to the 16-byte minimum class: releasing as 10 and
+  // re-acquiring as 16 hits the same free list, so the block comes back.
+  void* p = pool.acquire(10);
+  ASSERT_NE(p, nullptr);
+  pool.release(p, 10);
+  EXPECT_EQ(pool.acquire(16), p);
+
+  void* q = pool.acquire(17);  // 32-byte class, distinct from the above
+  EXPECT_NE(q, p);
+  pool.release(q, 17);
+  EXPECT_EQ(pool.acquire(32), q);
+}
+
+TEST(BlockPool, BlocksAreAligned) {
+  BlockPool pool;
+  for (std::size_t bytes : {1u, 16u, 24u, 100u, 4096u}) {
+    void* p = pool.acquire(bytes);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % BlockPool::kMinBlock, 0u)
+        << "block of " << bytes << " bytes misaligned";
+  }
+}
+
+TEST(BlockPool, AcquireArrayIsUsableAndRecycles) {
+  BlockPool pool;
+  std::uint64_t* a = pool.acquire_array<std::uint64_t>(100);
+  ASSERT_NE(a, nullptr);
+  for (std::size_t i = 0; i < 100; ++i) a[i] = i * 3;
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(a[i], i * 3);
+  pool.release_array(a, 100);
+  // Same size class (800 -> 1024 bytes) reuses the freed block.
+  std::uint64_t* b = pool.acquire_array<std::uint64_t>(128);
+  EXPECT_EQ(b, a);
+}
+
+TEST(BlockPool, SteadyStateChurnReservesNothingNew) {
+  BlockPool pool;
+  void* p = pool.acquire(256);
+  pool.release(p, 256);
+  const std::size_t reserved = pool.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+  // Acquire/release cycles at a warmed size class never touch the system.
+  for (int i = 0; i < 1000; ++i) {
+    void* q = pool.acquire(200);  // same 256-byte class
+    EXPECT_EQ(q, p);
+    pool.release(q, 200);
+  }
+  EXPECT_EQ(pool.bytes_reserved(), reserved);
+}
+
+TEST(BlockPool, OversizeBlocksWorkAndRecycle) {
+  BlockPool pool;
+  const std::size_t big = BlockPool::kSlabBytes * 2;  // beyond any slab
+  void* p = pool.acquire(big);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, big);
+  const std::size_t reserved = pool.bytes_reserved();
+  EXPECT_GE(reserved, big);
+  pool.release(p, big);
+  EXPECT_EQ(pool.acquire(big), p);
+  EXPECT_EQ(pool.bytes_reserved(), reserved);
+}
+
+TEST(BlockPool, ReleaseNullIsNoop) {
+  BlockPool pool;
+  pool.release(nullptr, 64);
+  pool.release_array<std::uint32_t>(nullptr, 16);
+  EXPECT_EQ(pool.bytes_reserved(), 0u);
+}
+
+}  // namespace
+}  // namespace bsub::util

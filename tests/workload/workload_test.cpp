@@ -22,8 +22,9 @@ TEST(Workload, EveryNodeHasOneInterest) {
   auto t = small_trace();
   KeySet keys = twitter_trend_keys();
   Workload w(t, keys, {});
-  EXPECT_EQ(w.interests().size(), 20u);
+  EXPECT_EQ(w.node_count(), 20u);
   for (trace::NodeId n = 0; n < 20; ++n) {
+    EXPECT_EQ(w.interests_of(n).size(), 1u);
     EXPECT_LT(w.interest_of(n), keys.size());
   }
 }
@@ -78,7 +79,12 @@ TEST(Workload, DeterministicForSameSeed) {
   cfg.seed = 42;
   Workload w1(t, keys, cfg);
   Workload w2(t, keys, cfg);
-  EXPECT_EQ(w1.interests(), w2.interests());
+  ASSERT_EQ(w1.node_count(), w2.node_count());
+  for (trace::NodeId n = 0; n < w1.node_count(); ++n) {
+    const auto i1 = w1.interests_of(n);
+    const auto i2 = w2.interests_of(n);
+    ASSERT_TRUE(std::equal(i1.begin(), i1.end(), i2.begin(), i2.end()));
+  }
   ASSERT_EQ(w1.messages().size(), w2.messages().size());
   for (std::size_t i = 0; i < w1.messages().size(); ++i) {
     EXPECT_EQ(w1.messages()[i].created, w2.messages()[i].created);

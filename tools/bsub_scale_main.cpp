@@ -95,6 +95,11 @@ int main(int argc, char** argv) {
   std::printf("events/sec:     %.0f\n", r.events_per_sec);
   std::printf("peak RSS:       %.1f MiB\n",
               static_cast<double>(r.peak_rss_bytes) / (1 << 20));
+  std::printf("bytes/node:     %.0f\n", r.bytes_per_node);
+  std::printf("ever-brokers:   %llu (materialized relays)\n",
+              static_cast<unsigned long long>(r.materialized_relays));
+  std::printf("election state: %.1f MiB\n",
+              static_cast<double>(r.election_state_bytes) / (1 << 20));
   std::printf("deliveries:     %llu (ratio %.3f)\n",
               static_cast<unsigned long long>(r.deliveries),
               r.delivery_ratio);
