@@ -27,12 +27,10 @@ int main() {
     sim::Simulator sim(scfg);
 
     Row r;
-    routing::PushProtocol push;
-    r.push = sim.run(scenario.trace, w, push);
-    core::BsubProtocol bsub(cfg);
-    r.bsub = sim.run(scenario.trace, w, bsub);
-    routing::PullProtocol pull;
-    r.pull = sim.run(scenario.trace, w, pull);
+    r.push = sim.run(scenario.trace, w, protocol_registry(), "PUSH");
+    r.bsub =
+        sim.run(scenario.trace, w, protocol_registry(), core::bsub_spec(cfg));
+    r.pull = sim.run(scenario.trace, w, protocol_registry(), "PULL");
     return r;
   });
 

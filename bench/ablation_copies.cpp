@@ -6,7 +6,7 @@
 // parallel sweep runner.
 #include "experiment_common.h"
 
-#include "routing/spray.h"
+#include <string>
 
 int main() {
   using namespace bsub::bench;
@@ -30,8 +30,9 @@ int main() {
         cfg.copy_limit = copies;
         Row r;
         r.bsub = run_bsub(scenario, w, cfg);
-        routing::SprayProtocol spray(copies);
-        r.spray = sim::Simulator().run(scenario.trace, w, spray);
+        r.spray = run_spec(scenario, w,
+                           "SPRAY:copies=" + std::to_string(copies))
+                      .results;
         return r;
       });
 

@@ -12,9 +12,8 @@
 
 #include "core/bsub_protocol.h"
 #include "core/df_tuning.h"
+#include "core/protocol_registry.h"
 #include "metrics/collector.h"
-#include "routing/pull.h"
-#include "routing/push.h"
 #include "sim/simulator.h"
 #include "trace/synthetic.h"
 #include "util/parallel.h"
@@ -61,28 +60,46 @@ inline core::BsubConfig bsub_config_for(const Scenario& s, util::Time ttl) {
 
 struct ProtocolRun {
   metrics::RunResults results;
-  core::BsubProtocol::TrafficBreakdown traffic;  // zero for PUSH/PULL
+  core::BsubProtocol::TrafficBreakdown traffic;  // zero for baselines
   double relay_fpr = 0.0;                        // B-SUB only
 };
 
+/// The full protocol table, shared by every experiment/scale/matrix entry
+/// point. Benches name protocols by spec string, never by constructor.
+inline const sim::ProtocolRegistry& protocol_registry() {
+  static const sim::ProtocolRegistry registry = core::make_protocol_registry();
+  return registry;
+}
+
+/// Runs one protocol named by spec over a materialized scenario. B-SUB's
+/// extra observability (traffic breakdown, measured relay FPR) is filled
+/// when the spec resolves to B-SUB; baselines report zeros.
+inline ProtocolRun run_spec(const Scenario& s, const workload::Workload& w,
+                            const std::string& spec) {
+  const std::unique_ptr<sim::Protocol> proto = protocol_registry().make(spec);
+  ProtocolRun out;
+  out.results = sim::Simulator().run(s.trace, w, *proto);
+  if (const auto* bsub =
+          dynamic_cast<const core::BsubProtocol*>(proto.get())) {
+    out.traffic = bsub->traffic();
+    out.relay_fpr = bsub->measured_relay_fpr();
+  }
+  return out;
+}
+
 inline ProtocolRun run_push(const Scenario& s, const workload::Workload& w) {
-  routing::PushProtocol proto;
-  return {sim::Simulator().run(s.trace, w, proto), {}, 0.0};
+  return run_spec(s, w, "PUSH");
 }
 
 inline ProtocolRun run_pull(const Scenario& s, const workload::Workload& w) {
-  routing::PullProtocol proto;
-  return {sim::Simulator().run(s.trace, w, proto), {}, 0.0};
+  return run_spec(s, w, "PULL");
 }
 
 inline ProtocolRun run_bsub(const Scenario& s, const workload::Workload& w,
                             const core::BsubConfig& cfg) {
-  core::BsubProtocol proto(cfg);
-  ProtocolRun out;
-  out.results = sim::Simulator().run(s.trace, w, proto);
-  out.traffic = proto.traffic();
-  out.relay_fpr = proto.measured_relay_fpr();
-  return out;
+  // Through the exact round-trip printer, so every B-SUB experiment run
+  // also exercises the registry's spec grammar.
+  return run_spec(s, w, core::bsub_spec(cfg));
 }
 
 inline void print_header(const std::string& title) {

@@ -6,15 +6,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/wait.h>
-#include <unistd.h>
-#endif
 
 #include "core/bsub_protocol.h"
 #include "experiment_common.h"
+#include "fork_util.h"
 #include "resource_stats.h"
 #include "sim/simulator.h"
 #include "trace/city.h"
@@ -90,12 +87,20 @@ inline workload::Workload make_scale_workload(const workload::KeySet& keys,
                             std::move(messages));
 }
 
-/// Runs one sweep point end to end: streamed city scenario through B-SUB on
-/// the simulator substrate. The stream is the only contact source — nothing
-/// is materialized at any node/contact count.
-inline ScaleResult run_scale_point(const ScalePoint& point,
-                                   std::uint64_t seed = kExperimentSeed,
-                                   std::size_t threads = 1) {
+/// Default protocol for scale runs. Fixed DF: Eq. 5's tuning needs trace
+/// centrality, which a streamed scenario deliberately never computes; the
+/// sweep measures the contact plane, not DF calibration, so any sane
+/// constant serves every point.
+inline constexpr const char* kScaleDefaultProtocol = "B-SUB:df=0.5";
+
+/// Runs one sweep point end to end: streamed city scenario through the
+/// protocol named by `protocol_spec` on the simulator substrate. The stream
+/// is the only contact source — nothing is materialized at any node/contact
+/// count.
+inline ScaleResult run_scale_point(
+    const ScalePoint& point, std::uint64_t seed = kExperimentSeed,
+    std::size_t threads = 1,
+    const std::string& protocol_spec = kScaleDefaultProtocol) {
   const trace::CityTraceConfig city =
       trace::city_config(point.nodes, point.contacts, seed);
   const util::Time duration =
@@ -106,19 +111,15 @@ inline ScaleResult run_scale_point(const ScalePoint& point,
   const workload::Workload w =
       make_scale_workload(keys, point.nodes, point.messages, duration, seed);
 
-  // Fixed DF: Eq. 5's tuning needs trace centrality, which a streamed
-  // scenario deliberately never computes; the sweep measures the contact
-  // plane, not DF calibration, so any sane constant serves every point.
-  core::BsubConfig cfg;
-  cfg.df_per_minute = 0.5;
-  core::BsubProtocol proto(cfg);
+  const std::unique_ptr<sim::Protocol> proto =
+      protocol_registry().make(protocol_spec);
 
   sim::SimulatorConfig sim_cfg;
   sim_cfg.threads = threads;
   sim::Simulator simulator(sim_cfg);
 
   WallTimer timer;
-  const metrics::RunResults results = simulator.run(*stream, w, proto);
+  const metrics::RunResults results = simulator.run(*stream, w, *proto);
   ScaleResult out;
   out.seconds = timer.seconds();
   out.events = simulator.last_run_stats().events;
@@ -134,62 +135,24 @@ inline ScaleResult run_scale_point(const ScalePoint& point,
   out.delivery_ratio = results.delivery_ratio;
   out.forwardings = results.forwardings;
   out.threads_used = simulator.last_run_stats().threads_used;
-  out.materialized_relays = proto.interests().materialized_relays();
-  out.election_state_bytes = proto.election().state_bytes_reserved();
+  // B-SUB-only observability; baselines report zero (no relay/election
+  // state exists to measure).
+  if (const auto* bsub = dynamic_cast<const core::BsubProtocol*>(proto.get())) {
+    out.materialized_relays = bsub->interests().materialized_relays();
+    out.election_state_bytes = bsub->election().state_bytes_reserved();
+  }
   return out;
 }
 
-/// Runs `point` in a forked child and reads the result back over a pipe.
-/// getrusage's peak RSS is a process-lifetime high-water mark, so per-point
-/// peaks in one sweep require one process per point. Returns false if the
-/// child failed (the parent sweep then fails too). Falls back to in-process
-/// execution on platforms without fork.
-inline bool run_scale_point_isolated(const ScalePoint& point,
-                                     std::uint64_t seed, std::size_t threads,
-                                     ScaleResult& out) {
-#if defined(__unix__) || defined(__APPLE__)
-  int fds[2];
-  if (pipe(fds) != 0) return false;
-  const pid_t pid = fork();
-  if (pid < 0) {
-    close(fds[0]);
-    close(fds[1]);
-    return false;
-  }
-  if (pid == 0) {
-    close(fds[0]);
-    const ScaleResult r = run_scale_point(point, seed, threads);
-    const char* bytes = reinterpret_cast<const char*>(&r);
-    std::size_t off = 0;
-    while (off < sizeof r) {
-      const ssize_t n = write(fds[1], bytes + off, sizeof r - off);
-      if (n <= 0) _exit(2);
-      off += static_cast<std::size_t>(n);
-    }
-    close(fds[1]);
-    _exit(0);
-  }
-  close(fds[1]);
-  ScaleResult r;
-  char* bytes = reinterpret_cast<char*>(&r);
-  std::size_t off = 0;
-  while (off < sizeof r) {
-    const ssize_t n = read(fds[0], bytes + off, sizeof r - off);
-    if (n <= 0) break;
-    off += static_cast<std::size_t>(n);
-  }
-  close(fds[0]);
-  int status = 0;
-  waitpid(pid, &status, 0);
-  if (off != sizeof r || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-    return false;
-  }
-  out = r;
-  return true;
-#else
-  out = run_scale_point(point, seed, threads);
-  return true;
-#endif
+/// Runs `point` in a forked child (see fork_util.h for why) and reads the
+/// result back over a pipe. Returns false if the child failed (the parent
+/// sweep then fails too).
+inline bool run_scale_point_isolated(
+    const ScalePoint& point, std::uint64_t seed, std::size_t threads,
+    ScaleResult& out, const std::string& protocol_spec = kScaleDefaultProtocol) {
+  return run_isolated(
+      [&] { return run_scale_point(point, seed, threads, protocol_spec); },
+      out);
 }
 
 }  // namespace bsub::bench

@@ -315,4 +315,15 @@ void BsubNode::purge(util::Time now) {
   }
 }
 
+NodeConfig node_config_from(const core::BsubConfig& config) {
+  NodeConfig out;
+  out.filter_params = config.filter_params;
+  out.initial_counter = config.initial_counter;
+  out.df_per_minute = config.df_per_minute;
+  out.copy_limit = config.copy_limit;
+  out.relay_gated_delivery = config.relay_gated_delivery;
+  out.broker_merge = config.broker_merge;
+  return out;
+}
+
 }  // namespace bsub::engine

@@ -55,6 +55,13 @@ struct NodeConfig {
   core::BrokerMergeMode broker_merge = core::BrokerMergeMode::kMMerge;
 };
 
+/// Projects the simulator-side protocol config onto the live node's knobs
+/// (the shared constants: filter geometry, C, DF, copy limit, gating,
+/// merge mode). Election thresholds and simulator-only execution-path
+/// toggles are not part of a node; callers that also need the election use
+/// the BsubConfig directly (see TraceRunner::from_protocol_spec).
+NodeConfig node_config_from(const core::BsubConfig& config);
+
 class BsubNode {
  public:
   /// Called when a message is accepted by this node as a consumer.

@@ -20,6 +20,8 @@
 // byte-identical TraceRunResults.
 #pragma once
 
+#include <string_view>
+
 #include "core/broker_allocation.h"
 #include "engine/network.h"
 #include "metrics/collector.h"
@@ -58,6 +60,17 @@ class TraceRunner {
               TraceRunnerOptions options = {})
       : node_config_(node_config), election_config_(election),
         bandwidth_(bandwidth_bytes_per_second), options_(options) {}
+
+  /// Builds a runner from a B-SUB protocol spec (see
+  /// core::bsub_config_from_spec): the shared constants map onto
+  /// NodeConfig, bl/bu/window_ms onto the election config. Throws
+  /// util::ConfigError for a non-B-SUB spec, a bad parameter, or
+  /// adaptive=1 (the frame engine has no online DF estimator — failing
+  /// loudly beats silently running a different protocol than asked).
+  static TraceRunner from_protocol_spec(
+      std::string_view protocol_spec,
+      double bandwidth_bytes_per_second = sim::kDefaultBandwidthBytesPerSecond,
+      TraceRunnerOptions options = {});
 
   /// Runs a streamed scenario; deterministic across thread counts and
   /// bit-identical to running the stream's materialization. Peak memory is

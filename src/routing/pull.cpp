@@ -1,6 +1,17 @@
 #include "routing/pull.h"
 
+#include <cassert>
+
 namespace bsub::routing {
+
+std::size_t pull_announce_wire_size(const workload::Workload& workload,
+                                    trace::NodeId consumer) {
+  std::size_t bytes = 0;
+  for (workload::KeyId k : workload.interests_of(consumer)) {
+    bytes += workload.keys().name(k).size();
+  }
+  return bytes;
+}
 
 void PullProtocol::on_start(const sim::ScenarioInfo& scenario,
                             const workload::Workload& workload,
@@ -8,6 +19,10 @@ void PullProtocol::on_start(const sim::ScenarioInfo& scenario,
   workload_ = &workload;
   collector_ = &collector;
   produced_.assign(scenario.node_count, {});
+  // Interests are set here and never change during a run; a mid-run
+  // interest change would have to come back through on_start, which
+  // re-invalidates every cached announce size.
+  announce_bytes_.assign(scenario.node_count, kAnnounceUnknown);
 }
 
 void PullProtocol::on_message_created(const workload::Message& msg,
@@ -47,10 +62,27 @@ void PullProtocol::on_end(util::Time /*now*/) {
 
 void PullProtocol::pull(trace::NodeId consumer, trace::NodeId producer,
                         util::Time now, sim::Link& link) {
-  // The consumer announces its interests: raw key strings.
-  std::size_t announce_bytes = 0;
-  for (workload::KeyId k : workload_->interests_of(consumer)) {
-    announce_bytes += workload_->keys().name(k).size();
+  // The consumer announces its interests: raw key strings. The size is a
+  // pure function of the consumer's (static) interest set, so it is
+  // computed once per consumer, not once per contact.
+  std::size_t announce_bytes;
+  if (naive_purge_) {
+    // Reference path: recompute from the raw strings every contact.
+    announce_bytes = pull_announce_wire_size(*workload_, consumer);
+  } else {
+    std::uint32_t& cached = announce_bytes_[consumer];
+    auto& hp = collector_->hot_path();
+    if (cached == kAnnounceUnknown) {
+      cached =
+          static_cast<std::uint32_t>(pull_announce_wire_size(*workload_,
+                                                             consumer));
+      ++hp.encode_cache_misses;
+    } else {
+      ++hp.encode_cache_hits;
+    }
+    assert(cached == pull_announce_wire_size(*workload_, consumer) &&
+           "cached announce size diverged from the wire-size formula");
+    announce_bytes = cached;
   }
   if (!link.try_send(announce_bytes)) return;
   collector_->record_control_bytes(announce_bytes);

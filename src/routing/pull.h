@@ -5,12 +5,20 @@
 // overhead lower bound but pays in delivery ratio and delay.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/message_store.h"
 #include "sim/protocol.h"
 
 namespace bsub::routing {
+
+/// Exact wire size of `consumer`'s interest announcement: the raw key
+/// strings, back to back — sum of |name(k)| over interests_of(consumer).
+/// The named formula (style of bloom's encoded_*_wire_size) so the cached
+/// per-consumer size below has a ground truth to be asserted against.
+std::size_t pull_announce_wire_size(const workload::Workload& workload,
+                                    trace::NodeId consumer);
 
 class PullProtocol final : public sim::Protocol {
  public:
@@ -41,6 +49,15 @@ class PullProtocol final : public sim::Protocol {
   const workload::Workload* workload_ = nullptr;
   metrics::Collector* collector_ = nullptr;
   std::vector<sim::MessageStore> produced_;  // each node's own messages
+
+  /// Cached per-consumer announce size (pull_announce_wire_size), filled
+  /// lazily on a consumer's first pull. Interests are fixed after on_start —
+  /// the only interest-change point — which resets every slot to the
+  /// sentinel; an assert re-checks the formula on every cached use in debug
+  /// builds. The naive reference path keeps recomputing from the raw
+  /// strings each contact (the differential tests compare the two).
+  static constexpr std::uint32_t kAnnounceUnknown = UINT32_MAX;
+  std::vector<std::uint32_t> announce_bytes_;
 };
 
 }  // namespace bsub::routing

@@ -1,0 +1,22 @@
+// Registration of the baseline routing protocols (PUSH, PULL, SPRAY)
+// into a sim::ProtocolRegistry. The registry mechanism lives in sim/; this
+// unit owns the baseline entries so their parameter surfaces stay next to
+// the implementations they configure. B-SUB registers from core
+// (core::register_bsub_protocol); core::make_protocol_registry() aggregates
+// both into the full table.
+#pragma once
+
+#include "sim/protocol_registry.h"
+
+namespace bsub::routing {
+
+/// Adds PUSH, PULL, and SPRAY to `registry`.
+///
+/// Accepted parameters (all optional):
+///   PUSH:  reference=<bool>           naive full-scan purge reference path
+///   PULL:  reference=<bool>
+///   SPRAY: copies=<u32 >= 1>          spray budget L (default 3)
+///          reference=<bool>
+void register_baseline_protocols(sim::ProtocolRegistry& registry);
+
+}  // namespace bsub::routing

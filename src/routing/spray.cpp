@@ -46,8 +46,12 @@ void SprayProtocol::spray(trace::NodeId producer, trace::NodeId peer,
        it != produced_[producer].end();) {
     SourceMessage& sm = it->second;
     const workload::Message& msg = *sm.msg;
+    // The delivered-guard (same as deliver()'s): a peer that already
+    // received this message holds the payload — re-sending it would
+    // double-charge forwardings/bytes and burn a spray copy that could
+    // still reach an unserved node.
     if (sm.copies_left == 0 || relayed_[peer].contains(msg.id) ||
-        msg.producer == peer) {
+        msg.producer == peer || collector_->delivered(msg.id, peer)) {
       ++it;
       continue;
     }

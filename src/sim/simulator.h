@@ -21,6 +21,7 @@
 #include "sim/link.h"
 #include "sim/parallel_executor.h"
 #include "sim/protocol.h"
+#include "sim/protocol_registry.h"
 #include "trace/contact_stream.h"
 #include "trace/trace.h"
 #include "workload/workload.h"
@@ -57,6 +58,26 @@ class Simulator {
                           Protocol& protocol) {
     trace::MaterializedStream stream(trace);
     return run(stream, workload, protocol);
+  }
+
+  /// Spec-driven runs: resolves `protocol_spec` against `registry` (throws
+  /// util::ConfigError for an unknown name or bad parameter) and runs the
+  /// freshly constructed protocol. The registry is a parameter — not a
+  /// global — so the simulator stays a pure mechanism; callers use
+  /// core::make_protocol_registry() for the full table.
+  metrics::RunResults run(trace::ContactStream& contacts,
+                          const workload::Workload& workload,
+                          const ProtocolRegistry& registry,
+                          std::string_view protocol_spec) {
+    std::unique_ptr<Protocol> protocol = registry.make(protocol_spec);
+    return run(contacts, workload, *protocol);
+  }
+  metrics::RunResults run(const trace::ContactTrace& trace,
+                          const workload::Workload& workload,
+                          const ProtocolRegistry& registry,
+                          std::string_view protocol_spec) {
+    trace::MaterializedStream stream(trace);
+    return run(stream, workload, registry, protocol_spec);
   }
 
   /// Execution-shape stats of the most recent run() (windows, batches,

@@ -83,6 +83,49 @@ TEST(Pull, PullsBothDirectionsInOneContact) {
   EXPECT_EQ(r.interested_deliveries, 2u);
 }
 
+TEST(Pull, AnnounceBytesMatchTheWireSizeFormula) {
+  auto keys = two_keys();
+  // Node 0 wants "beta" (4 bytes), node 1 wants "alpha" (5 bytes); they
+  // meet three times. Every contact announces both directions from the
+  // cached sizes, so control bytes are exactly 3 x (4 + 5).
+  trace::ContactTrace t(2, {contact(0, 1, 10), contact(0, 1, 30),
+                            contact(0, 1, 50)});
+  workload::Workload w(keys, 2, {1, 0}, {make_message(0, 0, 0)});
+  EXPECT_EQ(pull_announce_wire_size(w, 0), 4u);
+  EXPECT_EQ(pull_announce_wire_size(w, 1), 5u);
+  PullProtocol pull;
+  sim::Simulator sim;
+  auto r = sim.run(t, w, pull);
+  EXPECT_EQ(r.control_bytes, 3u * (4u + 5u));
+  // Two consumers fill the cache once each; the remaining four announces
+  // are cache hits.
+  EXPECT_EQ(r.hot_path.encode_cache_misses, 2u);
+  EXPECT_EQ(r.hot_path.encode_cache_hits, 4u);
+}
+
+TEST(Pull, CachedAnnounceSizesMatchNaiveRecomputationReference) {
+  trace::SyntheticTraceConfig cfg;
+  cfg.node_count = 15;
+  cfg.contact_count = 2000;
+  cfg.duration = util::kDay;
+  cfg.seed = 43;
+  auto t = trace::generate_trace(cfg);
+  auto keys = workload::twitter_trend_keys();
+  workload::Workload w(t, keys, {});
+  sim::Simulator sim;
+  PullProtocol cached;
+  auto fast = sim.run(t, w, cached);
+  PullProtocol naive(/*naive_purge=*/true);
+  auto ref = sim.run(t, w, naive);
+  // Semantic fields identical; only the execution-shape counters differ.
+  EXPECT_EQ(fast.control_bytes, ref.control_bytes);
+  EXPECT_EQ(fast.message_bytes, ref.message_bytes);
+  EXPECT_EQ(fast.interested_deliveries, ref.interested_deliveries);
+  EXPECT_EQ(fast.forwardings, ref.forwardings);
+  EXPECT_GT(fast.hot_path.encode_cache_hits, 0u);
+  EXPECT_EQ(ref.hot_path.encode_cache_hits, 0u);
+}
+
 TEST(Pull, NeverFalseDelivers) {
   trace::SyntheticTraceConfig cfg;
   cfg.node_count = 15;

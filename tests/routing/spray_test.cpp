@@ -83,6 +83,58 @@ TEST(Spray, ExpiredMessagesPurged) {
   EXPECT_EQ(r.interested_deliveries, 0u);  // relay copy expired before t=40
 }
 
+// Regression: spraying must carry the same delivered-guard as delivery.
+// Without it, deliver() satisfies the consumer and spray() then re-sends
+// the identical body to the now-satisfied consumer in the same contact —
+// the delivery count stays correct (the collector dedups), but forwardings
+// and message bytes double-charge and a spray copy is wasted.
+TEST(Spray, DoesNotResprayToSatisfiedConsumer) {
+  auto keys = two_keys();
+  // Producer 0 meets interested consumer 1 twice.
+  trace::ContactTrace t(2, {contact(0, 1, 10), contact(0, 1, 30)});
+  workload::Workload w(keys, 2, {1, 0}, {make_message(0, 0, 0)});
+  SprayProtocol spray(3);
+  sim::Simulator sim;
+  auto r = sim.run(t, w, spray);
+  EXPECT_EQ(r.interested_deliveries, 1u);
+  EXPECT_EQ(r.forwardings, 1u);  // one body transfer satisfies the consumer
+  EXPECT_EQ(r.message_bytes, 100u);
+}
+
+// Regression: a consumer reachable via multiple paths (relay first, then
+// the producer directly) must not be charged a second body transfer by the
+// producer's spray loop once the relay has already delivered.
+TEST(Spray, MultiPathConsumerIsNotDoubleCharged) {
+  auto keys = two_keys();
+  // 0 sprays to relay 1 (uninterested); 1 delivers to 2; 0 then meets 2.
+  trace::ContactTrace t(3, {contact(0, 1, 10), contact(1, 2, 20),
+                            contact(0, 2, 30)});
+  workload::Workload w(keys, 3, {1, 1, 0}, {make_message(0, 0, 0)});
+  SprayProtocol spray(3);
+  sim::Simulator sim;
+  auto r = sim.run(t, w, spray);
+  EXPECT_EQ(r.interested_deliveries, 1u);
+  // Spray to the relay + the relay's delivery; the producer-consumer
+  // meeting at t=30 moves no body (delivered-guard on both paths).
+  EXPECT_EQ(r.forwardings, 2u);
+  EXPECT_EQ(r.message_bytes, 200u);
+}
+
+// The guard must not cost copy budget: skipping a satisfied consumer
+// leaves the copy for the next unserved node.
+TEST(Spray, SatisfiedConsumerDoesNotConsumeSprayBudget) {
+  auto keys = two_keys();
+  // Budget 1: consumer 1 is served directly at t=10; the single spray copy
+  // must still reach relay 2 at t=20 and deliver to consumer 3 at t=30.
+  trace::ContactTrace t(4, {contact(0, 1, 10), contact(0, 2, 20),
+                            contact(2, 3, 30)});
+  workload::Workload w(keys, 4, {0, 0, 1, 0}, {make_message(0, 0, 0)});
+  SprayProtocol spray(1);
+  sim::Simulator sim;
+  auto r = sim.run(t, w, spray);
+  EXPECT_EQ(r.interested_deliveries, 2u);
+}
+
 TEST(Spray, SitsBetweenPullAndPushOnDeliveryRatio) {
   trace::SyntheticTraceConfig cfg;
   cfg.node_count = 30;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bloom/kernels.h"
+#include "core/protocol_registry.h"
 #include "engine/node.h"
 #include "metrics/collector.h"
 #include "net/clock.h"
@@ -48,7 +49,8 @@ struct Options {
   bsub::util::Time ttl = bsub::util::kHour;
   bsub::util::Time duration = 0;  ///< 0 = run until SIGINT
   bsub::util::Time decay_tick = bsub::util::kMinute;
-  std::string kernel;  ///< TCBF kernel backend override (empty = auto)
+  std::string kernel;    ///< TCBF kernel backend override (empty = auto)
+  std::string protocol;  ///< protocol spec (empty = default B-SUB config)
 };
 
 int usage(const char* argv0) {
@@ -66,7 +68,11 @@ int usage(const char* argv0) {
       "  --decay-tick-ms N      TCBF decay tick period (default 1min)\n"
       "  --kernel NAME          TCBF kernel backend: scalar | blocked | avx2\n"
       "                         | neon | auto (default: auto dispatch; also\n"
-      "                         settable via the BSUB_KERNEL env variable)\n",
+      "                         settable via the BSUB_KERNEL env variable)\n"
+      "  --protocol SPEC        protocol spec, e.g. bsub:df=0.5,copies=5\n"
+      "                         (a live node runs only B-SUB; parameters\n"
+      "                         configure it — see core::bsub_config_from_"
+      "spec)\n",
       argv0);
   return 2;
 }
@@ -119,6 +125,10 @@ bool parse_options(int argc, char** argv, Options& opts) {
       const char* v = need_value(i);
       if (!v) return false;
       opts.kernel = v;
+    } else if (flag == "--protocol") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opts.protocol = v;
     } else {
       return false;
     }
@@ -163,6 +173,17 @@ int main(int argc, char** argv) {
 
     bsub::net::RuntimeConfig config;
     config.decay_tick = opts.decay_tick;
+    if (!opts.protocol.empty()) {
+      const bsub::core::BsubConfig proto =
+          bsub::core::bsub_config_from_spec(opts.protocol);
+      if (proto.adaptive_df) {
+        std::fprintf(stderr,
+                     "bsub_node: adaptive DF is not supported by the live "
+                     "runtime\n");
+        return 1;
+      }
+      config.node = bsub::engine::node_config_from(proto);
+    }
     bsub::net::NodeRuntime runtime(opts.id, config, transport, reactor,
                                    counters);
     runtime.node().set_broker(opts.broker);

@@ -19,8 +19,10 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--nodes N] [--contacts C] [--messages M] "
-               "[--seed S] [--threads T] [--isolate]\n",
-               argv0);
+               "[--seed S] [--threads T] [--isolate] [--protocol SPEC]\n"
+               "  SPEC selects the routing protocol, e.g. PUSH, PULL,\n"
+               "  spray:copies=8, bsub:df=0.25 (default %s)\n",
+               argv0, bsub::bench::kScaleDefaultProtocol);
 }
 
 bool parse_u64(const char* s, std::uint64_t& out) {
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = kExperimentSeed;
   std::uint64_t threads = 1;
   bool isolate = false;
+  std::string protocol = kScaleDefaultProtocol;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -66,27 +69,43 @@ int main(int argc, char** argv) {
       next_u64(threads);
     } else if (std::strcmp(arg, "--isolate") == 0) {
       isolate = true;
+    } else if (std::strcmp(arg, "--protocol") == 0) {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 2;
+      }
+      protocol = argv[++i];
     } else {
       usage(argv[0]);
       return 2;
     }
   }
 
+  // Validate the spec before committing to a long run (or a fork).
+  try {
+    protocol_registry().make(protocol);
+  } catch (const util::ConfigError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
   std::printf("city scenario: %zu nodes, %llu contacts (streamed), seed %llu, "
-              "%llu thread(s)\n",
+              "%llu thread(s), protocol %s\n",
               point.nodes, static_cast<unsigned long long>(point.contacts),
               static_cast<unsigned long long>(seed),
-              static_cast<unsigned long long>(threads));
+              static_cast<unsigned long long>(threads), protocol.c_str());
 
   ScaleResult r;
   if (isolate) {
     if (!run_scale_point_isolated(point, seed,
-                                  static_cast<std::size_t>(threads), r)) {
+                                  static_cast<std::size_t>(threads), r,
+                                  protocol)) {
       std::fprintf(stderr, "error: isolated run failed\n");
       return 1;
     }
   } else {
-    r = run_scale_point(point, seed, static_cast<std::size_t>(threads));
+    r = run_scale_point(point, seed, static_cast<std::size_t>(threads),
+                        protocol);
   }
 
   std::printf("events:         %llu\n",
