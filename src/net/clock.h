@@ -37,6 +37,13 @@ class ManualClock final : public Clock {
     if (delta > 0) now_ += delta;
   }
 
+  /// Unconditionally rewinds/forwards the clock: the escape hatch for
+  /// reusing one clock across independent virtual-time episodes (a fleet
+  /// lane executes node-disjoint contacts out of global time order, one
+  /// episode per contact). Pair with Reactor::rebase(). Within one episode
+  /// time stays monotonic via set()/advance().
+  void reset(util::Time t) { now_ = t; }
+
  private:
   util::Time now_;
 };

@@ -1,0 +1,113 @@
+// One fleet-resident B-SUB endpoint: the NodeRuntime contract with a
+// rebindable attachment point.
+//
+// A NodeRuntime (net/node_runtime.h) marries a BsubNode to ONE transport
+// and ONE reactor for its whole life — right for a daemon process, wrong
+// for a fleet where thousands of nodes share a few reactor threads and a
+// deterministic loopback run migrates a node between lanes contact by
+// contact. A FleetNode keeps the persistent per-node state (the BsubNode,
+// its session-epoch counter) and makes the attachment explicit:
+//
+//   bind(transport, reactor)   claim the transport's receive upcall, start
+//                              the decay tick (if configured);
+//   connect/close/abort/...    the NodeRuntime session surface, verbatim;
+//   unbind()                   abort any leftover sessions, release the
+//                              transport.
+//
+// Two usage patterns:
+//   - deterministic loopback lanes bind a node for exactly one contact
+//     (decay_tick must be 0 — there is no timeline between contacts);
+//   - UDP shards bind each node once at boot and never unbind until
+//     shutdown, exactly like a NodeRuntime.
+//
+// All calls must come from the bound reactor's thread; like everything in
+// src/net/, a FleetNode is lock-free by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine/node.h"
+#include "metrics/collector.h"
+#include "net/node_runtime.h"
+#include "net/reactor.h"
+#include "net/session.h"
+#include "net/transport.h"
+
+namespace bsub::net {
+
+class FleetNode {
+ public:
+  using SessionClosedHandler =
+      std::function<void(Endpoint peer, SessionCloseReason)>;
+
+  FleetNode(engine::NodeId id, const RuntimeConfig& config,
+            metrics::TransportCounters& counters);
+  ~FleetNode();
+
+  FleetNode(const FleetNode&) = delete;
+  FleetNode& operator=(const FleetNode&) = delete;
+
+  engine::BsubNode& node() { return node_; }
+  const engine::BsubNode& node() const { return node_; }
+  engine::NodeId id() const { return node_.id(); }
+
+  /// Attaches the node to a lane/shard: claims `transport`'s receive
+  /// handler and arms the decay tick (if configured). Both references must
+  /// outlive the binding.
+  void bind(Transport& transport, Reactor& reactor);
+
+  /// Detaches: aborts any session still alive (no datagrams are sent — the
+  /// orchestration layer is expected to have closed gracefully first),
+  /// disarms timers, releases the transport. Idempotent.
+  void unbind();
+
+  bool bound() const { return transport_ != nullptr; }
+
+  /// Opens a contact session toward `peer` and sends this node's HELLO.
+  /// `budget` (optional) is the shared contact byte budget.
+  Session& connect(Endpoint peer, std::shared_ptr<sim::Link> budget = nullptr);
+
+  /// Graceful FIN teardown of the session to `peer` (no-op if none).
+  void close(Endpoint peer);
+  /// Immediate teardown without datagrams.
+  void abort(Endpoint peer);
+  /// Graceful teardown of every live session (shutdown).
+  void close_all();
+
+  bool has_session(Endpoint peer) const { return sessions_.contains(peer); }
+  Session* session(Endpoint peer);
+  std::size_t session_count() const { return sessions_.size(); }
+  bool all_sessions_idle() const;
+
+  void set_session_closed_handler(SessionClosedHandler handler) {
+    on_session_closed_ = std::move(handler);
+  }
+
+  /// Feeds one raw datagram addressed to this node (the demux upcall; also
+  /// reachable through the bound transport's receive handler). Performs the
+  /// passive-open dance for unknown peers, exactly like NodeRuntime.
+  void on_datagram(Endpoint from, std::span<const std::uint8_t> bytes);
+
+ private:
+  Session& make_session(Endpoint peer, std::shared_ptr<sim::Link> budget);
+  void arm_decay_tick();
+
+  engine::BsubNode node_;
+  RuntimeConfig config_;
+  metrics::TransportCounters& counters_;
+  Transport* transport_ = nullptr;
+  Reactor* reactor_ = nullptr;
+  std::map<Endpoint, std::unique_ptr<Session>> sessions_;
+  /// Closed sessions awaiting safe destruction (a session must not be
+  /// deleted while its own callback is on the stack).
+  std::vector<std::unique_ptr<Session>> graveyard_;
+  SessionClosedHandler on_session_closed_;
+  Reactor::TimerId decay_timer_ = TimerWheel::kInvalidTimer;
+  std::uint32_t next_epoch_ = 0;  ///< session incarnations, node-lifetime
+};
+
+}  // namespace bsub::net

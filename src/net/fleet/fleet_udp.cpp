@@ -1,0 +1,363 @@
+#include "net/fleet/fleet_udp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "util/errors.h"
+
+namespace bsub::net {
+
+namespace {
+
+/// Send queue backstop: beyond this the plane sheds load like a full
+/// socket buffer would (counted drops; the session RTO recovers).
+constexpr std::size_t kMaxSendQueue = 8192;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("FleetUdpShard: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+bool fleet_udp_batched_available() {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void FleetUdpConfig::validate() const {
+  if (batched_io && per_node_sockets) {
+    throw util::ConfigError(
+        "batched_io requires shard sockets (per-node sockets would need a "
+        "send queue per socket, defeating the batching)",
+        "fleet.batched_io", "use socket mode 'shard' or io mode 'single'");
+  }
+  if (batched_io && !fleet_udp_batched_available()) {
+    throw util::ConfigError("sendmmsg/recvmmsg unavailable on this platform",
+                            "fleet.batched_io", "use io mode 'single'");
+  }
+  if (batch_burst == 0 || batch_burst > 1024) {
+    throw util::ConfigError("batch_burst must be in [1, 1024]",
+                            "fleet.batch_burst", "use the default (64)");
+  }
+  if (mtu < 64 || mtu > 65000) {
+    throw util::ConfigError("fleet mtu must be in [64, 65000]", "fleet.mtu",
+                            "use the default (1400)");
+  }
+}
+
+bool FleetPort::send(Endpoint to, std::span<const std::uint8_t> datagram) {
+  return shard_.submit(*this, to, datagram);
+}
+
+std::size_t FleetPort::max_datagram_bytes() const {
+  return shard_.config_.mtu;
+}
+
+FleetUdpShard::FleetUdpShard(Reactor& reactor, std::size_t shard_index,
+                             std::size_t shard_count, FleetUdpConfig config)
+    : reactor_(reactor), config_(config), shard_index_(shard_index),
+      shard_count_(shard_count) {
+  config_.validate();
+  recv_buf_.resize(config_.mtu + kFleetHeaderBytes + 1);
+  if (!config_.per_node_sockets) {
+    shard_fd_ = make_socket(
+        static_cast<std::uint16_t>(config_.base_port + shard_index_));
+    reactor_.add_fd(shard_fd_, [this] { on_readable(shard_fd_); });
+  }
+  if (config_.batched_io) {
+    scatter_.assign(config_.batch_burst,
+                    std::vector<std::uint8_t>(recv_buf_.size()));
+    sendq_.reserve(config_.batch_burst);
+  }
+}
+
+FleetUdpShard::~FleetUdpShard() {
+  flush();
+  for (auto& [node, port] : ports_) {
+    if (port->fd_ != shard_fd_ && port->fd_ >= 0) {
+      reactor_.remove_fd(port->fd_);
+      ::close(port->fd_);
+    }
+  }
+  if (shard_fd_ >= 0) {
+    reactor_.remove_fd(shard_fd_);
+    ::close(shard_fd_);
+  }
+}
+
+int FleetUdpShard::make_socket(std::uint16_t port) const {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+  if (config_.socket_buffer_bytes > 0) {
+    // Best-effort: the kernel clamps to its limits; a smaller buffer only
+    // means more (counted, recovered) drops under burst.
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF,
+                       &config_.socket_buffer_bytes,
+                       sizeof(config_.socket_buffer_bytes));
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF,
+                       &config_.socket_buffer_bytes,
+                       sizeof(config_.socket_buffer_bytes));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(config_.ipv4);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("bind");
+  }
+  return fd;
+}
+
+void FleetUdpShard::fill_addr(std::uint32_t node, sockaddr_in& out) const {
+  const std::uint16_t port =
+      config_.per_node_sockets
+          ? static_cast<std::uint16_t>(config_.base_port + node)
+          : static_cast<std::uint16_t>(config_.base_port +
+                                       node % shard_count_);
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  out.sin_addr.s_addr = htonl(config_.ipv4);
+  out.sin_port = htons(port);
+}
+
+FleetPort& FleetUdpShard::add_node(std::uint32_t node) {
+  if (node % shard_count_ != shard_index_) {
+    throw std::invalid_argument("FleetUdpShard: node not homed here");
+  }
+  int fd = shard_fd_;
+  if (config_.per_node_sockets) {
+    fd = make_socket(static_cast<std::uint16_t>(config_.base_port + node));
+    reactor_.add_fd(fd, [this, fd] { on_readable(fd); });
+  }
+  auto [it, inserted] =
+      ports_.emplace(node, std::unique_ptr<FleetPort>(
+                               new FleetPort(*this, node, fd)));
+  if (!inserted) {
+    throw std::invalid_argument("FleetUdpShard: duplicate node");
+  }
+  return *it->second;
+}
+
+FleetPort* FleetUdpShard::port(std::uint32_t node) {
+  auto it = ports_.find(node);
+  return it == ports_.end() ? nullptr : it->second.get();
+}
+
+bool FleetUdpShard::submit(FleetPort& port, Endpoint to,
+                           std::span<const std::uint8_t> payload) {
+  if (payload.size() > config_.mtu) return false;
+  const auto dst = static_cast<std::uint32_t>(to);
+
+  if (!config_.batched_io) {
+    std::uint8_t wire[65536 + kFleetHeaderBytes];
+    wire[0] = kFleetMagic;
+    wire[1] = kFleetVersion;
+    put_u32(wire + 2, port.node_);
+    put_u32(wire + 6, dst);
+    std::memcpy(wire + kFleetHeaderBytes, payload.data(), payload.size());
+    // A refused sendto surfaces as false so the session counts the drop,
+    // exactly like UdpTransport.
+    return send_now(port.fd_, dst,
+                    std::span<const std::uint8_t>(
+                        wire, payload.size() + kFleetHeaderBytes));
+  }
+
+  if (sendq_.size() >= kMaxSendQueue) {
+    flush();
+    if (sendq_.size() >= kMaxSendQueue) {
+      ++sendq_drops_;
+      return false;  // shed load like a full socket buffer
+    }
+  }
+  PendingSend p;
+  p.dst_node = dst;
+  p.bytes.resize(kFleetHeaderBytes + payload.size());
+  p.bytes[0] = kFleetMagic;
+  p.bytes[1] = kFleetVersion;
+  put_u32(p.bytes.data() + 2, port.node_);
+  put_u32(p.bytes.data() + 6, dst);
+  std::memcpy(p.bytes.data() + kFleetHeaderBytes, payload.data(),
+              payload.size());
+  sendq_.push_back(std::move(p));
+  if (sendq_.size() >= config_.batch_burst) flush();
+  return true;
+}
+
+bool FleetUdpShard::send_now(int fd, std::uint32_t dst,
+                             std::span<const std::uint8_t> wire) {
+  sockaddr_in addr;
+  fill_addr(dst, addr);
+  ++send_syscalls_;
+  const ssize_t n =
+      ::sendto(fd, wire.data(), wire.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (n == static_cast<ssize_t>(wire.size())) {
+    ++datagrams_out_;
+    return true;
+  }
+  return false;
+}
+
+void FleetUdpShard::flush() {
+  if (sendq_.empty()) return;
+#if defined(__linux__)
+  std::size_t done = 0;
+  while (done < sendq_.size()) {
+    const std::size_t burst =
+        std::min(config_.batch_burst, sendq_.size() - done);
+    // Scatter arrays are small (<= batch_burst) stack-era vectors; building
+    // them per burst is noise next to the syscall they replace.
+    std::vector<sockaddr_in> addrs(burst);
+    std::vector<iovec> iovs(burst);
+    std::vector<mmsghdr> msgs(burst);
+    for (std::size_t i = 0; i < burst; ++i) {
+      PendingSend& p = sendq_[done + i];
+      fill_addr(p.dst_node, addrs[i]);
+      iovs[i].iov_base = p.bytes.data();
+      iovs[i].iov_len = p.bytes.size();
+      std::memset(&msgs[i], 0, sizeof(msgs[i]));
+      msgs[i].msg_hdr.msg_name = &addrs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    ++send_syscalls_;
+    const int sent = ::sendmmsg(shard_fd_, msgs.data(),
+                                static_cast<unsigned>(burst), 0);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // retry later
+      // Hard error: shed this burst like lost datagrams (the sessions
+      // already counted them as sent; the RTO ladder recovers).
+      sendq_drops_ += burst;
+      done += burst;
+      continue;
+    }
+    datagrams_out_ += static_cast<std::uint64_t>(sent);
+    done += static_cast<std::size_t>(sent);
+    if (static_cast<std::size_t>(sent) < burst) break;  // buffer full
+  }
+  sendq_.erase(sendq_.begin(),
+               sendq_.begin() + static_cast<std::ptrdiff_t>(done));
+#else
+  // No sendmmsg on this platform (validate() rejects batched_io, so this
+  // path only runs if a caller bypassed validation): fall back to sendto.
+  for (PendingSend& p : sendq_) {
+    if (!send_now(shard_fd_, p.dst_node, p.bytes)) ++sendq_drops_;
+  }
+  sendq_.clear();
+#endif
+}
+
+void FleetUdpShard::on_readable(int fd) {
+  if (config_.batched_io) {
+    drain_batched(fd);
+  } else {
+    drain_single(fd);
+  }
+}
+
+void FleetUdpShard::drain_single(int fd) {
+  for (;;) {
+    ++recv_syscalls_;
+    const ssize_t n = ::recv(fd, recv_buf_.data(), recv_buf_.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient error; the next readiness retries
+    }
+    if (n == 0) continue;
+    ++datagrams_in_;
+    dispatch(std::span<const std::uint8_t>(recv_buf_.data(),
+                                           static_cast<std::size_t>(n)));
+  }
+}
+
+void FleetUdpShard::drain_batched(int fd) {
+#if defined(__linux__)
+  const std::size_t burst = scatter_.size();
+  std::vector<iovec> iovs(burst);
+  std::vector<mmsghdr> msgs(burst);
+  for (;;) {
+    for (std::size_t i = 0; i < burst; ++i) {
+      iovs[i].iov_base = scatter_[i].data();
+      iovs[i].iov_len = scatter_[i].size();
+      std::memset(&msgs[i], 0, sizeof(msgs[i]));
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    ++recv_syscalls_;
+    const int n = ::recvmmsg(fd, msgs.data(), static_cast<unsigned>(burst),
+                             0, nullptr);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained
+    }
+    for (int i = 0; i < n; ++i) {
+      ++datagrams_in_;
+      dispatch(std::span<const std::uint8_t>(scatter_[i].data(),
+                                             msgs[i].msg_len));
+    }
+    if (static_cast<std::size_t>(n) < burst) return;  // socket drained
+  }
+#else
+  drain_single(fd);
+#endif
+}
+
+void FleetUdpShard::dispatch(std::span<const std::uint8_t> wire) {
+  if (wire.size() < kFleetHeaderBytes ||
+      wire.size() > config_.mtu + kFleetHeaderBytes ||
+      wire[0] != kFleetMagic || wire[1] != kFleetVersion) {
+    ++unroutable_drops_;
+    return;
+  }
+  const std::uint32_t src = get_u32(wire.data() + 2);
+  const std::uint32_t dst = get_u32(wire.data() + 6);
+  auto it = ports_.find(dst);
+  if (it == ports_.end() || !it->second->handler_) {
+    ++unroutable_drops_;
+    return;
+  }
+  it->second->handler_(static_cast<Endpoint>(src),
+                       wire.subspan(kFleetHeaderBytes));
+}
+
+}  // namespace bsub::net

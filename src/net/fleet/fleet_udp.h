@@ -1,0 +1,174 @@
+// Fleet UDP data plane: many node endpoints multiplexed over few sockets,
+// with batched syscalls.
+//
+// One UdpTransport per node (PR 5) costs one socket, one pollfd slot and
+// one recvfrom per datagram per node — fine for a daemon, ruinous for 10k
+// in-process nodes. The fleet plane changes both axes:
+//
+//   sockets   In `shard` mode every reactor thread owns ONE socket
+//             (127.0.0.1, base_port + shard). Node addressing moves into a
+//             10-byte mux header (magic 0xF5, version, src node, dst node)
+//             prepended to each session datagram; a node's home shard is
+//             node % shard_count, so any sender can compute any
+//             destination's socket address. `node` mode (one socket per
+//             node, port base_port + node) is kept as the measurable
+//             baseline — it is what the naive scale-out of PR 5 would do.
+//
+//   syscalls  In `batched` mode sends are queued per shard and flushed
+//             with sendmmsg() in bursts, and the readable upcall drains
+//             the socket with recvmmsg() into a reusable scatter array —
+//             one syscall moves up to `batch_burst` datagrams. `single`
+//             mode uses sendto()/recvfrom() loops (and is the only mode on
+//             non-Linux builds; see fleet_udp_batched_available()).
+//
+// Each node sees the plane through a FleetPort — a Transport whose
+// endpoints are node ids — so Session/FleetNode code is identical over
+// loopback, single-socket UDP, and the batched mux. Delivery is
+// best-effort exactly like UDP: a full send queue or socket buffer drops
+// the datagram (counted), and the session RTO ladder recovers.
+//
+// Threading: a FleetUdpShard and all its ports belong to one reactor
+// thread; cross-shard traffic crosses via the kernel, not shared memory.
+// Datagram/frame accounting stays where it always was — in the sessions'
+// shared TransportCounters; the shard only tallies its own syscall shape
+// and transport-level drops (like LoopbackHub does).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/reactor.h"
+#include "net/transport.h"
+
+// Forward-declare enough of sockaddr_in to keep socket headers out of
+// dependents. (The .cpp includes the real ones.)
+struct sockaddr_in;
+
+namespace bsub::net {
+
+inline constexpr std::uint8_t kFleetMagic = 0xF5;
+inline constexpr std::uint8_t kFleetVersion = 1;
+/// magic + version + u32 src node + u32 dst node (little-endian).
+inline constexpr std::size_t kFleetHeaderBytes = 10;
+
+/// True when this build can use sendmmsg/recvmmsg (Linux).
+bool fleet_udp_batched_available();
+
+struct FleetUdpConfig {
+  std::uint16_t base_port = 45000;
+  std::uint32_t ipv4 = 0x7F000001;  ///< host order; default 127.0.0.1
+  /// Max inner (session) datagram; the wire adds kFleetHeaderBytes.
+  std::size_t mtu = 1400;
+  /// `node` socket mode: one socket per node (the baseline) instead of one
+  /// per shard.
+  bool per_node_sockets = false;
+  /// sendmmsg/recvmmsg bursts instead of sendto/recvfrom loops. Requires
+  /// shard sockets (per-socket send queues would defeat the point) and a
+  /// Linux build; validate() rejects unsupported combinations.
+  bool batched_io = true;
+  std::size_t batch_burst = 64;
+  /// SO_SNDBUF / SO_RCVBUF request per socket; 0 leaves the kernel default.
+  int socket_buffer_bytes = 1 << 20;
+
+  /// Throws util::ConfigError on unsupported combinations.
+  void validate() const;
+};
+
+class FleetUdpShard;
+
+/// One node's view of the fleet plane. Endpoints are node ids.
+class FleetPort final : public Transport {
+ public:
+  bool send(Endpoint to, std::span<const std::uint8_t> datagram) override;
+  std::size_t max_datagram_bytes() const override;
+  Endpoint local_endpoint() const override { return node_; }
+  void set_receive_handler(ReceiveHandler handler) override {
+    handler_ = std::move(handler);
+  }
+
+ private:
+  friend class FleetUdpShard;
+  FleetPort(FleetUdpShard& shard, std::uint32_t node, int fd)
+      : shard_(shard), node_(node), fd_(fd) {}
+
+  FleetUdpShard& shard_;
+  std::uint32_t node_;
+  int fd_;  ///< socket this node's traffic uses (shard's or its own)
+  ReceiveHandler handler_;
+};
+
+/// The per-reactor-thread slice of the fleet plane: the shard's socket(s),
+/// its local nodes' ports, the batched send queue and receive scatter
+/// array.
+class FleetUdpShard {
+ public:
+  FleetUdpShard(Reactor& reactor, std::size_t shard_index,
+                std::size_t shard_count, FleetUdpConfig config);
+  ~FleetUdpShard();
+
+  FleetUdpShard(const FleetUdpShard&) = delete;
+  FleetUdpShard& operator=(const FleetUdpShard&) = delete;
+
+  /// Creates the port for a node homed on this shard (in `node` socket
+  /// mode this opens and registers the node's socket). The node id must
+  /// belong to this shard (node % shard_count == shard_index).
+  FleetPort& add_node(std::uint32_t node);
+
+  FleetPort* port(std::uint32_t node);
+
+  /// Drains the batched send queue (no-op in single mode or when empty).
+  /// Call once per reactor loop iteration, after dispatch.
+  void flush();
+
+  std::size_t local_nodes() const { return ports_.size(); }
+
+  // Syscall-shape tallies for the bench harness.
+  std::uint64_t send_syscalls() const { return send_syscalls_; }
+  std::uint64_t recv_syscalls() const { return recv_syscalls_; }
+  std::uint64_t datagrams_out() const { return datagrams_out_; }
+  std::uint64_t datagrams_in() const { return datagrams_in_; }
+  std::uint64_t sendq_drops() const { return sendq_drops_; }
+  std::uint64_t unroutable_drops() const { return unroutable_drops_; }
+
+ private:
+  friend class FleetPort;
+
+  struct PendingSend {
+    std::uint32_t dst_node;
+    std::vector<std::uint8_t> bytes;  ///< header + payload
+  };
+
+  bool submit(FleetPort& port, Endpoint to,
+              std::span<const std::uint8_t> payload);
+  void on_readable(int fd);
+  void drain_single(int fd);
+  void drain_batched(int fd);
+  /// Routes one wire datagram (header included) to its local port.
+  void dispatch(std::span<const std::uint8_t> wire);
+  int make_socket(std::uint16_t port) const;
+  void fill_addr(std::uint32_t node, sockaddr_in& out) const;
+  bool send_now(int fd, std::uint32_t dst,
+                std::span<const std::uint8_t> wire);
+
+  Reactor& reactor_;
+  FleetUdpConfig config_;
+  std::size_t shard_index_;
+  std::size_t shard_count_;
+  int shard_fd_ = -1;  ///< shard-mode socket; -1 in node mode
+  std::unordered_map<std::uint32_t, std::unique_ptr<FleetPort>> ports_;
+  std::vector<PendingSend> sendq_;
+  std::vector<std::uint8_t> recv_buf_;  ///< single-mode receive scratch
+  std::vector<std::vector<std::uint8_t>> scatter_;  ///< batched receive
+
+  std::uint64_t send_syscalls_ = 0;
+  std::uint64_t recv_syscalls_ = 0;
+  std::uint64_t datagrams_out_ = 0;
+  std::uint64_t datagrams_in_ = 0;
+  std::uint64_t sendq_drops_ = 0;
+  std::uint64_t unroutable_drops_ = 0;
+};
+
+}  // namespace bsub::net

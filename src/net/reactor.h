@@ -1,23 +1,45 @@
-// Poll-based event loop for the live runtime.
+// Event loop for the live runtime: fd readiness + deadlines.
 //
 // One reactor drives everything a node endpoint does: socket readiness
-// (poll(2) over registered fds) and deadlines (a hierarchical TimerWheel —
+// (over registered fds) and deadlines (a hierarchical TimerWheel —
 // retransmits, session teardown, TCBF decay ticks). Two driving modes share
 // the same registration API:
 //
-//   real time   run()/run_once() poll the fds with a timeout bounded by the
-//               next timer deadline, then fire due timers. Used by the
-//               bsub_node daemon and the UDP transport (SteadyClock).
+//   real time   run()/run_once() wait on the fds with a timeout bounded by
+//               the next timer deadline, then fire due timers. Used by the
+//               bsub_node daemon, the fleet shards, and the UDP transports
+//               (SteadyClock).
 //   virtual time advance_to(t) moves a ManualClock through every timer
 //               deadline up to t in deterministic order without ever
-//               blocking. Used by the loopback tests and the contact
-//               orchestrator; fds are not polled (loopback has none).
+//               blocking. Used by the loopback tests, the contact
+//               orchestrator, and the fleet's loopback lanes; fds are not
+//               polled (loopback has none).
+//
+// Readiness backends, selected at construction (like the TCBF kernels are
+// selected at dispatch):
+//
+//   kPoll   poll(2) over a dense pollfd array — portable, O(registered fds)
+//           per wait. The right choice for a handful of sockets.
+//   kEpoll  epoll(7) — Linux only, O(ready fds) per wait, which is what
+//           lets one reactor thread multiplex thousands of fleet node
+//           sockets without rescanning the registration table every tick.
+//
+// kAuto resolves to epoll where available (overridable with the
+// BSUB_REACTOR environment variable: poll | epoll | auto). Registration is
+// O(1) for both backends (poll keeps an fd -> slot index map over a
+// swap-erased array; epoll delegates to epoll_ctl), and waits are
+// EINTR-safe: a signal landing mid-wait is treated as a zero-ready wakeup,
+// never surfaced as an error.
 //
 // The reactor is single-threaded by design: every callback runs on the
 // loop, so sessions and nodes need no locks.
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "net/clock.h"
@@ -26,14 +48,62 @@
 
 namespace bsub::net {
 
+enum class ReactorBackend : std::uint8_t {
+  kAuto = 0,
+  kPoll = 1,
+  kEpoll = 2,
+};
+
+/// True when `backend` can be constructed on this platform (kPoll always;
+/// kEpoll on Linux; kAuto always — it resolves to something available).
+bool reactor_backend_available(ReactorBackend backend);
+
+std::string_view reactor_backend_name(ReactorBackend backend);
+
+/// Parses "poll" | "epoll" | "auto" (case-sensitive, like kernel names);
+/// nullopt otherwise.
+std::optional<ReactorBackend> parse_reactor_backend(std::string_view name);
+
+/// What kAuto resolves to on this platform/environment: the BSUB_REACTOR
+/// environment variable if set to a valid, available backend, else epoll
+/// where available, else poll.
+ReactorBackend default_reactor_backend();
+
+namespace detail {
+
+/// One readiness backend: the fd set and the wait primitive. Registration
+/// must be O(1); wait() must treat EINTR as "zero fds ready" and report the
+/// ready fds through `ready` (cleared first).
+class FdBackend {
+ public:
+  virtual ~FdBackend() = default;
+  virtual void add(int fd) = 0;
+  virtual void remove(int fd) = 0;
+  virtual std::size_t size() const = 0;
+  virtual void wait(int timeout_ms, std::vector<int>& ready) = 0;
+};
+
+}  // namespace detail
+
 class Reactor {
  public:
   using TimerId = TimerWheel::TimerId;
 
-  explicit Reactor(Clock& clock);
+  /// `backend` kAuto defers to default_reactor_backend(). Throws
+  /// std::runtime_error when an explicitly requested backend cannot be
+  /// constructed (epoll on a non-Linux platform).
+  explicit Reactor(Clock& clock,
+                   ReactorBackend backend = ReactorBackend::kAuto);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
 
   Clock& clock() { return clock_; }
   util::Time now() const { return clock_.now(); }
+
+  /// The resolved backend (never kAuto).
+  ReactorBackend backend() const { return backend_; }
 
   /// Schedules `cb` at an absolute instant / after a delay from now.
   TimerId schedule_at(util::Time deadline, TimerWheel::Callback cb);
@@ -44,9 +114,12 @@ class Reactor {
   std::size_t pending_timers() const { return wheel_.pending(); }
 
   /// Registers `fd` for readability callbacks (real-time mode). The fd must
-  /// stay valid until remove_fd().
+  /// stay valid until remove_fd(). Registering an already-registered fd
+  /// replaces its callback. O(1).
   void add_fd(int fd, std::function<void()> on_readable);
+  /// Unregisters `fd`; no-op when it was never registered. O(1).
   void remove_fd(int fd);
+  std::size_t fd_count() const { return handlers_.size(); }
 
   /// Fires every timer due at the clock's current instant. Returns count.
   std::size_t fire_due() { return wheel_.advance(clock_.now()); }
@@ -57,9 +130,17 @@ class Reactor {
   /// ManualClock.
   void advance_to(ManualClock& clock, util::Time t);
 
-  /// Real-time driving: waits (poll) until a registered fd is readable or
-  /// the next timer is due, capped at `max_wait`; dispatches both. Returns
-  /// false only on stop(). `max_wait < 0` means "until the next deadline".
+  /// Rewinds the timer wheel to `t` for reuse by a new virtual-time episode
+  /// (the fleet's loopback lanes execute node-disjoint contacts out of
+  /// global time order, one rebased episode per contact). Requires no
+  /// pending timers — everything from the previous episode must have fired
+  /// or been cancelled.
+  void rebase(util::Time t);
+
+  /// Real-time driving: waits until a registered fd is readable or the next
+  /// timer is due, capped at `max_wait`; dispatches both. A signal
+  /// interrupting the wait counts as a timeout, not an error. Returns false
+  /// only on stop(). `max_wait < 0` means "until the next deadline".
   bool run_once(util::Time max_wait = 100 * util::kMillisecond);
 
   /// Loops run_once() until stop() is called (from a callback or a signal
@@ -69,13 +150,17 @@ class Reactor {
   bool stopped() const { return stopped_; }
 
  private:
-  Clock& clock_;
-  TimerWheel wheel_;
-  struct FdEntry {
-    int fd;
+  struct FdHandler {
     std::function<void()> on_readable;
   };
-  std::vector<FdEntry> fds_;
+
+  Clock& clock_;
+  TimerWheel wheel_;
+  ReactorBackend backend_;
+  std::unique_ptr<detail::FdBackend> fds_;
+  /// fd -> callback; the backend only tracks readiness membership.
+  std::unordered_map<int, FdHandler> handlers_;
+  std::vector<int> ready_scratch_;
   bool stopped_ = false;
 };
 

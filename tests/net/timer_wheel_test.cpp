@@ -1,9 +1,13 @@
-// Hierarchical timer wheel: deterministic firing order, cancellation,
-// level promotion, and the overflow horizon.
+// Hierarchical timer wheel: deterministic firing order, cancellation
+// (including across level cascades and in the overflow bucket), level
+// promotion, slot wraparound, and the overflow horizon — driven both
+// directly and through a ManualClock-backed Reactor.
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "net/clock.h"
+#include "net/reactor.h"
 #include "net/timer_wheel.h"
 #include "util/time.h"
 
@@ -102,6 +106,115 @@ TEST(TimerWheel, OverdueScheduleFiresOnNextAdvance) {
   wheel.schedule(50, [&] { ++fired; });  // already past due
   wheel.advance(100);
   EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, CancelSurvivesCascadeAcrossLevelBoundaries) {
+  // A deadline parked in a coarse level is re-placed into finer slots as
+  // the wheel approaches it. Cancelling BETWEEN those cascades must stick:
+  // the tombstone travels with the entry, and the timer never fires.
+  constexpr util::Time kDeadline = 5000;  // level 2 (4.1s granularity) at t=0
+  TimerWheel wheel;
+  int fired = 0;
+  const auto id = wheel.schedule(kDeadline, [&] { ++fired; });
+  wheel.schedule(kDeadline + 7, [&] { ++fired; });  // survivor control
+  // First cascade: cross into level-1 territory, then cancel.
+  wheel.advance(4500);
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));
+  // Second cascade plus the firing pass.
+  wheel.advance(4990);
+  wheel.advance(kDeadline + 10);
+  EXPECT_EQ(fired, 1);  // only the survivor
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, CancelAtEveryCascadeDepth) {
+  // One timer per wheel level plus overflow; cancel each after advancing
+  // to just before its deadline (maximum cascade depth), none may fire.
+  constexpr util::Time kHorizon = 64LL * 64 * 64 * 64;
+  const std::vector<util::Time> deadlines = {40,     3000,       200'000,
+                                             10'000'000, kHorizon * 2};
+  TimerWheel wheel;
+  int fired = 0;
+  std::vector<TimerWheel::TimerId> ids;
+  for (util::Time d : deadlines) {
+    ids.push_back(wheel.schedule(d, [&] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < deadlines.size(); ++i) {
+    wheel.advance(deadlines[i] - 1);
+    EXPECT_TRUE(wheel.cancel(ids[i])) << "deadline " << deadlines[i];
+    wheel.advance(deadlines[i] + 1);
+  }
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_EQ(wheel.next_deadline(), util::kTimeMax);
+}
+
+TEST(TimerWheel, SlotIndexWraparound) {
+  // Start the wheel late enough that level-0 slot indices wrap modulo 64
+  // between "now" and the deadlines; ordering must be unaffected.
+  TimerWheel wheel(60);  // slot 60 of 64: deadlines 61..130 wrap the level
+  std::vector<util::Time> fired;
+  for (util::Time d : {61, 63, 64, 65, 100, 123, 124, 130}) {
+    wheel.schedule(d, [&, d] { fired.push_back(d); });
+  }
+  wheel.advance(130);
+  EXPECT_EQ(fired,
+            (std::vector<util::Time>{61, 63, 64, 65, 100, 123, 124, 130}));
+}
+
+TEST(TimerWheel, FarFutureCancelInOverflowBeforeAndAfterRecascade) {
+  constexpr util::Time kHorizon = 64LL * 64 * 64 * 64;
+  TimerWheel wheel;
+  int fired = 0;
+  // Cancelled while still parked in the overflow bucket.
+  const auto parked = wheel.schedule(kHorizon * 5, [&] { ++fired; });
+  // Cancelled after the horizon crossing re-cascaded it into the wheel.
+  const auto cascaded = wheel.schedule(kHorizon + 500, [&] { ++fired; });
+  // Far-future survivor: must still fire after both cancellations.
+  wheel.schedule(kHorizon * 5 + 1, [&] { ++fired; });
+  EXPECT_TRUE(wheel.cancel(parked));
+  wheel.advance(kHorizon + 100);  // pulls `cascaded` out of overflow
+  EXPECT_TRUE(wheel.cancel(cascaded));
+  wheel.advance(kHorizon * 6);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, VeryFarFutureDeadlineDoesNotOverflowArithmetic) {
+  // A deadline centuries out (but far from kTimeMax, which is the "no
+  // deadline" sentinel) parks and is still cancellable and queryable.
+  constexpr util::Time kCenturies = 400LL * 365 * 24 * 3600 * 1000;
+  TimerWheel wheel;
+  int fired = 0;
+  const auto id = wheel.schedule(kCenturies, [&] { ++fired; });
+  EXPECT_EQ(wheel.next_deadline(), kCenturies);
+  wheel.advance(10'000'000);
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(wheel.cancel(id));
+  wheel.advance(20'000'000);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, ManualClockReactorCancelAcrossLevels) {
+  // The same cancellation discipline driven the way the runtime drives it:
+  // a Reactor over a ManualClock, with a callback cancelling a timer that
+  // currently sits in a coarser level.
+  ManualClock clock;
+  Reactor reactor(clock);
+  std::vector<util::Time> fired;
+  Reactor::TimerId victim =
+      reactor.schedule_at(300'000, [&] { fired.push_back(reactor.now()); });
+  reactor.schedule_at(100, [&] {
+    fired.push_back(reactor.now());
+    EXPECT_TRUE(reactor.cancel(victim));
+    // Replacement beyond the original, proving the wheel stays coherent.
+    reactor.schedule_at(400'000, [&] { fired.push_back(reactor.now()); });
+  });
+  reactor.advance_to(clock, 500'000);
+  EXPECT_EQ(fired, (std::vector<util::Time>{100, 400'000}));
+  EXPECT_EQ(reactor.pending_timers(), 0u);
 }
 
 }  // namespace

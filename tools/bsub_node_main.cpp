@@ -31,6 +31,7 @@
 #include "net/reactor.h"
 #include "net/transport.h"
 #include "net/udp.h"
+#include "tool_listing.h"
 #include "util/time.h"
 
 namespace {
@@ -72,7 +73,9 @@ int usage(const char* argv0) {
       "  --protocol SPEC        protocol spec, e.g. bsub:df=0.5,copies=5\n"
       "                         (a live node runs only B-SUB; parameters\n"
       "                         configure it — see core::bsub_config_from_"
-      "spec)\n",
+      "spec)\n"
+      "  --list-protocols       print the protocol registry and exit\n"
+      "  --list-kernels         print the TCBF kernel backends and exit\n",
       argv0);
   return 2;
 }
@@ -139,6 +142,15 @@ bool parse_options(int argc, char** argv, Options& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-protocols") == 0) {
+      return bsub::tools::list_protocols();
+    }
+    if (std::strcmp(argv[i], "--list-kernels") == 0) {
+      return bsub::tools::list_kernels();
+    }
+  }
+
   Options opts;
   if (!parse_options(argc, argv, opts)) return usage(argv[0]);
 

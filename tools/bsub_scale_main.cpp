@@ -13,6 +13,7 @@
 #include <string>
 
 #include "scale_common.h"
+#include "tool_listing.h"
 
 namespace {
 
@@ -20,6 +21,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--nodes N] [--contacts C] [--messages M] "
                "[--seed S] [--threads T] [--isolate] [--protocol SPEC]\n"
+               "          [--list-protocols] [--list-kernels]\n"
                "  SPEC selects the routing protocol, e.g. PUSH, PULL,\n"
                "  spray:copies=8, bsub:df=0.25 (default %s)\n",
                argv0, bsub::bench::kScaleDefaultProtocol);
@@ -38,6 +40,15 @@ bool parse_u64(const char* s, std::uint64_t& out) {
 int main(int argc, char** argv) {
   using namespace bsub;
   using namespace bsub::bench;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-protocols") == 0) {
+      return bsub::tools::list_protocols();
+    }
+    if (std::strcmp(argv[i], "--list-kernels") == 0) {
+      return bsub::tools::list_kernels();
+    }
+  }
 
   ScalePoint point{100000, 1000000};
   std::uint64_t seed = kExperimentSeed;
